@@ -1,0 +1,71 @@
+"""Extension: int8 weight quantization's effect on the serving path.
+
+A quantized artifact is ~4x smaller, which shrinks the model-dependent
+stages -- download and in-enclave decryption -- and therefore the warm
+path.  The hot path is untouched (the decrypted model is already
+resident).  The effect is largest on slow cloud storage (the paper's
+Azure numbers).
+"""
+
+import dataclasses
+
+from repro.core.simbridge import servable_map
+from repro.experiments.common import (
+    action_budget,
+    make_driver,
+    make_testbed,
+    system_factory,
+)
+from repro.experiments.fig9 import _managed_seconds
+from repro.mlrt.zoo import profile
+from repro.serverless.action import ActionSpec
+from repro.serverless.storage import AZURE_BLOB
+from repro.workloads.arrival import Arrival
+
+
+def _quantized_profile(name: str):
+    """The paper profile with the int8 artifact size (weights / 4)."""
+    prof = profile(name)
+    return dataclasses.replace(prof, model_bytes=prof.model_bytes // 4)
+
+
+def warm_and_hot(model_name: str, quantized: bool):
+    prof = _quantized_profile(model_name) if quantized else profile(model_name)
+    bed = make_testbed(num_nodes=1, storage=AZURE_BLOB)
+    models = servable_map([("m", prof, "tvm"), ("decoy", profile("MBNET"), "tvm")])
+    budget = max(action_budget(m) for m in models.values())
+    spec = ActionSpec(name="ep", image="semirt", memory_budget=budget, concurrency=1)
+    bed.platform.deploy(spec, system_factory("SeSeMI", models, bed.cost))
+    driver = make_driver(bed)
+    driver.submit_arrivals(
+        [
+            Arrival(time=0.0, model_id="m", user_id="u"),
+            Arrival(time=100.0, model_id="decoy", user_id="u"),
+            Arrival(time=120.0, model_id="m", user_id="u"),   # warm (reload)
+            Arrival(time=140.0, model_id="m", user_id="u"),   # hot
+        ]
+    )
+    by_time = sorted(driver.run(until=800).results, key=lambda r: r.submitted_at)
+    return _managed_seconds(by_time[2]), _managed_seconds(by_time[3])
+
+
+def test_ext_quantization(benchmark):
+    def sweep():
+        return {
+            (name, quantized): warm_and_hot(name, quantized)
+            for name in ("MBNET", "RSNET")
+            for quantized in (False, True)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Extension -- int8 artifacts on Azure-tier storage (TVM)")
+    print(f"{'config':>16s} {'warm (s)':>9s} {'hot (s)':>8s}")
+    for (name, quantized), (warm, hot) in results.items():
+        label = f"{name}-{'int8' if quantized else 'fp32'}"
+        print(f"{label:>16s} {warm:9.3f} {hot:8.3f}")
+    for name in ("MBNET", "RSNET"):
+        warm_fp, hot_fp = results[(name, False)]
+        warm_q, hot_q = results[(name, True)]
+        assert warm_q < warm_fp * 0.8          # smaller download+decrypt
+        assert abs(hot_q - hot_fp) < 0.01      # hot path unchanged

@@ -1,0 +1,11 @@
+"""Figure 10: enclave memory saving with concurrent execution."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_memory_saving(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    print()
+    print(fig10.format_report(result))
+    label, saving = result["peak"]
+    assert label == "TFLM-RSNET" and saving > 0.75  # paper: 86.2%

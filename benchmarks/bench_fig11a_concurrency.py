@@ -1,0 +1,13 @@
+"""Figure 11a: latency vs concurrent executions (CPU bound, SGX2)."""
+
+from repro.experiments import fig11
+
+
+def test_fig11a_concurrency(benchmark):
+    rows = benchmark.pedantic(fig11.run_cpu_bound, rounds=1, iterations=1)
+    print()
+    print("Figure 11a -- latency vs concurrency (TVM-RSNET, SGX2, 12 cores)")
+    for n, latency in rows:
+        print(f"  concurrency={n:3d}  mean latency={latency:.3f}s")
+    by_n = dict(rows)
+    assert by_n[16] > by_n[12]  # knee past the physical core count

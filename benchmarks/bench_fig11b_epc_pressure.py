@@ -1,0 +1,16 @@
+"""Figure 11b: latency under EPC pressure (SGX1), 1 vs 4 threads."""
+
+from repro.experiments import fig11
+
+
+def test_fig11b_epc_pressure(benchmark):
+    series = benchmark.pedantic(fig11.run_epc_bound, rounds=1, iterations=1)
+    print()
+    print("Figure 11b -- latency under 128MB EPC (MBNET, SGX1)")
+    for label, rows in series.items():
+        rendered = "  ".join(f"{n}:{latency:.3f}s" for n, latency in rows)
+        print(f"  {label:8s} {rendered}")
+    last = {label: rows[-1][1] for label, rows in series.items()}
+    assert last["TVM-4"] < last["TVM-1"]
+    assert last["TFLM-4"] < last["TFLM-1"]
+    assert last["TFLM-4"] < last["TVM-4"]

@@ -1,0 +1,24 @@
+"""Figure 12: single-node serving with hot invocations (rate sweeps)."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_single_node(benchmark):
+    result = benchmark.pedantic(fig12.run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    print()
+    print(fig12.format_report(result))
+    # 12a: at 40 rps offered, Native's goodput collapses while SeSeMI and
+    # Iso-reuse keep up with offered load (MBNET, SGX2).
+    mbnet = {(row[0], row[1]): row[2] for row in result["mbnet"]}
+    assert mbnet[("Native", 40)] < 15.0
+    assert mbnet[("SeSeMI", 40)] > 38.0
+    assert mbnet[("Iso-reuse", 40)] > 38.0
+    # 12b: SeSeMI sustains a higher RSNET rate than Iso-reuse.
+    rsnet = {(row[0], row[1]): row[2] for row in result["rsnet"]}
+    assert rsnet[("SeSeMI", 8)] > rsnet[("Iso-reuse", 8)]
+    # 12c/d: TFLM-4 sustains the highest rate under the 128MB EPC.
+    sgx1 = {(row[0], row[1]): row[2] for row in result["sgx1"]}
+    top_rate = max(rate for _, rate in sgx1)
+    assert sgx1[("TFLM-4", top_rate)] > sgx1[("TVM-4", top_rate)]
+    assert sgx1[("TFLM-4", top_rate)] > sgx1[("TVM-1", top_rate)]

@@ -1,0 +1,39 @@
+"""Figure 13: multi-node MMPP latency (Native / Iso-reuse / SeSeMI)."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_mmpp_latency(benchmark):
+    result = benchmark.pedantic(
+        fig13.run_latency,
+        kwargs={"model_name": "DSNET", "duration_s": 240.0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Figure 13 -- MMPP 20<->40 rps on 8 nodes, TVM-DSNET")
+    print("Paper: Iso-reuse 3.35s vs SeSeMI 0.64s (81% better); Native worse.")
+    for system, data in result.items():
+        stats = data["stats"]
+        print(f"  {system:10s} mean={stats.mean:8.3f}s p95={stats.p95:8.3f}s")
+        series = "  ".join(f"{int(t)}s:{v:.2f}" for t, v in data["timeline"][:8])
+        print(f"             timeline {series}")
+    assert result["SeSeMI"]["stats"].mean < result["Iso-reuse"]["stats"].mean
+    assert result["SeSeMI"]["stats"].mean < result["Native"]["stats"].mean
+    assert result["SeSeMI"]["stats"].mean < 1.5  # paper: 0.64s
+
+
+def test_fig13_rsnet(benchmark):
+    result = benchmark.pedantic(
+        fig13.run_latency,
+        kwargs={
+            "model_name": "RSNET",
+            "duration_s": 180.0,
+            "systems": ("Iso-reuse", "SeSeMI"),
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Figure 13 -- MMPP on 8 nodes, TVM-RSNET (paper: 12.54s vs 8.28s)")
+    for system, data in result.items():
+        print(f"  {system:10s} mean={data['stats'].mean:8.3f}s")
+    assert result["SeSeMI"]["stats"].mean < result["Iso-reuse"]["stats"].mean

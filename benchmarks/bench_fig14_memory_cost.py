@@ -1,0 +1,36 @@
+"""Figure 14: memory GB-seconds under MMPP, 1- vs 4-thread enclaves."""
+
+from repro.experiments import fig13
+
+
+def test_fig14_memory_cost(benchmark):
+    results = benchmark.pedantic(
+        fig13.run_memory_cost,
+        kwargs={"model_name": "DSNET", "duration_s": 240.0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Figure 14 -- GB-seconds, TVM-DSNET (paper: 3543 -> 1459, -59%)")
+    for threads, data in results.items():
+        print(
+            f"  TVM-DSNET-{threads}: {data['gb_seconds']:9.1f} GB-s  "
+            f"mean latency {data['stats'].mean:.3f}s"
+        )
+    reduction = 1 - results[4]["gb_seconds"] / results[1]["gb_seconds"]
+    print(f"  reduction with 4 threads: {reduction:.0%}")
+    assert 0.3 < reduction < 0.8  # paper: 59%
+
+
+def test_fig14_rsnet(benchmark):
+    results = benchmark.pedantic(
+        fig13.run_memory_cost,
+        kwargs={"model_name": "RSNET", "duration_s": 180.0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("Figure 14 -- GB-seconds, TVM-RSNET (paper: 2273 -> 1179, -48%)")
+    reduction = 1 - results[4]["gb_seconds"] / results[1]["gb_seconds"]
+    for threads, data in results.items():
+        print(f"  TVM-RSNET-{threads}: {data['gb_seconds']:9.1f} GB-s")
+    print(f"  reduction with 4 threads: {reduction:.0%}")
+    assert 0.25 < reduction < 0.75  # paper: 48%

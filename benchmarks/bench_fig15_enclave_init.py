@@ -1,0 +1,16 @@
+"""Figure 15: enclave initialisation overhead vs concurrent launches."""
+
+import pytest
+
+from repro.experiments import fig15
+
+
+def test_fig15_enclave_init(benchmark):
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    print()
+    print(fig15.format_report(result))
+    sgx2 = {(size, n): t for size, n, t in result["init"]["sgx2"]}
+    assert sgx2[(256, 16)] == pytest.approx(4.06, rel=0.05)  # appendix anchor
+    sgx1 = {(size, n): t for size, n, t in result["init"]["sgx1"]}
+    # SGX1 grows much faster: launching 16x128MB overcommits the EPC.
+    assert sgx1[(128, 16)] / sgx1[(128, 1)] > sgx2[(128, 16)] / sgx2[(128, 1)]

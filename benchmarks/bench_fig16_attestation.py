@@ -1,0 +1,18 @@
+"""Figure 16: remote attestation overhead vs concurrent quotes."""
+
+from repro.experiments import fig15
+
+
+def test_fig16_attestation(benchmark):
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    print()
+    quote = result["quote"]
+    for hw, rows in quote.items():
+        print(f"Figure 16 ({hw}):")
+        for n, quote_s, round_s in rows:
+            print(f"  concurrent={n:3d} quote={quote_s:.3f}s  quote+verify={round_s:.3f}s")
+    dcap = {n: t for n, t, _ in quote["sgx2"]}
+    epid = {n: t for n, t, _ in quote["sgx1"]}
+    assert dcap[1] < 0.1            # paper: <0.1s at 1 enclave
+    assert 0.8 < dcap[16] < 1.2     # paper: ~1s at 16
+    assert epid[1] > dcap[1]        # EPID pays the IAS round trip

@@ -1,0 +1,18 @@
+"""Figures 17/18: execution-time breakdown with vs without SGX."""
+
+import pytest
+
+from repro.experiments import fig17
+
+
+def test_fig17_18_breakdown(benchmark):
+    result = benchmark.pedantic(fig17.run, rounds=1, iterations=1)
+    print()
+    print(fig17.format_report(result))
+    for label, shared_sgx, shared_plain, overhead in result["rows"]:
+        # The stages shared with the plain path barely differ (64GB EPC).
+        assert shared_sgx == pytest.approx(shared_plain, rel=0.05), label
+        # The TEE overhead is dominated by enclave init + attestation.
+        details = result["details"][label]["sgx"]
+        trust = details.get("enclave_init", 0) + details.get("key_retrieval", 0)
+        assert trust / overhead > 0.8, label

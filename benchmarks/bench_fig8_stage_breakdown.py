@@ -1,0 +1,16 @@
+"""Figure 8: latency ratio of serving stages for cold invocations."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_stage_breakdown(benchmark):
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    print()
+    print(fig8.format_report(result))
+    # The paper's headline: enclave init + key fetch dominate TVM colds.
+    for label, details in result["details"].items():
+        if label.startswith("TVM"):
+            fractions = details["fractions"]
+            assert fractions.get("enclave_init", 0) + fractions.get(
+                "key_retrieval", 0
+            ) > 0.6, label

@@ -1,0 +1,12 @@
+"""Figure 9: execution time under cold/warm/hot vs untrusted paths."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_invocation_paths(benchmark):
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print()
+    print(fig9.format_report(result))
+    mbnet = result["details"]["TVM-MBNET"]
+    assert 15 < mbnet["cold"] / mbnet["hot"] < 27     # paper: ~21x
+    assert 8 < mbnet["cold"] / mbnet["warm"] < 14     # paper: ~11x

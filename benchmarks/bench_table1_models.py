@@ -1,0 +1,10 @@
+"""Table I: evaluation models and their runtime buffer sizes."""
+
+from repro.experiments import table1
+
+
+def test_table1_models(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print()
+    print(table1.format_report(result))
+    assert len(result["paper_rows"]) == 3

@@ -1,0 +1,15 @@
+"""Table II: overhead of stronger isolation on hot invocations."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_isolation(benchmark):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    print()
+    print(table2.format_report(result))
+    for label, without, with_iso, slowdown, p_without, p_with in result["rows"]:
+        assert slowdown > 1.2, label
+        # Within 35% of the paper's measured slowdown factor per model.
+        assert slowdown == pytest.approx(p_with / p_without, rel=0.35), label

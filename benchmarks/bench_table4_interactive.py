@@ -1,0 +1,28 @@
+"""Table IV: interactive-session latency per model per strategy."""
+
+from repro.experiments import table34
+
+
+def test_table4_interactive(benchmark):
+    result = benchmark.pedantic(
+        table34.run, kwargs={"duration_s": 480.0}, rounds=1, iterations=1
+    )
+    print()
+    print(table34.format_report(result))
+    one = result["One-to-one"]["sessions"]
+    packer = result["FnPacker"]["sessions"]
+    allinone = result["All-in-one"]["sessions"]
+    # Session 1: One-to-one pays a cold start for each of m2, m3, m4 ...
+    for model in ("m2", "m3", "m4"):
+        assert one[(1, model)] > 3.0, model
+    # ... FnPacker cold-starts only the first infrequent model.
+    assert packer[(1, "m2")] > 3.0
+    assert packer[(1, "m3")] < 3.0
+    assert packer[(1, "m4")] < 3.0
+    # All-in-one avoids colds (warm switches) but pays them everywhere.
+    for model in ("m2", "m3", "m4"):
+        assert allinone[(1, model)] < one[(1, model)], model
+    # Session 2 reuses session-1 sandboxes: no cold starts anywhere.
+    for sessions in (one, packer, allinone):
+        for model in ("m0", "m1", "m2", "m3", "m4"):
+            assert sessions[(2, model)] < 3.0, model

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation through :mod:`repro.experiments` and prints the paper-style
+rows.  ``pytest benchmarks/ --benchmark-only`` runs them all; add ``-s``
+to see the rendered tables inline.
+"""
+
+collect_ignore_glob: list = []

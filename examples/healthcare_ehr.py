@@ -1,0 +1,100 @@
+"""The paper's motivating scenario (Figure 1): hospital EHR models.
+
+A hospital trains a disease-prediction model on sensitive electronic
+health records and serves it from an untrusted cloud.  This example
+exercises the access-control story end to end:
+
+- two patients and a doctor use the model with *separate* request keys;
+- the cloud provider (who sees storage and all traffic) learns nothing;
+- an unauthorised user is refused keys by KeyService;
+- a modified (rogue) runtime build has a different enclave identity and
+  cannot obtain the model key;
+- the hospital revokes a patient's access, which takes effect for every
+  newly attested enclave.
+
+Run with:  python examples/healthcare_ehr.py
+"""
+
+import numpy as np
+
+from repro import SeSeMIEnvironment
+from repro.core.semirt import IsolationSettings
+from repro.errors import AccessDenied
+from repro.mlrt import build_densenet
+
+
+def patient_record(seed: int, shape) -> np.ndarray:
+    """A synthetic 'imaging study' standing in for a real EHR record."""
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+def main() -> None:
+    env = SeSeMIEnvironment()
+    hospital = env.connect_owner("hospital")
+
+    # The hospital deploys its diagnostic model, encrypted.
+    model = build_densenet()
+    semirt = env.launch_semirt("tvm")
+    hospital.deploy_model(model, "diagnosis-v1", env.storage)
+    hospital.add_model_key("diagnosis-v1")
+    print("hospital deployed encrypted model 'diagnosis-v1'")
+
+    # Three authorised principals, each with their own request key.
+    principals = {
+        name: env.connect_user(name) for name in ("patient-ana", "patient-bo", "dr-lee")
+    }
+    for name, principal in principals.items():
+        hospital.grant_access("diagnosis-v1", semirt.measurement, principal.principal_id)
+        principal.add_request_key("diagnosis-v1", semirt.measurement)
+        print(f"  granted {name} access (request key released for E_S only)")
+
+    # Each principal runs inference on their own confidential record.
+    for seed, (name, principal) in enumerate(principals.items()):
+        record = patient_record(seed, model.input_spec.shape)
+        scores = env.infer(principal, semirt, "diagnosis-v1", record)
+        print(f"{name}: diagnosis scores {np.round(scores[:3], 3)}...")
+
+    # --- threat 1: an unauthorised user ---
+    mallory = env.connect_user("mallory")
+    mallory.add_request_key("diagnosis-v1", semirt.measurement)
+    record = patient_record(99, model.input_spec.shape)
+    try:
+        env.infer(mallory, semirt, "diagnosis-v1", record)
+    except AccessDenied as exc:
+        print(f"mallory denied: {exc}")
+
+    # --- threat 2: a rogue runtime build (different enclave identity) ---
+    rogue = env.launch_semirt(
+        "tvm",
+        node_id="rogue-node",
+        isolation=IsolationSettings(key_cache=False),  # different build!
+    )
+    assert rogue.measurement != semirt.measurement
+    enc = principals["patient-ana"].encrypt_request(
+        "diagnosis-v1", semirt.measurement, record
+    )
+    try:
+        rogue.infer(enc, principals["patient-ana"].principal_id, "diagnosis-v1")
+    except AccessDenied as exc:
+        print(f"rogue enclave build denied: {exc}")
+
+    # --- threat 3: the cloud inspects storage and traffic ---
+    artifact = env.storage.get("models/diagnosis-v1")
+    assert model.serialize() not in artifact
+    assert record.tobytes() not in enc
+    print("cloud-visible artifact and request are ciphertext only")
+
+    # --- revocation ---
+    hospital.revoke_access(
+        "diagnosis-v1", semirt.measurement, principals["patient-bo"].principal_id
+    )
+    fresh = env.launch_semirt("tvm", node_id="scale-out-node")
+    principals["patient-bo"].add_request_key("diagnosis-v1", fresh.measurement)
+    try:
+        env.infer(principals["patient-bo"], fresh, "diagnosis-v1", record)
+    except AccessDenied:
+        print("patient-bo's access revoked: new enclaves refuse to serve them")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: one encrypted inference, end to end.
+
+Walks the three workflow stages of the paper (Section III) with real
+cryptography on a small runnable MobileNet:
+
+1. key setup      -- owner and user attest KeyService and register;
+2. deployment     -- the owner encrypts + uploads the model, authorises
+                     the user for one specific SeMIRT enclave identity;
+3. request serving -- the user's encrypted request flows through the
+                     SeMIRT enclave, which fetches keys over mutual
+                     RA-TLS, decrypts, executes, and encrypts the result.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SeSeMIEnvironment
+from repro.core.stages import InvocationKind
+from repro.mlrt import build_mobilenet
+
+
+def main() -> None:
+    # --- the cluster: attestation service, storage, KeyService enclave ---
+    env = SeSeMIEnvironment()
+    print(f"KeyService enclave identity E_K = {env.keyservice.measurement}")
+
+    # --- stage 1: key setup ---
+    owner = env.connect_owner("model-owner")
+    user = env.connect_user("model-user")
+    print(f"owner registered as {owner.principal_id[:16]}...")
+    print(f"user registered as  {user.principal_id[:16]}...")
+
+    # --- stage 2: service deployment ---
+    model = build_mobilenet()
+    semirt = env.launch_semirt("tvm")
+    print(f"SeMIRT enclave identity E_S = {semirt.measurement}")
+    # The owner can derive E_S independently before trusting it:
+    assert env.expected_semirt("tvm") == semirt.measurement
+
+    env.authorize(owner, user, model, "quickstart-model", semirt.measurement)
+    artifact = env.storage.get("models/quickstart-model")
+    print(f"uploaded encrypted artifact: {len(artifact)} bytes (ciphertext)")
+
+    # --- stage 3: request serving ---
+    x = np.random.default_rng(0).standard_normal(model.input_spec.shape)
+    x = x.astype(np.float32)
+    prediction = env.infer(user, semirt, "quickstart-model", x)
+    print(f"prediction (first invocation, {semirt.code.last_plan.kind.value} path):")
+    print(f"  {np.round(prediction, 4)}")
+
+    prediction2 = env.infer(user, semirt, "quickstart-model", x)
+    assert semirt.code.last_plan.kind == InvocationKind.HOT
+    print("second invocation took the HOT path (keys + model + runtime cached)")
+    assert np.allclose(prediction, prediction2)
+
+    # Cross-check against a plaintext run of the same model.
+    reference = model.run_reference(x).ravel()
+    assert np.allclose(prediction, reference, atol=1e-5)
+    print("result matches the plaintext reference -- confidential inference works")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig9             # print one experiment's table
+    python -m repro run table2 fig10     # several at once
+    python -m repro report [PATH]        # regenerate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig15,
+    fig17,
+    table1,
+    table2,
+    table34,
+)
+
+#: experiment name -> (description, runner returning the rendered report)
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "table1": (
+        "Table I: evaluation models and buffer sizes",
+        lambda: table1.format_report(table1.run()),
+    ),
+    "fig8": (
+        "Figure 8: cold-invocation stage breakdown",
+        lambda: fig8.format_report(fig8.run()),
+    ),
+    "fig9": (
+        "Figure 9: cold/warm/hot vs untrusted paths",
+        lambda: fig9.format_report(fig9.run()),
+    ),
+    "fig10": (
+        "Figure 10: enclave memory saving vs concurrency",
+        lambda: fig10.format_report(fig10.run()),
+    ),
+    "fig11": (
+        "Figure 11: latency vs concurrency (CPU / EPC bound)",
+        lambda: fig11.format_report(fig11.run()),
+    ),
+    "fig12": (
+        "Figure 12: single-node rate sweeps (quick grid)",
+        lambda: fig12.format_report(fig12.run(quick=True)),
+    ),
+    "fig13": (
+        "Figures 13/14: multi-node MMPP latency and GB-s cost",
+        lambda: fig13.format_report(fig13.run(duration_s=240.0)),
+    ),
+    "table2": (
+        "Table II: strong-isolation overhead",
+        lambda: table2.format_report(table2.run()),
+    ),
+    "table34": (
+        "Tables III/IV: FnPacker vs baselines",
+        lambda: table34.format_report(table34.run()),
+    ),
+    "fig15": (
+        "Figures 15/16: enclave launch + attestation overhead",
+        lambda: fig15.format_report(fig15.run()),
+    ),
+    "fig17": (
+        "Figures 17/18: breakdown with vs without SGX",
+        lambda: fig17.format_report(fig17.run()),
+    ),
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_run(names) -> int:
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("run `python -m repro list` to see what exists", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"=== {name}: {description} ===")
+        started = time.time()
+        print(runner())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+def _cmd_report(path: str) -> int:
+    from repro.experiments.report import build_report
+
+    started = time.time()
+    with open(path, "w") as handle:
+        handle.write(build_report())
+    print(f"wrote {path} in {time.time() - started:.1f}s")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SeSeMI reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("names", nargs="+", help="experiment names")
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.names)
+    if args.command == "report":
+        return _cmd_report(args.path)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""SeSeMI core: KeyService, SeMIRT, FnPacker, clients, and their sim twins."""
+
+from repro.core.batching import BatchingSemirtActor, batching_semirt_factory
+from repro.core.client import KeyServiceConnection, OwnerClient, UserClient
+from repro.core.costs import CostModel
+from repro.core.deployment import SeSeMIEnvironment
+from repro.core.fnpacker import (
+    AllInOneRouter,
+    FnPackerRouter,
+    FnPool,
+    OneToOneRouter,
+    Router,
+)
+from repro.core.keyfleet import KeyServiceFleet
+from repro.core.keyservice import (
+    KEYSERVICE_CONFIG,
+    KeyServiceEnclaveCode,
+    KeyServiceHost,
+    expected_keyservice_measurement,
+)
+from repro.core.packer_service import FnPackerService, make_router
+from repro.core.semirt import (
+    IsolationSettings,
+    SemirtEnclaveCode,
+    SemirtHost,
+    default_semirt_config,
+    expected_semirt_measurement,
+)
+from repro.core.simbridge import (
+    IsoReuseSimActor,
+    NativeSimActor,
+    SemirtSimActor,
+    ServableModel,
+    UntrustedSimActor,
+    iso_reuse_factory,
+    native_factory,
+    semirt_factory,
+    servable_map,
+    untrusted_factory,
+)
+from repro.core.stages import (
+    InvocationKind,
+    InvocationPlan,
+    SemirtCacheState,
+    Stage,
+    plan_invocation,
+)
+
+__all__ = [
+    "KEYSERVICE_CONFIG",
+    "AllInOneRouter",
+    "BatchingSemirtActor",
+    "CostModel",
+    "FnPackerRouter",
+    "FnPackerService",
+    "FnPool",
+    "InvocationKind",
+    "InvocationPlan",
+    "IsoReuseSimActor",
+    "IsolationSettings",
+    "KeyServiceConnection",
+    "KeyServiceEnclaveCode",
+    "KeyServiceFleet",
+    "KeyServiceHost",
+    "NativeSimActor",
+    "OneToOneRouter",
+    "OwnerClient",
+    "Router",
+    "SeSeMIEnvironment",
+    "SemirtCacheState",
+    "SemirtEnclaveCode",
+    "SemirtHost",
+    "SemirtSimActor",
+    "ServableModel",
+    "Stage",
+    "UntrustedSimActor",
+    "UserClient",
+    "batching_semirt_factory",
+    "default_semirt_config",
+    "expected_keyservice_measurement",
+    "expected_semirt_measurement",
+    "iso_reuse_factory",
+    "make_router",
+    "native_factory",
+    "plan_invocation",
+    "semirt_factory",
+    "servable_map",
+    "untrusted_factory",
+]

@@ -1,0 +1,167 @@
+"""Tamper-evident audit log for KeyService (extension).
+
+Delegated-computation systems in the paper's related work (e.g. Data
+Station) emphasise *auditability*: the owner should be able to see, after
+the fact, exactly which principals and enclaves were given access to
+what.  This module adds a hash-chained audit log inside the KeyService
+enclave:
+
+- every sensitive operation appends an entry whose hash covers the
+  previous entry's hash (a classic hash chain), so the untrusted host
+  can store the log but cannot rewrite history undetected;
+- entries record *what happened*, never key material;
+- owners fetch and verify the chain through their secure channel.
+
+Attach it with :func:`attach_audit_log`, which wraps a
+``KeyServiceEnclaveCode`` instance's dispatcher.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List
+
+from repro.crypto.hashes import sha256
+from repro.errors import SeSeMIError
+
+GENESIS = "0" * 64
+
+#: operations worth auditing (registration is public, provisioning is key)
+AUDITED_OPS = frozenset(
+    {"add_model_key", "grant_access", "revoke_access", "add_req_key", "provision"}
+)
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One immutable audit record."""
+
+    index: int
+    op: str
+    actor: str            # principal id or enclave identity
+    subject: str          # model id (or other object of the operation)
+    outcome: str          # "ok" or the refusal reason class
+    prev_hash: str
+
+    def entry_hash(self) -> str:
+        """SHA-256 over this entry's canonical encoding (chains on prev_hash)."""
+        payload = json.dumps(
+            {
+                "index": self.index,
+                "op": self.op,
+                "actor": self.actor,
+                "subject": self.subject,
+                "outcome": self.outcome,
+                "prev": self.prev_hash,
+            },
+            sort_keys=True,
+        ).encode()
+        return sha256(payload).hex()
+
+    def to_wire(self) -> dict:
+        """Wire-friendly dict form of the entry."""
+        return {
+            "index": self.index,
+            "op": self.op,
+            "actor": self.actor,
+            "subject": self.subject,
+            "outcome": self.outcome,
+            "prev_hash": self.prev_hash,
+        }
+
+
+class AuditLog:
+    """An append-only hash chain of :class:`AuditEntry` records."""
+
+    def __init__(self) -> None:
+        self._entries: List[AuditEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def head_hash(self) -> str:
+        return self._entries[-1].entry_hash() if self._entries else GENESIS
+
+    def append(self, op: str, actor: str, subject: str, outcome: str) -> AuditEntry:
+        """Append one entry, chaining it onto the current head."""
+        entry = AuditEntry(
+            index=len(self._entries),
+            op=op,
+            actor=actor,
+            subject=subject,
+            outcome=outcome,
+            prev_hash=self.head_hash,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> List[AuditEntry]:
+        """A snapshot copy of all entries, oldest first."""
+        return list(self._entries)
+
+    @staticmethod
+    def verify_chain(entries: List[AuditEntry]) -> bool:
+        """Check the hash chain of an exported log copy."""
+        expected_prev = GENESIS
+        for index, entry in enumerate(entries):
+            if entry.index != index or entry.prev_hash != expected_prev:
+                return False
+            expected_prev = entry.entry_hash()
+        return True
+
+
+def attach_audit_log(keyservice_code) -> AuditLog:
+    """Wrap a KeyService enclave code object with audit recording.
+
+    Returns the :class:`AuditLog` (which lives inside the enclave's
+    trust boundary alongside the key stores).  Also registers an
+    ``audit`` wire operation so connected owners can fetch the entries.
+    """
+    if getattr(keyservice_code, "_audit_log", None) is not None:
+        raise SeSeMIError("an audit log is already attached")
+    log = AuditLog()
+    keyservice_code._audit_log = log
+    original_dispatch = keyservice_code._dispatch
+
+    def dispatch_with_audit(channel_id: int, message: dict) -> dict:
+        op = message.get("op")
+        if op == "audit":
+            return {
+                "ok": True,
+                "entries": [e.to_wire() for e in log.entries()],
+                "head": log.head_hash,
+            }
+        reply = original_dispatch(channel_id, message)
+        if op in AUDITED_OPS:
+            actor = str(message.get("oid") or message.get("uid") or "?")
+            if op == "provision":
+                report = keyservice_code._channel_peer.get(channel_id)
+                actor = report.mrenclave.value if report else "unattested"
+            log.append(
+                op=op,
+                actor=actor,
+                subject=str(message.get("model_id", "?")),
+                outcome="ok" if reply.get("ok") else "denied",
+            )
+        return reply
+
+    keyservice_code._dispatch = dispatch_with_audit
+    return log
+
+
+def fetch_audit_entries(connection) -> List[AuditEntry]:
+    """Owner-side helper: pull and reconstruct the audit entries."""
+    reply = connection.call_checked({"op": "audit"})
+    return [
+        AuditEntry(
+            index=e["index"],
+            op=e["op"],
+            actor=e["actor"],
+            subject=e["subject"],
+            outcome=e["outcome"],
+            prev_hash=e["prev_hash"],
+        )
+        for e in reply["entries"]
+    ]

@@ -1,0 +1,168 @@
+"""Adaptive request batching (extension; future work in the paper's line).
+
+The serverless-inference systems the paper compares against (MArk,
+BATCH) amortise per-request framework overhead by executing several
+requests as one batched inference.  SeSeMI can do the same *within its
+security rules*: requests are only batched when they take the hot path
+for the same ``<uid, M_oid>`` pair, so a batch never mixes users or
+models inside the enclave.
+
+:class:`BatchingSemirtActor` extends the SeMIRT simulation actor with a
+small accumulation window: the first hot request of a batch becomes the
+*leader*, waits ``batch_window_s`` for followers, and executes the whole
+batch on one core with sub-linear cost
+``exec * (alpha + (1 - alpha) * n)``; followers ride along.  Cold and
+warm requests fall back to the normal path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.costs import CostModel
+from repro.core.simbridge import SemirtSimActor, ServableModel
+from repro.core.stages import InvocationKind, Stage, plan_invocation
+from repro.errors import ConfigError
+from repro.serverless.action import Request
+from repro.serverless.container import ContainerContext
+
+
+@dataclass
+class _Batch:
+    """One in-flight batch: the leader plus any followers that joined."""
+
+    model_id: str
+    user_id: str
+    size: int = 1
+    closed: bool = False
+    done_event: Optional[object] = None  # fires with per-request exec seconds
+
+
+class BatchingSemirtActor(SemirtSimActor):
+    """SeMIRT with hot-path request batching.
+
+    Parameters
+    ----------
+    batch_window_s:
+        How long the leader waits for followers before executing.
+    max_batch:
+        Upper bound on requests per batch (bounded by TCS count too --
+        each batched request still occupies its own TCS slot).
+    batch_alpha:
+        Fixed fraction of the execution cost (the non-amortisable part):
+        a batch of *n* costs ``exec * (alpha + (1 - alpha) * n)``.
+        ``alpha=0.6`` means ~40% of per-request compute amortises away
+        at large batch sizes.
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, ServableModel],
+        cost: CostModel,
+        tcs_count: int = 8,
+        batch_window_s: float = 0.05,
+        max_batch: int = 8,
+        batch_alpha: float = 0.6,
+    ) -> None:
+        super().__init__(models, cost, tcs_count=tcs_count)
+        if batch_window_s < 0:
+            raise ConfigError("batch window must be non-negative")
+        if not 0.0 < batch_alpha <= 1.0:
+            raise ConfigError("batch_alpha must be in (0, 1]")
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        self.batch_window_s = batch_window_s
+        self.max_batch = min(max_batch, tcs_count)
+        self.batch_alpha = batch_alpha
+        self._open_batch: Optional[_Batch] = None
+        self.batches_executed = 0
+        self.batched_requests = 0
+
+    def batched_exec_s(self, servable: ServableModel, size: int,
+                       epc_slowdown: float = 1.0) -> float:
+        """Execution time of one batch of ``size`` requests."""
+        single = self.cost.model_exec_s(
+            servable.profile, servable.framework, epc_slowdown
+        )
+        return single * (self.batch_alpha + (1.0 - self.batch_alpha) * size)
+
+    def handle(self, ctx: ContainerContext, request: Request):
+        """Serve one request, riding or leading a hot-path batch when possible."""
+        plan = plan_invocation(
+            self.state, request.model_id, request.user_id,
+            key_cache_enabled=self.key_cache, reuse_runtime=self.reuse_runtime,
+        )
+        # Only hot-path requests are batchable; anything that must touch
+        # keys, the model, or the runtime takes the ordinary path.
+        if plan.kind != InvocationKind.HOT:
+            result = yield from super().handle(ctx, request)
+            return result
+        servable = self._servable(request.model_id)
+        stages: Dict[str, float] = {}
+        stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
+            ctx, self.cost.request_decrypt_s
+        )
+        batch = self._open_batch
+        joinable = (
+            batch is not None
+            and not batch.closed
+            and batch.model_id == request.model_id
+            and batch.user_id == request.user_id
+            and batch.size < self.max_batch
+        )
+        if joinable:
+            batch.size += 1
+            self.batched_requests += 1
+            per_request = yield batch.done_event
+            stages[Stage.MODEL_INFERENCE.value] = per_request
+        else:
+            batch = _Batch(
+                model_id=request.model_id,
+                user_id=request.user_id,
+                done_event=ctx.sim.event(),
+            )
+            self._open_batch = batch
+            self.batched_requests += 1
+            if self.batch_window_s > 0 and self.max_batch > 1:
+                yield ctx.sim.timeout(self.batch_window_s)
+            batch.closed = True
+            if self._open_batch is batch:
+                self._open_batch = None
+            start = ctx.sim.now
+            claim = ctx.node.cores.request()
+            yield claim
+            try:
+                slowdown = ctx.node.sgx.epc.access_slowdown()
+                yield ctx.sim.timeout(
+                    self.batched_exec_s(servable, batch.size, slowdown)
+                )
+            finally:
+                ctx.node.cores.release(claim)
+            self.batches_executed += 1
+            elapsed = ctx.sim.now - start
+            stages[Stage.MODEL_INFERENCE.value] = elapsed
+            batch.done_event.succeed(elapsed)
+        stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
+            ctx, self.cost.result_encrypt_s
+        )
+        self.state.note_served(request.model_id, request.user_id)
+        return (
+            {"model": request.model_id, "batched": True},
+            InvocationKind.HOT.value,
+            stages,
+        )
+
+
+def batching_semirt_factory(
+    models: Dict[str, ServableModel],
+    cost: CostModel,
+    tcs_count: int = 8,
+    batch_window_s: float = 0.05,
+    max_batch: int = 8,
+    batch_alpha: float = 0.6,
+):
+    """Factory for deploying :class:`BatchingSemirtActor` containers."""
+    return lambda: BatchingSemirtActor(
+        models, cost, tcs_count, batch_window_s, max_batch, batch_alpha
+    )

@@ -1,0 +1,240 @@
+"""Model-owner and model-user clients.
+
+Clients hold long-term identity keys, attest KeyService before trusting
+it (checking ``E_K`` they derived independently), and perform the
+workflow of Section III: register, upload encrypted models, grant
+access, release request keys, and finally encrypt requests / decrypt
+responses end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import wire
+from repro.core.semirt import REQUEST_AAD, RESPONSE_AAD
+from repro.crypto.gcm import AESGCM
+from repro.crypto.keys import SymmetricKey
+from repro.errors import AccessDenied, InvocationError, SeSeMIError
+from repro.mlrt.model import Model
+from repro.sgx.attestation import AttestationService, QuotePolicy
+from repro.sgx.measurement import EnclaveMeasurement
+from repro.sgx.ratls import HandshakeOffer, RatlsPeer, complete_handshake
+
+
+class KeyServiceConnection:
+    """An RA-TLS session from a (non-enclave) client to KeyService.
+
+    The client verifies the KeyService quote against the expected ``E_K``
+    before any secret crosses the channel.
+    """
+
+    def __init__(
+        self,
+        host,
+        attestation: AttestationService,
+        expected_measurement: EnclaveMeasurement,
+        name: str = "client",
+    ) -> None:
+        peer = RatlsPeer(name)
+        offer = peer.offer()
+        reply = host.handshake(offer.to_wire())
+        server_offer = HandshakeOffer.from_wire(reply["server_offer"])
+        self._channel = complete_handshake(
+            peer,
+            offer,
+            server_offer,
+            verifier=attestation,
+            client_requires=QuotePolicy(expected_mrenclave=expected_measurement),
+        )
+        self._channel_id = reply["channel_id"]
+        self._host = host
+
+    def call(self, message: dict) -> dict:
+        """One encrypted request/response round trip."""
+        ciphertext = self._channel.send(wire.encode(message))
+        reply_cipher = self._host.request(self._channel_id, ciphertext)
+        return wire.decode(self._channel.recv(reply_cipher))
+
+    def call_checked(self, message: dict) -> dict:
+        """Like :meth:`call` but raises :class:`AccessDenied` on refusal."""
+        reply = self.call(message)
+        if not reply.get("ok"):
+            raise AccessDenied(reply.get("error", "operation refused"))
+        return reply
+
+
+class _Principal:
+    """Shared owner/user behaviour: identity key + registration."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.identity_key = SymmetricKey.generate()
+        self._connection: Optional[KeyServiceConnection] = None
+        self.principal_id: Optional[str] = None
+
+    @property
+    def connection(self) -> KeyServiceConnection:
+        if self._connection is None:
+            raise SeSeMIError(f"{self.name} is not connected to KeyService")
+        return self._connection
+
+    def connect(
+        self,
+        keyservice_host,
+        attestation: AttestationService,
+        expected_measurement: EnclaveMeasurement,
+    ) -> None:
+        """Attest KeyService and open a secure channel."""
+        self._connection = KeyServiceConnection(
+            keyservice_host, attestation, expected_measurement, name=self.name
+        )
+
+    def register(self) -> str:
+        """USER_REGISTRATION: send the identity key, learn our id."""
+        reply = self.connection.call_checked(
+            {"op": "register", "identity_key": bytes(self.identity_key)}
+        )
+        expected = self.identity_key.fingerprint
+        if reply["id"] != expected:
+            raise SeSeMIError("KeyService returned an inconsistent identity")
+        self.principal_id = reply["id"]
+        return self.principal_id
+
+    def _sealed(self, op: str, payload: dict) -> bytes:
+        """Seal an operation payload under our long-term key (AAD = op)."""
+        return AESGCM(bytes(self.identity_key)).seal(
+            wire.encode(payload), aad=op.encode()
+        )
+
+
+class OwnerClient(_Principal):
+    """The model owner: trains, encrypts, deploys, and grants access."""
+
+    def __init__(self, name: str = "owner") -> None:
+        super().__init__(name)
+        self._model_keys: Dict[str, SymmetricKey] = {}
+
+    def model_key(self, model_id: str) -> SymmetricKey:
+        """The model key generated for ``model_id`` (raises if not deployed)."""
+        try:
+            return self._model_keys[model_id]
+        except KeyError:
+            raise SeSeMIError(f"no model key generated for {model_id!r}") from None
+
+    def encrypt_model(self, model: Model, model_id: str) -> bytes:
+        """Generate a fresh model key and encrypt the serialised model."""
+        key = SymmetricKey.generate()
+        self._model_keys[model_id] = key
+        return AESGCM(bytes(key)).seal(model.serialize(), aad=model_id.encode())
+
+    def deploy_model(self, model: Model, model_id: str, storage) -> None:
+        """Encrypt and upload the model artifact (workflow step 2)."""
+        storage.put(f"models/{model_id}", self.encrypt_model(model, model_id))
+
+    def add_model_key(self, model_id: str) -> None:
+        """ADD_MODEL_KEY: hand the model key to KeyService, authenticated."""
+        blob = self._sealed(
+            "add_model_key",
+            {"model_id": model_id, "model_key": bytes(self.model_key(model_id))},
+        )
+        self.connection.call_checked(
+            {"op": "add_model_key", "oid": self.principal_id, "blob": blob}
+        )
+
+    def rotate_model_key(self, model_id: str, model: Model, storage) -> None:
+        """Re-key a deployed model (extension: periodic key rotation).
+
+        Generates a fresh model key, re-encrypts and re-uploads the
+        artifact, and replaces the key in KeyService.  Enclaves holding
+        the *old* key cannot decrypt the new artifact: their next model
+        load fails authentication, forcing a fresh key fetch -- stale
+        keys age out without any push mechanism.
+        """
+        self.deploy_model(model, model_id, storage)  # fresh key + upload
+        self.add_model_key(model_id)
+
+    def grant_access(
+        self, model_id: str, enclave: EnclaveMeasurement, uid: str
+    ) -> None:
+        """GRANT_ACCESS: allow enclave ``E_S`` to serve ``model_id`` to ``uid``."""
+        blob = self._sealed(
+            "grant_access",
+            {"model_id": model_id, "enclave_id": enclave.value, "uid": uid},
+        )
+        self.connection.call_checked(
+            {"op": "grant_access", "oid": self.principal_id, "blob": blob}
+        )
+
+    def revoke_access(
+        self, model_id: str, enclave: EnclaveMeasurement, uid: str
+    ) -> None:
+        """REVOKE_ACCESS (extension): withdraw a previous grant."""
+        blob = self._sealed(
+            "revoke_access",
+            {"model_id": model_id, "enclave_id": enclave.value, "uid": uid},
+        )
+        self.connection.call_checked(
+            {"op": "revoke_access", "oid": self.principal_id, "blob": blob}
+        )
+
+
+class UserClient(_Principal):
+    """The model user: releases request keys and runs encrypted inference."""
+
+    def __init__(self, name: str = "user") -> None:
+        super().__init__(name)
+        self._request_keys: Dict[Tuple[str, str], SymmetricKey] = {}
+
+    def request_key(self, model_id: str, enclave: EnclaveMeasurement) -> SymmetricKey:
+        """The request key for ``(model, enclave)``; generated on first use."""
+        slot = (model_id, enclave.value)
+        key = self._request_keys.get(slot)
+        if key is None:
+            key = SymmetricKey.generate()
+            self._request_keys[slot] = key
+        return key
+
+    def add_request_key(self, model_id: str, enclave: EnclaveMeasurement) -> None:
+        """ADD_REQ_KEY: release the request key for one enclave identity."""
+        key = self.request_key(model_id, enclave)
+        blob = self._sealed(
+            "add_req_key",
+            {
+                "model_id": model_id,
+                "enclave_id": enclave.value,
+                "request_key": bytes(key),
+            },
+        )
+        self.connection.call_checked(
+            {"op": "add_req_key", "uid": self.principal_id, "blob": blob}
+        )
+
+    def encrypt_request(
+        self, model_id: str, enclave: EnclaveMeasurement, x: np.ndarray
+    ) -> bytes:
+        """Encrypt an input tensor for ``model_id`` under the request key."""
+        key = self.request_key(model_id, enclave)
+        payload = wire.encode({"input": x.astype(np.float32).tobytes()})
+        return AESGCM(bytes(key)).seal(
+            payload, aad=REQUEST_AAD + model_id.encode()
+        )
+
+    def decrypt_response(
+        self, model_id: str, enclave: EnclaveMeasurement, enc_response: bytes
+    ) -> np.ndarray:
+        """Authenticate and decrypt the inference result."""
+        key = self.request_key(model_id, enclave)
+        try:
+            payload = wire.decode(
+                AESGCM(bytes(key)).open(
+                    enc_response, aad=RESPONSE_AAD + model_id.encode()
+                )
+            )
+        except Exception as exc:
+            raise InvocationError(
+                "response does not authenticate under the request key"
+            ) from exc
+        return np.frombuffer(payload["output"], dtype=np.float32)

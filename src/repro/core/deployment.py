@@ -1,0 +1,150 @@
+"""End-to-end functional wiring of a SeSeMI deployment.
+
+:class:`SeSeMIEnvironment` assembles the whole system -- attestation
+service, SGX platforms, cloud storage, the KeyService enclave -- and
+walks the three workflow stages of Section III:
+
+1. *key setup*: owner/user attest KeyService, register, release keys;
+2. *service deployment*: the owner encrypts + uploads models and deploys
+   SeMIRT instances;
+3. *request serving*: users encrypt requests, SeMIRT enclaves fetch keys
+   via mutual attestation and execute inference.
+
+This is the object the examples and integration tests build on.  It is
+fully functional (real crypto, real models); the *performance* twin lives
+in :mod:`repro.core.simbridge`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.client import OwnerClient, UserClient
+from repro.core.keyservice import KEYSERVICE_CONFIG, KeyServiceHost
+from repro.core.semirt import (
+    IsolationSettings,
+    SemirtHost,
+    default_semirt_config,
+    expected_semirt_measurement,
+)
+from repro.errors import SeSeMIError
+from repro.mlrt.model import Model
+from repro.serverless.storage import BlobStore
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuildConfig
+from repro.sgx.measurement import EnclaveMeasurement
+from repro.sgx.platform import SGX2, HardwareProfile, SgxPlatform
+
+
+class SeSeMIEnvironment:
+    """A complete functional SeSeMI deployment on one logical cluster."""
+
+    def __init__(self, hardware: HardwareProfile = SGX2) -> None:
+        self.attestation = AttestationService()
+        self.keyservice_platform = SgxPlatform(
+            hardware, attestation_service=self.attestation,
+            platform_id="keyservice-node",
+        )
+        self.storage = BlobStore()
+        self.keyservice = KeyServiceHost(
+            self.keyservice_platform, self.attestation, KEYSERVICE_CONFIG
+        )
+        self.hardware = hardware
+        self._worker_platforms: Dict[str, SgxPlatform] = {}
+
+    # -- principals ------------------------------------------------------------
+
+    def connect_owner(self, name: str = "owner") -> OwnerClient:
+        """Create an owner, attest KeyService, and register."""
+        owner = OwnerClient(name)
+        owner.connect(self.keyservice, self.attestation, self.keyservice.measurement)
+        owner.register()
+        return owner
+
+    def connect_user(self, name: str = "user") -> UserClient:
+        """Create a user, attest KeyService, and register."""
+        user = UserClient(name)
+        user.connect(self.keyservice, self.attestation, self.keyservice.measurement)
+        user.register()
+        return user
+
+    # -- worker instances --------------------------------------------------------
+
+    def worker_platform(self, node_id: str = "worker-node") -> SgxPlatform:
+        """An SGX platform standing in for one serverless invoker node."""
+        platform = self._worker_platforms.get(node_id)
+        if platform is None:
+            platform = SgxPlatform(
+                self.hardware,
+                attestation_service=self.attestation,
+                platform_id=node_id,
+            )
+            self._worker_platforms[node_id] = platform
+        return platform
+
+    def expected_semirt(
+        self,
+        framework: str,
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> EnclaveMeasurement:
+        """The ``E_S`` owners/users must grant (derived, not queried)."""
+        return expected_semirt_measurement(
+            framework,
+            self.keyservice.measurement,
+            config or default_semirt_config(),
+            isolation,
+        )
+
+    def launch_semirt(
+        self,
+        framework: str,
+        node_id: str = "worker-node",
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> SemirtHost:
+        """Start a SeMIRT instance (what a cold sandbox start does)."""
+        return SemirtHost(
+            platform=self.worker_platform(node_id),
+            storage=self.storage,
+            keyservice_host=self.keyservice,
+            framework=framework,
+            attestation=self.attestation,
+            config=config or default_semirt_config(),
+            isolation=isolation,
+        )
+
+    # -- one-call convenience ------------------------------------------------------
+
+    def authorize(
+        self,
+        owner: OwnerClient,
+        user: UserClient,
+        model: Model,
+        model_id: str,
+        semirt_measurement: EnclaveMeasurement,
+    ) -> None:
+        """Full key-setup + deployment for one (model, user, enclave) triple."""
+        if user.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        owner.deploy_model(model, model_id, self.storage)
+        owner.add_model_key(model_id)
+        owner.grant_access(model_id, semirt_measurement, user.principal_id)
+        user.add_request_key(model_id, semirt_measurement)
+
+    @staticmethod
+    def infer(
+        user: UserClient,
+        semirt: SemirtHost,
+        model_id: str,
+        x: np.ndarray,
+    ) -> np.ndarray:
+        """Encrypt, invoke, decrypt -- the user-visible request path."""
+        if user.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        enclave = semirt.measurement
+        enc_request = user.encrypt_request(model_id, enclave, x)
+        enc_response = semirt.infer(enc_request, user.principal_id, model_id)
+        return user.decrypt_response(model_id, enclave, enc_response)

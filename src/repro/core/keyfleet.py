@@ -1,0 +1,66 @@
+"""Sharded KeyService deployment (the Section IV-D scaling note).
+
+"For added protection and performance, multiple KeyService can be
+deployed to isolate keys from different users, which require users to
+specify the address of the corresponding KeyService in their requests."
+
+A :class:`KeyServiceFleet` runs N independent KeyService enclaves (all
+built from the same code, hence sharing the identity ``E_K`` that
+clients derive) and assigns principals to shards by identity hash.
+Isolation is real: a shard only holds the keys of the principals mapped
+to it, so compromising the access lists of one shard says nothing about
+the others.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.keyservice import KEYSERVICE_CONFIG, KeyServiceHost
+from repro.errors import ConfigError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuildConfig
+from repro.sgx.platform import SGX2, HardwareProfile, SgxPlatform
+
+
+class KeyServiceFleet:
+    """N KeyService shards with hash-based principal placement."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        attestation: AttestationService,
+        hardware: HardwareProfile = SGX2,
+        config: EnclaveBuildConfig = KEYSERVICE_CONFIG,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError("a fleet needs at least one shard")
+        self.attestation = attestation
+        self.shards: List[KeyServiceHost] = []
+        for index in range(num_shards):
+            platform = SgxPlatform(
+                hardware,
+                attestation_service=attestation,
+                platform_id=f"keyservice-shard-{index}",
+            )
+            self.shards.append(KeyServiceHost(platform, attestation, config))
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @property
+    def measurement(self):
+        """The common enclave identity ``E_K`` (same code on every shard)."""
+        return self.shards[0].measurement
+
+    def shard_index_for(self, principal_id: str) -> int:
+        """Deterministic shard placement by identity hash."""
+        return int(principal_id[:8], 16) % len(self.shards)
+
+    def shard_for(self, principal_id: str) -> KeyServiceHost:
+        """The KeyService host a principal must register and fetch from."""
+        return self.shards[self.shard_index_for(principal_id)]
+
+    def identical_identities(self) -> bool:
+        """True when every shard attests to the same ``E_K``."""
+        return len({shard.measurement for shard in self.shards}) == 1

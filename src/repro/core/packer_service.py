@@ -1,0 +1,153 @@
+"""FnPackerService: deploy an FnPool and route requests through it.
+
+The paper's FnPacker is a standalone Go service the model owner deploys
+in front of the serverless proxy: it registers the pool's function
+endpoints with the platform, receives user requests, applies the
+scheduling policy, and forwards to OpenWhisk.  This module is that
+service for the simulated platform: given an :class:`FnPool` and a
+deployment strategy it creates the endpoints (SeMIRT actors able to
+serve every model of the pool), tracks executions, and exposes a single
+``invoke`` entry point.
+
+It also implements the owner-facing lifecycle: pools can be *resized*
+(endpoints added under load) and *retired* (endpoints drained), which is
+the operational surface a real deployment needs beyond the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.costs import CostModel
+from repro.core.fnpacker import (
+    AllInOneRouter,
+    FnPackerRouter,
+    FnPool,
+    OneToOneRouter,
+    Router,
+)
+from repro.core.simbridge import ServableModel, semirt_factory
+from repro.errors import ConfigError, RoutingError
+from repro.serverless.action import ActionSpec, Request, round_memory_budget
+from repro.serverless.controller import Controller
+from repro.sim.core import Event, Simulation
+
+STRATEGIES = ("fnpacker", "one-to-one", "all-in-one")
+
+
+def make_router(strategy: str, pool: FnPool, idle_interval_s: float = 10.0) -> Router:
+    """Build the router for a deployment strategy."""
+    if strategy == "fnpacker":
+        return FnPackerRouter(pool, idle_interval_s=idle_interval_s)
+    if strategy == "one-to-one":
+        return OneToOneRouter(pool)
+    if strategy == "all-in-one":
+        return AllInOneRouter(pool)
+    raise ConfigError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
+
+
+@dataclass
+class PoolStats:
+    """Execution statistics FnPacker keeps per model (Section IV-C)."""
+
+    dispatched: int = 0
+    completed: int = 0
+    last_invocation_at: float = float("-inf")
+    #: latency of the last execution of each kind (cold/warm/hot)
+    last_latency_by_kind: Dict[str, float] = field(default_factory=dict)
+
+
+class FnPackerService:
+    """The request-routing front end for one FnPool."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        controller: Controller,
+        pool: FnPool,
+        models: Dict[str, ServableModel],
+        cost: CostModel,
+        strategy: str = "fnpacker",
+        tcs_count: int = 1,
+        idle_interval_s: float = 10.0,
+    ) -> None:
+        missing = [m for m in pool.models if m not in models]
+        if missing:
+            raise ConfigError(f"pool references unknown models: {missing}")
+        self.sim = sim
+        self.controller = controller
+        self.pool = pool
+        self.models = models
+        self.cost = cost
+        self.tcs_count = tcs_count
+        self.strategy = strategy
+        self.router = make_router(strategy, pool, idle_interval_s)
+        self.stats: Dict[str, PoolStats] = {m: PoolStats() for m in pool.models}
+        self._deploy_endpoints()
+
+    # -- deployment -----------------------------------------------------------
+
+    def _budget_for(self, servable_ids: Tuple[str, ...]) -> int:
+        """Memory budget for an endpoint: sized for its largest model."""
+        ids = servable_ids or self.pool.models
+        largest = max(
+            self.models[m].enclave_bytes
+            + (self.tcs_count - 1) * self.models[m].buffer_bytes
+            for m in ids
+        )
+        if self.pool.memory_budget:
+            largest = max(largest, self.pool.memory_budget)
+        return round_memory_budget(largest)
+
+    def _deploy_endpoints(self) -> None:
+        for endpoint, servable_ids in self.router.endpoints():
+            subset_ids = servable_ids or self.pool.models
+            subset = {m: self.models[m] for m in subset_ids}
+            spec = ActionSpec(
+                name=endpoint,
+                image="semirt",
+                memory_budget=self._budget_for(tuple(subset_ids)),
+                concurrency=self.tcs_count,
+            )
+            self.controller.deploy(
+                spec, semirt_factory(subset, self.cost, tcs_count=self.tcs_count)
+            )
+
+    # -- the user-facing entry point ---------------------------------------------
+
+    def invoke(self, model_id: str, user_id: str, payload=None) -> Event:
+        """Route one (encrypted) request; returns the completion event."""
+        if model_id not in self.stats:
+            raise RoutingError(f"model {model_id!r} is not in pool {self.pool.name!r}")
+        endpoint = self.router.route(model_id, self.sim.now)
+        request = Request(model_id=model_id, user_id=user_id, payload=payload)
+        done = self.controller.invoke(endpoint, request)
+        self.router.on_dispatch(endpoint, model_id, self.sim.now)
+        stats = self.stats[model_id]
+        stats.dispatched += 1
+        stats.last_invocation_at = self.sim.now
+        self.sim.process(
+            self._observe(done, endpoint, model_id),
+            name=f"fnpacker:{request.request_id}",
+        )
+        return done
+
+    def _observe(self, done: Event, endpoint: str, model_id: str):
+        result = yield done
+        self.router.on_complete(endpoint, model_id, self.sim.now)
+        stats = self.stats[model_id]
+        stats.completed += 1
+        stats.last_latency_by_kind[result.kind] = result.latency
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return sum(s.dispatched - s.completed for s in self.stats.values())
+
+    def exclusive_endpoints(self) -> Dict[str, str]:
+        """``endpoint -> model`` for currently-exclusive endpoints."""
+        if isinstance(self.router, FnPackerRouter):
+            return self.router.exclusive_assignments()
+        return {}

@@ -1,0 +1,381 @@
+"""SeMIRT: the secure model-inference enclave runtime (Algorithm 2).
+
+The enclave exposes exactly the Figure 5 surface -- three ECALLs
+(``EC_MODEL_INF``, ``EC_GET_OUTPUT``, ``EC_CLEAR_EXEC_CTX``) and two
+OCALLs (``OC_LOAD_MODEL``, ``OC_FREE_LOADED``) plus the quote/network
+OCALLs every enclave needs.  Cached state drives the cold/warm/hot
+invocation paths:
+
+- the decrypted **model** lives in the shared enclave heap (one per
+  enclave, switched under a lock);
+- the last ``<uid, M_oid>`` **key pair** is cached (one pair only, so
+  requests of different users never co-execute, Section IV-B);
+- the **model runtime** is per-thread (thread-local storage, one per TCS).
+
+Execution-restriction settings -- sequential processing, key-cache off,
+runtime cleared per request, pinned model -- are *build settings*: they
+change the MRENCLAVE, so KeyService can distinguish a strong-isolation
+build from a throughput build (Section V).  The expected KeyService
+identity ``E_K`` is likewise compiled in (Appendix A).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.stages import InvocationPlan, SemirtCacheState, plan_invocation
+from repro.core import wire
+from repro.crypto.gcm import AESGCM
+from repro.errors import AccessDenied, EnclaveError, InvocationError
+from repro.mlrt.framework import get_framework
+from repro.mlrt.model import Model
+from repro.sgx.attestation import AttestationService, QuotePolicy
+from repro.sgx.enclave import Enclave, EnclaveBuildConfig, EnclaveCode, ecall
+from repro.sgx.measurement import EnclaveMeasurement, code_identity_of, measure
+from repro.sgx.platform import SgxPlatform
+from repro.sgx.ratls import HandshakeOffer, RatlsPeer, SecureChannel, complete_handshake
+
+REQUEST_AAD = b"sesemi-request"
+RESPONSE_AAD = b"sesemi-response"
+
+
+@dataclass(frozen=True)
+class IsolationSettings:
+    """Execution-restriction build options (Section V).
+
+    The default is the throughput build the main experiments use; the
+    strong-isolation build of Table II flips all of them.
+    """
+
+    sequential: bool = False       # single TCS, no concurrent requests
+    key_cache: bool = True         # cache the last <uid, M_oid> key pair
+    reuse_runtime: bool = True     # keep the model runtime across requests
+    clear_context: bool = False    # wipe per-request state after each reply
+    pinned_model: Optional[str] = None  # refuse any other model id
+
+    @classmethod
+    def strong(cls, pinned_model: Optional[str] = None) -> "IsolationSettings":
+        """The strong-isolation configuration measured in Table II."""
+        return cls(
+            sequential=True,
+            key_cache=False,
+            reuse_runtime=False,
+            clear_context=True,
+            pinned_model=pinned_model,
+        )
+
+    def as_mapping(self) -> dict:
+        """JSON-friendly form folded into the enclave measurement."""
+        return {
+            "sequential": self.sequential,
+            "key_cache": self.key_cache,
+            "reuse_runtime": self.reuse_runtime,
+            "clear_context": self.clear_context,
+            "pinned_model": self.pinned_model,
+        }
+
+
+def default_semirt_config(tcs_count: int = 1,
+                          memory_bytes: int = 64 * 1024 * 1024) -> EnclaveBuildConfig:
+    """A build config sized for small functional models."""
+    return EnclaveBuildConfig(memory_bytes=memory_bytes, tcs_count=tcs_count)
+
+
+def expected_semirt_measurement(
+    framework: str,
+    keyservice_measurement: EnclaveMeasurement,
+    config: EnclaveBuildConfig,
+    isolation: IsolationSettings = IsolationSettings(),
+) -> EnclaveMeasurement:
+    """Derive ``E_S`` independently from code + build settings.
+
+    Model owners and users compute this before granting access; the model
+    content is *not* part of the identity (Appendix B).
+    """
+    build_view = dict(config.as_mapping())
+    build_view["settings"] = _semirt_settings(
+        framework, keyservice_measurement, isolation
+    )
+    return measure(code_identity_of(SemirtEnclaveCode), build_view)
+
+
+def _semirt_settings(
+    framework: str,
+    keyservice_measurement: EnclaveMeasurement,
+    isolation: IsolationSettings,
+) -> dict:
+    return {
+        "runtime": "semirt",
+        "framework": framework,
+        "keyservice_mrenclave": keyservice_measurement.value,
+        "isolation": isolation.as_mapping(),
+    }
+
+
+class SemirtEnclaveCode(EnclaveCode):
+    """The trusted half of SeMIRT."""
+
+    def __init__(
+        self,
+        framework: str,
+        attestation: AttestationService,
+        keyservice_measurement: EnclaveMeasurement,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> None:
+        super().__init__()
+        self._framework = get_framework(framework)
+        self._framework_name = framework
+        self._attestation = attestation
+        self._expected_keyservice = keyservice_measurement
+        self._isolation = isolation
+        # global (heap) state shared by all TCS threads
+        self._model: Optional[Model] = None
+        self._model_id: Optional[str] = None
+        self._kc: Optional[Tuple[str, str, bytes, bytes]] = None  # (M_oid, uid, K_M, K_R)
+        self._ks_session: Optional[Tuple[int, SecureChannel]] = None
+        self._model_lock = threading.Lock()
+        # thread-local (TCS) state
+        self._tls = threading.local()
+        #: observability for tests/benchmarks: the last plan taken
+        self.last_plan: Optional[InvocationPlan] = None
+
+    def settings(self) -> dict:
+        """Build settings covered by MRENCLAVE (framework, E_K, isolation)."""
+        return _semirt_settings(
+            self._framework_name, self._expected_keyservice, self._isolation
+        )
+
+    # -- ECALLs (Figure 5) -----------------------------------------------------------
+
+    @ecall
+    def EC_MODEL_INF(self, enc_request: bytes, uid: str, model_id: str) -> None:
+        """Run inference on ``uid``'s encrypted input with ``model_id``.
+
+        Implements Algorithm 2: key lookup/fetch, model switch under the
+        lock, per-thread runtime init, decrypt-execute-encrypt.
+        """
+        isolation = self._isolation
+        if isolation.pinned_model is not None and model_id != isolation.pinned_model:
+            raise InvocationError(
+                f"this enclave build is pinned to model {isolation.pinned_model!r}"
+            )
+        self.last_plan = plan_invocation(
+            self._observable_state(),
+            model_id,
+            uid,
+            key_cache_enabled=isolation.key_cache,
+            reuse_runtime=isolation.reuse_runtime,
+        )
+        # lines 6-10: obtain keys (from the cache or from KeyService)
+        cached = self._kc
+        if (
+            isolation.key_cache
+            and cached is not None
+            and cached[0] == model_id
+            and cached[1] == uid
+        ):
+            model_key, request_key = cached[2], cached[3]
+        else:
+            model_key, request_key = self._fetch_keys(uid, model_id)
+            self._kc = (model_id, uid, model_key, request_key) if isolation.key_cache else None
+        # lines 11-13: switch the shared model if needed (under the lock)
+        with self._model_lock:
+            if self._model_id != model_id:
+                self._model = self._model_load(model_id, model_key)
+                self._model_id = model_id
+            model = self._model
+        # lines 14-15: per-thread runtime
+        runtime = getattr(self._tls, "runtime", None)
+        runtime_model = getattr(self._tls, "runtime_model", None)
+        if (
+            runtime is None
+            or runtime_model != model_id
+            or not isolation.reuse_runtime
+        ):
+            runtime = self._framework.create_runtime(model)
+            self._tls.runtime = runtime
+            self._tls.runtime_model = model_id
+        # lines 16-19: decrypt input, execute, encrypt output
+        request_cipher = AESGCM(request_key)
+        try:
+            payload = wire.decode(
+                request_cipher.open(enc_request, aad=REQUEST_AAD + model_id.encode())
+            )
+        except Exception as exc:
+            raise InvocationError(
+                "request does not authenticate under the user's request key"
+            ) from exc
+        x = np.frombuffer(payload["input"], dtype=np.float32).reshape(
+            model.input_spec.shape
+        )
+        runtime.execute(x)
+        result = runtime.prepare_output()
+        self._tls.output = request_cipher.seal(
+            wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
+        )
+        if isolation.clear_context:
+            runtime.clear()
+            self._tls.runtime = None
+            self._tls.runtime_model = None
+
+    @ecall
+    def EC_GET_OUTPUT(self) -> bytes:
+        """Copy the encrypted output to the untrusted caller."""
+        output = getattr(self._tls, "output", None)
+        if output is None:
+            raise EnclaveError("no output pending on this thread")
+        return output
+
+    @ecall
+    def EC_CLEAR_EXEC_CTX(self) -> None:
+        """Let untrusted code release the per-thread execution context."""
+        self._tls.output = None
+        if self._isolation.clear_context:
+            self._tls.runtime = None
+            self._tls.runtime_model = None
+
+    # -- internals (trusted) -------------------------------------------------------------
+
+    def _observable_state(self) -> SemirtCacheState:
+        """Current cache state in the shared planning representation."""
+        runtime_for = getattr(self._tls, "runtime_model", None)
+        key_cache = (self._kc[0], self._kc[1]) if self._kc else None
+        return SemirtCacheState(
+            enclave_ready=True,  # code running => enclave exists
+            loaded_model=self._model_id,
+            key_cache=key_cache,
+            runtime_for=runtime_for,
+        )
+
+    def _model_load(self, model_id: str, model_key: bytes) -> Model:
+        """MODEL_LOAD: pull ciphertext via OCALL, decrypt + deserialise inside."""
+        encrypted = self.ocall("OC_LOAD_MODEL", model_id)
+        try:
+            plaintext = AESGCM(model_key).open(encrypted, aad=model_id.encode())
+        except Exception as exc:
+            raise InvocationError(
+                f"model {model_id!r} failed authentication (tampered or wrong key)"
+            ) from exc
+        finally:
+            self.ocall("OC_FREE_LOADED", model_id)
+        return self._framework.load_model(plaintext)
+
+    def _ensure_keyservice_session(self) -> Tuple[int, SecureChannel]:
+        """Mutual RA-TLS with KeyService, reused across invocations."""
+        if self._ks_session is not None:
+            return self._ks_session
+        peer = RatlsPeer(
+            "semirt",
+            enclave=self.enclave,
+            quoter=lambda report: self.ocall("OC_GET_QUOTE", report),
+        )
+        offer = peer.offer()
+        reply = self.ocall("OC_KS_HANDSHAKE", offer.to_wire())
+        server_offer = HandshakeOffer.from_wire(reply["server_offer"])
+        channel = complete_handshake(
+            peer,
+            offer,
+            server_offer,
+            verifier=self._attestation,
+            client_requires=QuotePolicy(expected_mrenclave=self._expected_keyservice),
+        )
+        self._ks_session = (reply["channel_id"], channel)
+        return self._ks_session
+
+    def _fetch_keys(self, uid: str, model_id: str) -> Tuple[bytes, bytes]:
+        """KEY_PROVISIONING round trip over the attested channel.
+
+        If the cached session is stale -- KeyService restarted, so the
+        channel id or keys no longer match -- the session is dropped and
+        re-established once with a fresh mutual attestation.
+        """
+        try:
+            reply = self._provision_over_session(uid, model_id)
+        except (AccessDenied, InvocationError):
+            raise
+        except Exception:
+            # transport/crypto failure: stale session after a KeyService
+            # restart.  Re-attest and retry exactly once.
+            self._ks_session = None
+            reply = self._provision_over_session(uid, model_id)
+        if not reply.get("ok"):
+            raise AccessDenied(reply.get("error", "key provisioning refused"))
+        return reply["model_key"], reply["request_key"]
+
+    def _provision_over_session(self, uid: str, model_id: str) -> dict:
+        channel_id, channel = self._ensure_keyservice_session()
+        request = channel.send(
+            wire.encode({"op": "provision", "uid": uid, "model_id": model_id})
+        )
+        reply_cipher = self.ocall("OC_KS_REQUEST", channel_id, request)
+        return wire.decode(channel.recv(reply_cipher))
+
+
+class SemirtHost:
+    """Untrusted host side of a SeMIRT instance.
+
+    Owns the enclave, wires the OCALLs (model download, quote generation,
+    KeyService networking), and exposes the action interface a serverless
+    request hits.  Everything it relays is ciphertext.
+    """
+
+    def __init__(
+        self,
+        platform: SgxPlatform,
+        storage,
+        keyservice_host,
+        framework: str,
+        attestation: AttestationService,
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> None:
+        if isolation.sequential:
+            config = config or default_semirt_config(tcs_count=1)
+            if config.tcs_count != 1:
+                raise EnclaveError("sequential isolation requires tcs_count == 1")
+        config = config or default_semirt_config()
+        self.platform = platform
+        self.storage = storage
+        code = SemirtEnclaveCode(
+            framework=framework,
+            attestation=attestation,
+            keyservice_measurement=keyservice_host.measurement,
+            isolation=isolation,
+        )
+        self.enclave: Enclave = platform.create_enclave(code, config)
+        self.code = code
+        self._loaded_blobs: dict = {}
+        self.enclave.register_ocall("OC_GET_QUOTE", platform.quote)
+        self.enclave.register_ocall("OC_LOAD_MODEL", self._oc_load_model)
+        self.enclave.register_ocall("OC_FREE_LOADED", self._oc_free_loaded)
+        self.enclave.register_ocall("OC_KS_HANDSHAKE", keyservice_host.handshake)
+        self.enclave.register_ocall("OC_KS_REQUEST", keyservice_host.request)
+
+    @property
+    def measurement(self) -> EnclaveMeasurement:
+        return self.enclave.measurement
+
+    def _oc_load_model(self, model_id: str) -> bytes:
+        blob = self.storage.get(f"models/{model_id}")
+        self._loaded_blobs[model_id] = blob
+        return blob
+
+    def _oc_free_loaded(self, model_id: str) -> None:
+        self._loaded_blobs.pop(model_id, None)
+
+    # -- the action interface ------------------------------------------------------
+
+    def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
+        """Serve one request: EC_MODEL_INF then EC_GET_OUTPUT."""
+        self.enclave.ecall("EC_MODEL_INF", enc_request, uid, model_id)
+        output = self.enclave.ecall("EC_GET_OUTPUT")
+        self.enclave.ecall("EC_CLEAR_EXEC_CTX")
+        return output
+
+    def destroy(self) -> None:
+        """Tear down the enclave (sandbox reclaim)."""
+        self.enclave.destroy()

@@ -1,0 +1,482 @@
+"""Simulation actors: SeSeMI and both baselines as container runtimes.
+
+These are the performance twins of the functional components.  Each actor
+implements the :class:`~repro.serverless.container.ActionRuntime`
+interface, shares the invocation-path logic of
+:mod:`repro.core.stages`, and charges virtual time from the calibrated
+:class:`~repro.core.costs.CostModel`:
+
+- :class:`SemirtSimActor` -- SeSeMI: enclave created once per container,
+  keys / model / runtimes cached (cold / warm / hot paths), multiple
+  requests per enclave (one per TCS);
+- :class:`IsoReuseSimActor` -- the S-FaaS / Clemmys design: enclave and
+  keys are reused, but the model and runtime are rebuilt per request;
+- :class:`NativeSimActor` -- existing sandbox runtimes: a fresh enclave
+  per invocation, full cold path every time;
+- :class:`UntrustedSimActor` -- no SGX at all (Figure 9/18's comparison).
+
+Contention is physical, not analytic: quote generation serialises on the
+node's quoting enclave, inference occupies node cores, enclave pages
+commit against the node's EPC, and concurrent launches slow each other
+down -- so the knees in the figures emerge from the simulation rather
+than being painted in.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.costs import CostModel
+from repro.core.stages import (
+    InvocationKind,
+    SemirtCacheState,
+    Stage,
+    plan_invocation,
+)
+from repro.errors import InvocationError
+from repro.mlrt.zoo import ModelProfile
+from repro.serverless.container import ActionRuntime, ContainerContext
+from repro.serverless.action import Request
+
+_actor_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ServableModel:
+    """One model an actor can serve: paper profile + framework binding."""
+
+    profile: ModelProfile
+    framework: str
+
+    @property
+    def enclave_bytes(self) -> int:
+        return self.profile.enclave_bytes(self.framework)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return self.profile.buffer_bytes(self.framework)
+
+
+class _SgxActorBase(ActionRuntime):
+    """Shared stage helpers for the SGX-backed actors."""
+
+    def __init__(
+        self,
+        models: Dict[str, ServableModel],
+        cost: CostModel,
+        tcs_count: int = 1,
+    ) -> None:
+        if not models:
+            raise InvocationError("an actor needs at least one servable model")
+        self.models = models
+        self.cost = cost
+        self.tcs_count = tcs_count
+        self.actor_id = f"actor-{next(_actor_ids)}"
+        self.startup_stage_seconds: Dict[str, float] = {}
+
+    # -- sizing -----------------------------------------------------------------
+
+    def enclave_total_bytes(self) -> int:
+        """Enclave size: the largest servable model plus extra TCS buffers.
+
+        The base enclave config (Appendix D) already covers the model and
+        one runtime buffer; each extra TCS adds one runtime buffer.
+        """
+        base = max(m.enclave_bytes for m in self.models.values())
+        extra = max(m.buffer_bytes for m in self.models.values())
+        return base + (self.tcs_count - 1) * extra
+
+    def _servable(self, model_id: str) -> ServableModel:
+        try:
+            return self.models[model_id]
+        except KeyError:
+            raise InvocationError(
+                f"{self.actor_id} cannot serve model {model_id!r}"
+            ) from None
+
+    # -- stage generators (each yields sim events, returns seconds spent) ---------
+
+    def _stage_enclave_init(self, ctx: ContainerContext, nbytes: int,
+                            epc_key: Optional[str] = None):
+        """Launch an enclave: queue for a launch slot, then pay init time.
+
+        Returns launch-to-ready seconds (queueing included), which is what
+        the per-enclave init latency of Figure 15 measures.
+        """
+        node = ctx.node
+        start = ctx.sim.now
+        claim = node.launch_slots.request()
+        yield claim
+        node.enclaves_launching += 1
+        try:
+            yield ctx.sim.timeout(node.enclave_init_time(nbytes))
+        finally:
+            node.enclaves_launching -= 1
+            node.launch_slots.release(claim)
+        node.sgx.epc.allocate(epc_key or self.actor_id, nbytes)
+        duration = ctx.sim.now - start
+        self.startup_stage_seconds[Stage.ENCLAVE_INIT.value] = duration
+        return duration
+
+    def _stage_key_retrieval(self, ctx: ContainerContext, session_reused: bool = False):
+        """KEY_PROVISIONING: full mutual RA-TLS, or one RPC on a live session.
+
+        The first retrieval quotes (serialising on the node's quoting
+        enclave) and attests both ways; once the channel to KeyService
+        exists, later fetches are a single encrypted round trip.
+        """
+        if session_reused:
+            duration = self.cost.key_retrieval_session_reused_s()
+            yield ctx.sim.timeout(duration)
+            return duration
+        start = ctx.sim.now
+        claim = ctx.node.quoting.request()
+        yield claim
+        try:
+            yield ctx.sim.timeout(ctx.node.sgx.profile.quote_base_s)
+        finally:
+            ctx.node.quoting.release(claim)
+        fixed = self.cost.key_fetch_fixed_s + 2 * ctx.node.sgx.profile.verify_s
+        yield ctx.sim.timeout(fixed)
+        return ctx.sim.now - start
+
+    def _stage_model_load(self, ctx: ContainerContext, servable: ServableModel):
+        """Download the encrypted artifact over the shared storage link.
+
+        The link serialises transfers, so designs that reload the model
+        per request (Iso-reuse, Native) saturate it at moderate request
+        rates -- the effect behind the paper's multi-node results.
+        """
+        start = ctx.sim.now
+        claim = ctx.node.storage_link.request()
+        yield claim
+        try:
+            yield ctx.sim.timeout(self.cost.model_load_s(servable.profile.model_bytes))
+        finally:
+            ctx.node.storage_link.release(claim)
+        return ctx.sim.now - start
+
+    def _stage_model_decrypt(self, ctx: ContainerContext, servable: ServableModel):
+        slowdown = ctx.node.sgx.epc.access_slowdown()
+        duration = self.cost.model_decrypt_s(servable.profile.model_bytes, slowdown)
+        yield ctx.sim.timeout(duration)
+        return duration
+
+    def _stage_runtime_init(self, ctx: ContainerContext, servable: ServableModel):
+        slowdown = ctx.node.sgx.epc.access_slowdown()
+        duration = self.cost.runtime_init_s(
+            servable.profile, servable.framework, slowdown
+        )
+        yield ctx.sim.timeout(duration)
+        return duration
+
+    def _stage_exec(self, ctx: ContainerContext, servable: ServableModel):
+        """Model execution holds one node core; EPC pressure stretches it."""
+        start = ctx.sim.now
+        claim = ctx.node.cores.request()
+        yield claim
+        try:
+            slowdown = ctx.node.sgx.epc.access_slowdown()
+            duration = self.cost.model_exec_s(
+                servable.profile, servable.framework, slowdown
+            )
+            yield ctx.sim.timeout(duration)
+        finally:
+            ctx.node.cores.release(claim)
+        return ctx.sim.now - start
+
+    def _stage_fixed(self, ctx: ContainerContext, seconds: float):
+        yield ctx.sim.timeout(seconds)
+        return seconds
+
+
+class SemirtSimActor(_SgxActorBase):
+    """SeSeMI's SeMIRT container: cold / warm / hot invocation paths."""
+
+    def __init__(
+        self,
+        models: Dict[str, ServableModel],
+        cost: CostModel,
+        tcs_count: int = 1,
+        key_cache: bool = True,
+        reuse_runtime: bool = True,
+    ) -> None:
+        super().__init__(models, cost, tcs_count)
+        self.key_cache = key_cache
+        self.reuse_runtime = reuse_runtime
+        self.state = SemirtCacheState()
+        self._ks_session_live = False
+        #: idle per-thread runtimes available per model id
+        self._idle_runtimes: Dict[str, int] = {}
+        self._switch_lock = None  # created lazily (needs the sim)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.enclave_total_bytes()
+
+    def startup(self, ctx: ContainerContext):
+        """Sandbox started by the platform; we add the enclave launch."""
+        if self._switch_lock is None:
+            from repro.sim.resources import Resource
+
+            self._switch_lock = Resource(ctx.sim, 1, name=f"{self.actor_id}.switch")
+        yield from self._stage_enclave_init(ctx, self.enclave_total_bytes())
+        self.state.enclave_ready = True
+
+    def handle(self, ctx: ContainerContext, request: Request):
+        """Serve one request along the cold/warm/hot path of Algorithm 2."""
+        servable = self._servable(request.model_id)
+        plan = plan_invocation(
+            self.state,
+            request.model_id,
+            request.user_id,
+            key_cache_enabled=self.key_cache,
+            reuse_runtime=self.reuse_runtime,
+        )
+        stages: Dict[str, float] = {}
+        if plan.needs(Stage.KEY_RETRIEVAL):
+            stages[Stage.KEY_RETRIEVAL.value] = yield from self._stage_key_retrieval(
+                ctx, session_reused=self._ks_session_live
+            )
+            self._ks_session_live = True
+            if self.key_cache:
+                self.state.key_cache = (request.model_id, request.user_id)
+        # Model switch happens under a lock: one loader, others wait + reuse.
+        claim = self._switch_lock.request()
+        yield claim
+        try:
+            if self.state.loaded_model != request.model_id:
+                stages[Stage.MODEL_LOADING.value] = yield from self._stage_model_load(
+                    ctx, servable
+                )
+                stages[Stage.MODEL_DECRYPT.value] = yield from self._stage_model_decrypt(
+                    ctx, servable
+                )
+                self.state.loaded_model = request.model_id
+                self._idle_runtimes.clear()
+        finally:
+            self._switch_lock.release(claim)
+        # Per-thread runtime: grab an idle one or build it.
+        have_runtime = (
+            self.reuse_runtime and self._idle_runtimes.get(request.model_id, 0) > 0
+        )
+        if have_runtime:
+            self._idle_runtimes[request.model_id] -= 1
+        else:
+            stages[Stage.RUNTIME_INIT.value] = yield from self._stage_runtime_init(
+                ctx, servable
+            )
+        self.state.runtime_for = request.model_id
+        stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
+            ctx, self.cost.request_decrypt_s
+        )
+        stages[Stage.MODEL_INFERENCE.value] = yield from self._stage_exec(ctx, servable)
+        stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
+            ctx, self.cost.result_encrypt_s
+        )
+        if self.reuse_runtime:
+            self._idle_runtimes[request.model_id] = (
+                self._idle_runtimes.get(request.model_id, 0) + 1
+            )
+        self.state.note_served(request.model_id, request.user_id)
+        response = {"model": request.model_id, "encrypted": True}
+        return response, plan.kind.value, stages
+
+    def shutdown(self, ctx: ContainerContext) -> None:
+        """Release the enclave's EPC pages when the container is reclaimed."""
+        ctx.node.sgx.epc.free(self.actor_id)
+
+
+class IsoReuseSimActor(_SgxActorBase):
+    """The S-FaaS/Clemmys design: enclave + keys reused, model is not."""
+
+    def __init__(
+        self, models: Dict[str, ServableModel], cost: CostModel
+    ) -> None:
+        super().__init__(models, cost, tcs_count=1)
+        self._keys_cached_for: Optional[Tuple[str, str]] = None
+        self._enclave_ready = False
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.enclave_total_bytes()
+
+    def startup(self, ctx: ContainerContext):
+        """Sandbox start plus a one-time enclave launch (reused afterwards)."""
+        yield from self._stage_enclave_init(ctx, self.enclave_total_bytes())
+        self._enclave_ready = True
+
+    def handle(self, ctx: ContainerContext, request: Request):
+        """Serve one request, reloading model and runtime from scratch."""
+        servable = self._servable(request.model_id)
+        stages: Dict[str, float] = {}
+        pair = (request.model_id, request.user_id)
+        kind = InvocationKind.WARM
+        if self._keys_cached_for != pair:
+            stages[Stage.KEY_RETRIEVAL.value] = yield from self._stage_key_retrieval(
+                ctx, session_reused=self._keys_cached_for is not None
+            )
+            self._keys_cached_for = pair
+        # No model/runtime reuse: loaded and initialised from scratch.
+        stages[Stage.MODEL_LOADING.value] = yield from self._stage_model_load(
+            ctx, servable
+        )
+        stages[Stage.MODEL_DECRYPT.value] = yield from self._stage_model_decrypt(
+            ctx, servable
+        )
+        stages[Stage.RUNTIME_INIT.value] = yield from self._stage_runtime_init(
+            ctx, servable
+        )
+        stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
+            ctx, self.cost.request_decrypt_s
+        )
+        stages[Stage.MODEL_INFERENCE.value] = yield from self._stage_exec(ctx, servable)
+        stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
+            ctx, self.cost.result_encrypt_s
+        )
+        return {"model": request.model_id}, kind.value, stages
+
+    def shutdown(self, ctx: ContainerContext) -> None:
+        """Release the enclave's EPC pages when the container is reclaimed."""
+        ctx.node.sgx.epc.free(self.actor_id)
+
+
+class NativeSimActor(_SgxActorBase):
+    """Existing serverless runtimes: a fresh enclave for every invocation."""
+
+    def __init__(self, models: Dict[str, ServableModel], cost: CostModel) -> None:
+        super().__init__(models, cost, tcs_count=1)
+        self._request_counter = itertools.count(1)
+
+    def startup(self, ctx: ContainerContext):
+        """Sandbox start only; Native launches a fresh enclave per request."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def handle(self, ctx: ContainerContext, request: Request):
+        """Serve one request through the full cold path, enclave included."""
+        servable = self._servable(request.model_id)
+        stages: Dict[str, float] = {}
+        nbytes = servable.enclave_bytes
+        epc_key = f"{self.actor_id}.r{next(self._request_counter)}"
+        node = ctx.node
+        stages[Stage.ENCLAVE_INIT.value] = yield from self._stage_enclave_init(
+            ctx, nbytes, epc_key=epc_key
+        )
+        try:
+            stages[Stage.KEY_RETRIEVAL.value] = yield from self._stage_key_retrieval(ctx)
+            stages[Stage.MODEL_LOADING.value] = yield from self._stage_model_load(
+                ctx, servable
+            )
+            stages[Stage.MODEL_DECRYPT.value] = yield from self._stage_model_decrypt(
+                ctx, servable
+            )
+            stages[Stage.RUNTIME_INIT.value] = yield from self._stage_runtime_init(
+                ctx, servable
+            )
+            stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
+                ctx, self.cost.request_decrypt_s
+            )
+            stages[Stage.MODEL_INFERENCE.value] = yield from self._stage_exec(
+                ctx, servable
+            )
+            stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
+                ctx, self.cost.result_encrypt_s
+            )
+        finally:
+            node.sgx.epc.free(epc_key)
+        return {"model": request.model_id}, InvocationKind.COLD.value, stages
+
+
+class UntrustedSimActor(_SgxActorBase):
+    """No TEE at all: the plaintext comparison of Figures 9, 17, 18."""
+
+    def __init__(
+        self,
+        models: Dict[str, ServableModel],
+        cost: CostModel,
+        cache_model: bool = True,
+    ) -> None:
+        super().__init__(models, cost, tcs_count=1)
+        self.cache_model = cache_model
+        self._loaded: Optional[str] = None
+
+    def startup(self, ctx: ContainerContext):
+        """Sandbox start only; there is no enclave in the untrusted path."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def handle(self, ctx: ContainerContext, request: Request):
+        """Serve one request without any TEE protection (the plain baseline)."""
+        servable = self._servable(request.model_id)
+        stages: Dict[str, float] = {}
+        was_cached = self.cache_model and self._loaded == request.model_id
+        if not was_cached:
+            duration = self.cost.untrusted_model_load_s(servable.profile.model_bytes)
+            yield ctx.sim.timeout(duration)
+            stages[Stage.MODEL_LOADING.value] = duration
+            stages[Stage.RUNTIME_INIT.value] = yield from self._stage_fixed(
+                ctx, self.cost.untrusted_runtime_init_s(
+                    servable.profile, servable.framework
+                )
+            )
+            self._loaded = request.model_id
+        claim = ctx.node.cores.request()
+        yield claim
+        try:
+            duration = self.cost.untrusted_exec_s(servable.profile, servable.framework)
+            yield ctx.sim.timeout(duration)
+        finally:
+            ctx.node.cores.release(claim)
+        stages[Stage.MODEL_INFERENCE.value] = duration
+        kind = InvocationKind.HOT if was_cached else InvocationKind.WARM
+        return {"model": request.model_id}, kind.value, stages
+
+
+# ---------------------------------------------------------------------------
+# factory helpers
+# ---------------------------------------------------------------------------
+
+
+def servable_map(
+    entries: Iterable[Tuple[str, ModelProfile, str]]
+) -> Dict[str, ServableModel]:
+    """Build the servable-model map from ``(model_id, profile, framework)``."""
+    return {
+        model_id: ServableModel(profile=profile, framework=framework)
+        for model_id, profile, framework in entries
+    }
+
+
+def semirt_factory(
+    models: Dict[str, ServableModel],
+    cost: CostModel,
+    tcs_count: int = 1,
+    key_cache: bool = True,
+    reuse_runtime: bool = True,
+) -> Callable[[], SemirtSimActor]:
+    """Runtime factory producing SeSeMI containers."""
+    return lambda: SemirtSimActor(models, cost, tcs_count, key_cache, reuse_runtime)
+
+
+def iso_reuse_factory(
+    models: Dict[str, ServableModel], cost: CostModel
+) -> Callable[[], IsoReuseSimActor]:
+    """Runtime factory producing Iso-reuse baseline containers."""
+    return lambda: IsoReuseSimActor(models, cost)
+
+
+def native_factory(
+    models: Dict[str, ServableModel], cost: CostModel
+) -> Callable[[], NativeSimActor]:
+    """Runtime factory producing Native baseline containers."""
+    return lambda: NativeSimActor(models, cost)
+
+
+def untrusted_factory(
+    models: Dict[str, ServableModel], cost: CostModel, cache_model: bool = True
+) -> Callable[[], UntrustedSimActor]:
+    """Runtime factory producing untrusted (no-TEE) containers."""
+    return lambda: UntrustedSimActor(models, cost, cache_model)

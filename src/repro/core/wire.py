@@ -1,0 +1,64 @@
+"""Wire codec for protocol messages.
+
+KeyService operations and SeMIRT key-provisioning requests travel over
+RA-TLS channels as byte strings.  This codec turns small structured
+messages (dicts of str/int/float/bool/bytes/lists) into deterministic
+bytes and back.  Bytes values are hex-tagged inside JSON, keeping the
+format debuggable while staying dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+
+_BYTES_TAG = "__bytes_hex__"
+
+
+class WireError(ReproError):
+    """Malformed wire message."""
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (bytes, bytearray)):
+        return {_BYTES_TAG: bytes(value).hex()}
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise WireError(f"cannot encode {type(value).__name__} on the wire")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value.keys()) == {_BYTES_TAG}:
+            try:
+                return bytes.fromhex(value[_BYTES_TAG])
+            except ValueError as exc:
+                raise WireError(f"bad hex payload: {exc}") from exc
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def encode(message: dict) -> bytes:
+    """Serialise a message dict to canonical bytes."""
+    if not isinstance(message, dict):
+        raise WireError("wire messages must be dicts")
+    return json.dumps(_encode_value(message), sort_keys=True).encode()
+
+
+def decode(raw: bytes) -> dict:
+    """Inverse of :func:`encode`."""
+    try:
+        value = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed wire message: {exc}") from exc
+    if not isinstance(value, dict):
+        raise WireError("wire messages must decode to dicts")
+    return _decode_value(value)

@@ -1,0 +1,201 @@
+"""AES block cipher (FIPS 197) implemented from scratch.
+
+Two execution paths are provided:
+
+- a scalar path (:meth:`AES.encrypt_block` / :meth:`AES.decrypt_block`)
+  used for single blocks and for cross-checking, and
+- a numpy-vectorised path (:meth:`AES.encrypt_blocks`) that runs all
+  rounds over an ``(n, 16)`` batch of blocks at once, which is what makes
+  CTR-mode bulk encryption of model files practical in pure Python.
+
+Supported key sizes are 128, 192, and 256 bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidKey
+
+_BLOCK_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# S-box construction.  Rather than hard-coding the 256-entry table we derive
+# it from the field inverse + affine map, which doubles as a self-check.
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) with the AES polynomial 0x11b."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= 0x11B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Field inverses via exponentiation by the group order minus one.
+    inverse = [0] * 256
+    for x in range(1, 256):
+        y = x
+        for _ in range(253):  # x^254 = x^-1 in GF(2^8)*
+            y = _gf_mul(y, x)
+        inverse[x] = y
+    sbox = [0] * 256
+    for x in range(256):
+        # Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        b = inverse[x]
+        value = b
+        for shift in (1, 2, 3, 4):
+            value ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        value ^= 0x63
+        sbox[x] = value
+    inv_sbox = [0] * 256
+    for x, s in enumerate(sbox):
+        inv_sbox[s] = x
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_SBOX_NP = np.frombuffer(_SBOX, dtype=np.uint8)
+_INV_SBOX_NP = np.frombuffer(_INV_SBOX, dtype=np.uint8)
+
+# GF(2^8) multiply-by-constant tables used by (Inv)MixColumns.
+_MUL_TABLES = {
+    c: np.array([_gf_mul(x, c) for x in range(256)], dtype=np.uint8)
+    for c in (2, 3, 9, 11, 13, 14)
+}
+
+# ShiftRows permutation on the 16-byte block laid out column-major
+# (byte i of the block is state[row=i%4][col=i//4], as in FIPS 197).
+_SHIFT_ROWS = np.array(
+    [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11], dtype=np.intp
+)
+_INV_SHIFT_ROWS = np.argsort(_SHIFT_ROWS)
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8]
+
+
+def _expand_key(key: bytes) -> list[bytes]:
+    """Expand ``key`` into the per-round keys (FIPS 197 key schedule)."""
+    nk = len(key) // 4
+    rounds = {4: 10, 6: 12, 8: 14}[nk]
+    words = [key[4 * i : 4 * i + 4] for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = words[i - 1]
+        if i % nk == 0:
+            rotated = temp[1:] + temp[:1]
+            temp = bytes(_SBOX[b] for b in rotated)
+            temp = bytes([temp[0] ^ _RCON[i // nk - 1]]) + temp[1:]
+        elif nk > 6 and i % nk == 4:
+            temp = bytes(_SBOX[b] for b in temp)
+        words.append(bytes(a ^ b for a, b in zip(words[i - nk], temp)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(rounds + 1)]
+
+
+class AES:
+    """AES block cipher for a fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24, or 32 bytes of key material.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise InvalidKey("AES key must be bytes")
+        if len(key) not in (16, 24, 32):
+            raise InvalidKey(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self._round_keys = _expand_key(bytes(key))
+        self._round_keys_np = np.stack(
+            [np.frombuffer(rk, dtype=np.uint8) for rk in self._round_keys]
+        )
+        self.key_size = len(key)
+
+    @property
+    def rounds(self) -> int:
+        """Number of AES rounds for this key size (10, 12, or 14)."""
+        return len(self._round_keys) - 1
+
+    # -- scalar path --------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != _BLOCK_SIZE:
+            raise ValueError("AES block must be 16 bytes")
+        out = self.encrypt_blocks(
+            np.frombuffer(block, dtype=np.uint8).reshape(1, _BLOCK_SIZE)
+        )
+        return out.tobytes()
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != _BLOCK_SIZE:
+            raise ValueError("AES block must be 16 bytes")
+        state = np.frombuffer(block, dtype=np.uint8).reshape(1, _BLOCK_SIZE).copy()
+        state ^= self._round_keys_np[-1]
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = state[:, _INV_SHIFT_ROWS]
+            state = _INV_SBOX_NP[state]
+            state ^= self._round_keys_np[rnd]
+            state = _inv_mix_columns(state)
+        state = state[:, _INV_SHIFT_ROWS]
+        state = _INV_SBOX_NP[state]
+        state ^= self._round_keys_np[0]
+        return state.tobytes()
+
+    # -- vectorised path -----------------------------------------------------
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt an ``(n, 16)`` uint8 array of blocks in one batch."""
+        if blocks.ndim != 2 or blocks.shape[1] != _BLOCK_SIZE:
+            raise ValueError("blocks must have shape (n, 16)")
+        state = blocks.astype(np.uint8, copy=True)
+        state ^= self._round_keys_np[0]
+        for rnd in range(1, self.rounds):
+            state = _SBOX_NP[state]
+            state = state[:, _SHIFT_ROWS]
+            state = _mix_columns(state)
+            state ^= self._round_keys_np[rnd]
+        state = _SBOX_NP[state]
+        state = state[:, _SHIFT_ROWS]
+        state ^= self._round_keys_np[-1]
+        return state
+
+
+def _mix_columns(state: np.ndarray) -> np.ndarray:
+    """Apply MixColumns to an (n, 16) state batch."""
+    s = state.reshape(-1, 4, 4)  # (n, column, row)
+    a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+    m2, m3 = _MUL_TABLES[2], _MUL_TABLES[3]
+    out = np.empty_like(s)
+    out[:, :, 0] = m2[a0] ^ m3[a1] ^ a2 ^ a3
+    out[:, :, 1] = a0 ^ m2[a1] ^ m3[a2] ^ a3
+    out[:, :, 2] = a0 ^ a1 ^ m2[a2] ^ m3[a3]
+    out[:, :, 3] = m3[a0] ^ a1 ^ a2 ^ m2[a3]
+    return out.reshape(-1, 16)
+
+
+def _inv_mix_columns(state: np.ndarray) -> np.ndarray:
+    """Apply InvMixColumns to an (n, 16) state batch."""
+    s = state.reshape(-1, 4, 4)
+    a0, a1, a2, a3 = s[:, :, 0], s[:, :, 1], s[:, :, 2], s[:, :, 3]
+    m9, m11, m13, m14 = (
+        _MUL_TABLES[9],
+        _MUL_TABLES[11],
+        _MUL_TABLES[13],
+        _MUL_TABLES[14],
+    )
+    out = np.empty_like(s)
+    out[:, :, 0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+    out[:, :, 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+    out[:, :, 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+    out[:, :, 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+    return out.reshape(-1, 16)

@@ -1,0 +1,49 @@
+"""The shared algebraic group for key exchange and signatures.
+
+We use the 2048-bit MODP group 14 from RFC 3526.  Its modulus ``P`` is a
+safe prime (``P = 2Q + 1`` with ``Q`` prime), so the squares form a prime-
+order subgroup of order ``Q`` -- suitable both for Diffie-Hellman key
+exchange and for Schnorr signatures.  ``G = 4`` (= 2 squared) generates
+that subgroup.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+# RFC 3526, group 14 (2048-bit MODP).
+P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+Q = (P - 1) // 2
+G = 4  # generator of the order-Q subgroup of squares
+
+
+def random_scalar() -> int:
+    """A uniform random exponent in ``[1, Q)``."""
+    return secrets.randbelow(Q - 1) + 1
+
+
+def element_to_bytes(x: int) -> bytes:
+    """Fixed-width big-endian encoding of a group element."""
+    return x.to_bytes(256, "big")
+
+
+def is_group_element(x: int) -> bool:
+    """True when ``x`` is a non-identity element of the order-Q subgroup.
+
+    The identity (1) is excluded: as a DH public key it would fix the
+    shared secret regardless of the peer's contribution.
+    """
+    return 1 < x < P and pow(x, Q, P) == 1

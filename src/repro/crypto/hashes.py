@@ -1,0 +1,44 @@
+"""Hashing, MAC, and key-derivation helpers.
+
+SHA-256 and HMAC come from the Python standard library (they are part of
+the language runtime, not an external dependency); HKDF (RFC 5869) is
+implemented here on top of them and is used to derive session keys from
+Diffie-Hellman shared secrets during RA-TLS handshakes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+_HASH_LEN = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf(
+    input_key_material: bytes,
+    length: int = 32,
+    salt: bytes = b"",
+    info: bytes = b"",
+) -> bytes:
+    """HKDF-SHA256 (RFC 5869): extract-then-expand key derivation."""
+    if length <= 0 or length > 255 * _HASH_LEN:
+        raise ValueError("invalid HKDF output length")
+    prk = hmac_sha256(salt or b"\x00" * _HASH_LEN, input_key_material)
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]

@@ -1,0 +1,59 @@
+"""Symmetric key material.
+
+SeSeMI distinguishes *identity keys* (long-term, registered with
+KeyService), *model keys* (encrypt a model artifact), and *request keys*
+(encrypt one user's requests and responses).  All three are AES keys; this
+module provides a small value type with a stable fingerprint used as the
+owner/user identity (``id = SHA256(K_id)`` in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import sha256
+from repro.errors import InvalidKey
+
+VALID_KEY_SIZES = (16, 24, 32)
+
+
+def random_bytes(count: int) -> bytes:
+    """Cryptographically secure random bytes."""
+    return secrets.token_bytes(count)
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """An AES key with a stable SHA-256 fingerprint.
+
+    The fingerprint doubles as the principal identity in KeyService
+    (Algorithm 1 line 6 computes ``id = SHA256(K_id)``).
+    """
+
+    material: bytes = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.material) not in VALID_KEY_SIZES:
+            raise InvalidKey(
+                f"symmetric key must be one of {VALID_KEY_SIZES} bytes, "
+                f"got {len(self.material)}"
+            )
+
+    @classmethod
+    def generate(cls, size: int = 16) -> "SymmetricKey":
+        """Generate a fresh random key of ``size`` bytes."""
+        if size not in VALID_KEY_SIZES:
+            raise InvalidKey(f"key size must be one of {VALID_KEY_SIZES}")
+        return cls(random_bytes(size))
+
+    @property
+    def fingerprint(self) -> str:
+        """Hex SHA-256 of the key material (the principal identity)."""
+        return sha256(self.material).hex()
+
+    def __bytes__(self) -> bytes:
+        return self.material
+
+    def __len__(self) -> int:
+        return len(self.material)

@@ -1,0 +1,96 @@
+"""Chunked authenticated encryption for large artifacts (STREAM).
+
+Sealing a 170 MB model as one AES-GCM message forces the enclave to
+stage the whole ciphertext *and* plaintext at once -- the memory
+overhead Appendix D calls out.  Production enclave runtimes instead
+decrypt large objects chunk by chunk.  Naive per-chunk AEAD is unsafe
+(an attacker can reorder, duplicate, or truncate chunks), so this module
+implements the STREAM construction (Hoang, Reyhanitabar, Vaudenay,
+Vizár): every chunk's nonce encodes its index plus a final-chunk flag,
+making the sequence of chunks as tamper-evident as a single message.
+
+The format is ``header || chunk_0 || chunk_1 || ...`` where the header
+carries a random 8-byte stream id and the chunk size, and each chunk is
+an AES-GCM message under nonce ``stream_id || index || final_flag``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.crypto.gcm import AESGCM, TAG_SIZE
+from repro.crypto.keys import random_bytes
+from repro.errors import CryptoError, InvalidTag
+
+_MAGIC = b"STRM1"
+DEFAULT_CHUNK_SIZE = 1 << 20  # 1 MiB
+
+_HEADER = struct.Struct(">5s8sI")  # magic, stream id, chunk size
+
+
+def _nonce(stream_id: bytes, index: int, final: bool) -> bytes:
+    """96-bit STREAM nonce: 8-byte stream id, 3-byte counter, final flag."""
+    if index >= 1 << 24:
+        raise CryptoError("stream too long (more than 2^24 chunks)")
+    return stream_id + index.to_bytes(3, "big") + (b"\x01" if final else b"\x00")
+
+
+def seal_stream(key, plaintext: bytes, aad: bytes = b"",
+                chunk_size: int = DEFAULT_CHUNK_SIZE) -> bytes:
+    """Encrypt ``plaintext`` as an ordered, truncation-proof chunk stream."""
+    if chunk_size <= 0:
+        raise CryptoError("chunk size must be positive")
+    cipher = AESGCM(key)
+    stream_id = random_bytes(8)
+    out = [_HEADER.pack(_MAGIC, stream_id, chunk_size)]
+    total_chunks = max(1, (len(plaintext) + chunk_size - 1) // chunk_size)
+    for index in range(total_chunks):
+        chunk = plaintext[index * chunk_size : (index + 1) * chunk_size]
+        final = index == total_chunks - 1
+        out.append(cipher.encrypt(_nonce(stream_id, index, final), chunk, aad))
+    return b"".join(out)
+
+
+def open_stream(key, sealed: bytes, aad: bytes = b"") -> bytes:
+    """Authenticate and decrypt a sealed stream in one call."""
+    return b"".join(iter_open_stream(key, sealed, aad))
+
+
+def iter_open_stream(key, sealed: bytes, aad: bytes = b"") -> Iterator[bytes]:
+    """Decrypt chunk by chunk (constant staging memory per chunk).
+
+    Raises :class:`InvalidTag` on any tampering, including chunk
+    reordering, duplication, or removal of the final chunk (truncation):
+    the index and final flag live in the nonce, so a displaced chunk
+    fails authentication.
+    """
+    if len(sealed) < _HEADER.size:
+        raise InvalidTag("sealed stream shorter than its header")
+    magic, stream_id, chunk_size = _HEADER.unpack_from(sealed)
+    if magic != _MAGIC:
+        raise InvalidTag("not a sealed stream (bad magic)")
+    if chunk_size <= 0:
+        raise InvalidTag("corrupt stream header")
+    cipher = AESGCM(key)
+    offset = _HEADER.size
+    wire_chunk = chunk_size + TAG_SIZE
+    index = 0
+    saw_final = False
+    while offset < len(sealed):
+        remaining = len(sealed) - offset
+        body = sealed[offset : offset + min(wire_chunk, remaining)]
+        final = remaining <= wire_chunk
+        try:
+            plaintext = cipher.decrypt(_nonce(stream_id, index, final), body, aad)
+        except InvalidTag:
+            raise InvalidTag(
+                f"stream chunk {index} failed authentication "
+                "(tampered, reordered, or truncated)"
+            ) from None
+        yield plaintext
+        saw_final = saw_final or final
+        offset += len(body)
+        index += 1
+    if not saw_final:
+        raise InvalidTag("stream ended without an authenticated final chunk")

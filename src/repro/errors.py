@@ -1,0 +1,113 @@
+"""Exception hierarchy for the SeSeMI reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Sub-hierarchies
+mirror the package layout: crypto, SGX, simulation, serverless platform,
+model runtime, and the SeSeMI core.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# crypto
+# --------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidTag(CryptoError):
+    """AEAD authentication failed: the ciphertext or AAD was tampered with."""
+
+
+class InvalidKey(CryptoError):
+    """A key has the wrong length, type, or value for the operation."""
+
+
+class InvalidSignature(CryptoError):
+    """A digital signature failed verification."""
+
+
+# --------------------------------------------------------------------------
+# SGX functional model
+# --------------------------------------------------------------------------
+
+
+class SgxError(ReproError):
+    """Base class for failures of the functional SGX model."""
+
+
+class EnclaveError(SgxError):
+    """Illegal enclave operation (bad lifecycle transition, unknown ECALL)."""
+
+
+class TcsExhausted(SgxError):
+    """All thread control structures of the enclave are in use."""
+
+
+class EpcError(SgxError):
+    """Enclave page cache accounting failure (e.g. over-commit)."""
+
+
+class AttestationError(SgxError):
+    """Remote attestation failed: bad quote, signature, or identity."""
+
+
+class SealingError(SgxError):
+    """Sealed data could not be unsealed by this enclave identity."""
+
+
+# --------------------------------------------------------------------------
+# SeSeMI core
+# --------------------------------------------------------------------------
+
+
+class SeSeMIError(ReproError):
+    """Base class for SeSeMI component failures."""
+
+
+class AccessDenied(SeSeMIError):
+    """KeyService refused to release keys: the access policy does not allow it."""
+
+
+class UnknownIdentity(SeSeMIError):
+    """An owner/user/model identity is not registered with KeyService."""
+
+
+class InvocationError(SeSeMIError):
+    """A SeMIRT invocation could not be completed."""
+
+
+class RoutingError(SeSeMIError):
+    """FnPacker could not route a request (unknown model, no endpoint)."""
+
+
+# --------------------------------------------------------------------------
+# substrates
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation core."""
+
+
+class PlatformError(ReproError):
+    """Serverless platform failure (deployment, scheduling, capacity)."""
+
+
+class StorageError(PlatformError):
+    """Cloud storage object missing or unreadable."""
+
+
+class ModelError(ReproError):
+    """Model definition, serialisation, or execution failure."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""

@@ -1,0 +1,21 @@
+"""Experiment harnesses: one module per table/figure of the evaluation.
+
+Each module exposes ``run()`` returning structured results and
+``format_report(result)`` rendering paper-style rows.  The benchmark
+suite under ``benchmarks/`` and the EXPERIMENTS.md generator both build
+on these.
+
+| paper artifact | module |
+|---|---|
+| Table I        | :mod:`repro.experiments.table1` |
+| Figure 8       | :mod:`repro.experiments.fig8` |
+| Figure 9       | :mod:`repro.experiments.fig9` |
+| Figure 10      | :mod:`repro.experiments.fig10` |
+| Figure 11a/b   | :mod:`repro.experiments.fig11` |
+| Figure 12a-d   | :mod:`repro.experiments.fig12` |
+| Figures 13/14  | :mod:`repro.experiments.fig13` |
+| Table II       | :mod:`repro.experiments.table2` |
+| Tables III/IV  | :mod:`repro.experiments.table34` |
+| Figures 15/16  | :mod:`repro.experiments.fig15` |
+| Figures 17/18  | :mod:`repro.experiments.fig17` |
+"""

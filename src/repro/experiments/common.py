@@ -1,0 +1,164 @@
+"""Shared experiment scaffolding: testbeds, deployment, sweep helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.costs import CostModel
+from repro.core.fnpacker import Router
+from repro.core.simbridge import (
+    ServableModel,
+    iso_reuse_factory,
+    native_factory,
+    semirt_factory,
+    servable_map,
+    untrusted_factory,
+)
+from repro.mlrt.zoo import profile
+from repro.serverless.action import ActionSpec, round_memory_budget
+from repro.serverless.controller import PlatformConfig
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.storage import NFS, StorageProfile
+from repro.sgx.epc import GB, MB
+from repro.sgx.platform import SGX1, SGX2, HardwareProfile
+from repro.sim.core import Simulation
+from repro.workloads.driver import WorkloadDriver
+
+SYSTEMS = ("Native", "Iso-reuse", "SeSeMI")
+
+
+@dataclass
+class Testbed:
+    """One simulated cluster ready to run an experiment."""
+
+    sim: Simulation
+    platform: ServerlessPlatform
+    cost: CostModel
+
+    @property
+    def controller(self):
+        return self.platform.controller
+
+
+def make_testbed(
+    num_nodes: int = 1,
+    node_memory: int = 64 * GB,
+    cores_per_node: int = 12,
+    hardware: HardwareProfile = SGX2,
+    storage: StorageProfile = NFS,
+    config: PlatformConfig = PlatformConfig(),
+) -> Testbed:
+    """A cluster mirroring the paper's testbed defaults."""
+    sim = Simulation()
+    platform = ServerlessPlatform(
+        sim,
+        num_nodes=num_nodes,
+        node_memory=node_memory,
+        cores_per_node=cores_per_node,
+        hardware=hardware,
+        storage_profile=storage,
+        config=config,
+    )
+    cost = CostModel(hardware=hardware, storage=storage)
+    return Testbed(sim=sim, platform=platform, cost=cost)
+
+
+def sgx1_testbed(
+    num_nodes: int = 1,
+    cores_per_node: int = 10,
+    node_memory: int = 12 * GB + 512 * MB,  # the 12.5 GB of Table V
+    storage: StorageProfile = NFS,
+) -> Testbed:
+    """The EPC-limited SGX1 configuration (128 MB EPC, Xeon W-1290P)."""
+    return make_testbed(
+        num_nodes=num_nodes,
+        node_memory=node_memory,
+        cores_per_node=cores_per_node,
+        hardware=SGX1,
+        storage=storage,
+    )
+
+
+def system_factory(
+    system: str,
+    models: Dict[str, ServableModel],
+    cost: CostModel,
+    tcs_count: int = 1,
+):
+    """Runtime factory for one of the paper's three systems."""
+    if system == "SeSeMI":
+        return semirt_factory(models, cost, tcs_count=tcs_count)
+    if system == "Iso-reuse":
+        return iso_reuse_factory(models, cost)
+    if system == "Native":
+        return native_factory(models, cost)
+    if system == "Untrusted":
+        return untrusted_factory(models, cost)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def action_budget(servable: ServableModel, tcs_count: int = 1) -> int:
+    """The container memory budget for a model (smallest 128 MB multiple)."""
+    total = servable.enclave_bytes + (tcs_count - 1) * servable.buffer_bytes
+    return round_memory_budget(total)
+
+
+def deploy_single_model(
+    bed: Testbed,
+    system: str,
+    model_name: str,
+    framework: str,
+    tcs_count: int = 1,
+    endpoint: str = "ep",
+    model_id: str = "m",
+) -> Dict[str, ServableModel]:
+    """Deploy one model behind one endpoint for ``system``."""
+    models = servable_map([(model_id, profile(model_name), framework)])
+    spec = ActionSpec(
+        name=endpoint,
+        image=f"{system.lower()}-{framework}",
+        memory_budget=action_budget(models[model_id], tcs_count),
+        concurrency=tcs_count if system == "SeSeMI" else 1,
+    )
+    bed.platform.deploy(spec, system_factory(system, models, bed.cost, tcs_count))
+    return models
+
+
+class DirectRouter(Router):
+    """Trivial router mapping every model id to a fixed endpoint."""
+
+    def __init__(self, endpoint: str) -> None:
+        self._endpoint = endpoint
+
+    def endpoints(self) -> List[Tuple[str, Tuple[str, ...]]]:
+        """The single fixed endpoint."""
+        return [(self._endpoint, ())]
+
+    def route(self, model_id: str, now: float) -> str:
+        """Always the fixed endpoint."""
+        return self._endpoint
+
+
+def make_driver(bed: Testbed, router: Optional[Router] = None,
+                endpoint: str = "ep") -> WorkloadDriver:
+    """A workload driver bound to the testbed's controller."""
+    return WorkloadDriver(bed.sim, bed.controller, router or DirectRouter(endpoint))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as a fixed-width text table for bench output."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) >= 100 else f"{value:.3f}"
+    return str(value)

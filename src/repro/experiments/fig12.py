@@ -1,0 +1,133 @@
+"""Figure 12: single-node serving with hot invocations.
+
+(a)/(b): fixed-rate sweeps of MBNET and RSNET under TVM on SGX2,
+comparing Native / Iso-reuse / SeSeMI.  Expected shape: Native saturates
+below 15 rps (per-request enclave launch + attestation), Iso-reuse and
+SeSeMI coincide for MBNET (~46 rps, the platform ceiling) but diverge
+for RSNET, whose expensive runtime init Iso-reuse repeats per request.
+
+(c)/(d): the same sweep for SeSeMI on EPC-limited SGX1 hardware with
+TVM vs TFLM and 1 vs 4 threads per enclave: TFLM sustains a higher rate
+because its working set stays closer to the 128 MB EPC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import (
+    deploy_single_model,
+    format_table,
+    make_driver,
+    make_testbed,
+    sgx1_testbed,
+)
+from repro.workloads.arrival import fixed_rate
+from repro.workloads.metrics import LatencyStats, throughput_rps
+
+#: the paper warms the sandbox instances up before measuring so that no
+#: cold invocation is included (Section VI-B); we ramp the rate up in
+#: steps so capacity is provisioned without a cold-start stampede, then
+#: measure the final steady window.
+RAMP_STEPS = (0.1, 0.25, 0.5)
+RAMP_STEP_S = 40.0
+STEADY_S = 120.0
+MEASURE_S = 60.0
+
+
+def _ramped_arrivals(rate: float):
+    arrivals = []
+    offset = 0.0
+    for fraction in RAMP_STEPS:
+        step_rate = max(rate * fraction, 0.2)
+        step = fixed_rate(step_rate, RAMP_STEP_S, "m", "u")
+        arrivals += [
+            type(a)(time=a.time + offset, model_id=a.model_id, user_id=a.user_id)
+            for a in step
+        ]
+        offset += RAMP_STEP_S
+    steady = fixed_rate(rate, STEADY_S, "m", "u")
+    arrivals += [
+        type(a)(time=a.time + offset, model_id=a.model_id, user_id=a.user_id)
+        for a in steady
+    ]
+    measure_from = offset + STEADY_S - MEASURE_S
+    return arrivals, measure_from, offset + STEADY_S
+
+
+def _sweep_point(bed, rate: float) -> tuple:
+    driver = make_driver(bed)
+    arrivals, measure_from, duration = _ramped_arrivals(rate)
+    driver.submit_arrivals(arrivals)
+    report = driver.run(until=duration + 900.0)
+    measured = [r for r in report.results if r.submitted_at >= measure_from]
+    stats = LatencyStats.of(measured)
+    return throughput_rps(measured), stats.mean, stats.p95
+
+
+def run_sgx2(
+    model_name: str,
+    rates=(5, 10, 15, 20, 30, 40, 46),
+    systems=("Native", "Iso-reuse", "SeSeMI"),
+) -> List[tuple]:
+    """Rate sweep for one model on SGX2 across the three systems."""
+    rows = []
+    for system in systems:
+        for rate in rates:
+            bed = make_testbed(num_nodes=1)
+            deploy_single_model(bed, system, model_name, "tvm")
+            tput, mean, p95 = _sweep_point(bed, rate)
+            rows.append((system, rate, tput, mean, p95))
+    return rows
+
+
+def run_sgx1(
+    model_name: str = "MBNET",
+    rates=(2, 5, 10, 14, 18, 22),
+) -> List[tuple]:
+    """Rate sweep on EPC-limited SGX1 across framework/thread variants."""
+    rows = []
+    for framework in ("tvm", "tflm"):
+        for threads in (1, 4):
+            label = f"{framework.upper()}-{threads}"
+            for rate in rates:
+                bed = sgx1_testbed(num_nodes=1)
+                deploy_single_model(
+                    bed, "SeSeMI", model_name, framework, tcs_count=threads
+                )
+                tput, mean, p95 = _sweep_point(bed, rate)
+                rows.append((label, rate, tput, mean, p95))
+    return rows
+
+
+def run(quick: bool = False) -> dict:
+    """Run the full figure (12a-d); ``quick`` shrinks the rate grids."""
+    rates = (5, 20, 40) if quick else (5, 10, 15, 20, 30, 40, 46)
+    sgx1_rates = (2, 10, 18) if quick else (2, 5, 10, 14, 18, 22)
+    return {
+        "mbnet": run_sgx2("MBNET", rates=rates),
+        "rsnet": run_sgx2("RSNET", rates=(1, 2, 3, 5, 8) if quick else (1, 2, 3, 4, 5, 8, 12)),
+        "sgx1": run_sgx1(rates=sgx1_rates),
+    }
+
+
+def format_report(result: dict) -> str:
+    """Render the experiment result as a paper-style text table."""
+    headers = ["system", "offered rps", "tput rps", "mean (s)", "p95 (s)"]
+    lines = [
+        "Figure 12a -- MBNET (TVM, SGX2): Native saturates first; Iso-reuse",
+        "and SeSeMI are close (the platform is the ceiling).",
+        "",
+        format_table(headers, result["mbnet"]),
+        "",
+        "Figure 12b -- RSNET (TVM, SGX2): Iso-reuse peaks below SeSeMI",
+        "(it repeats model loading + runtime init per request).",
+        "",
+        format_table(headers, result["rsnet"]),
+        "",
+        "Figure 12c/d -- MBNET on SGX1 (128MB EPC): TFLM sustains higher",
+        "rates than TVM; 4-thread enclaves beat 1-thread on memory.",
+        "",
+        format_table(["config", *headers[1:]], result["sgx1"]),
+    ]
+    return "\n".join(lines)

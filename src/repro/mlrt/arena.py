@@ -1,0 +1,79 @@
+"""Static tensor-arena planning (the TFLM memory planner).
+
+Given the size and live range of every intermediate tensor, assign each
+an offset in a single arena so that tensors whose live ranges overlap
+never share bytes, while tensors that are dead can be overwritten.  This
+is the greedy-by-size planner TFLM ships, and it is why the TFLM runtime
+buffers in Table I are so much smaller than the TVM ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ModelError
+
+_ALIGN = 64
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class TensorLife:
+    """One tensor's arena requirements: size and [first, last] node index."""
+
+    name: str
+    nbytes: int
+    first_use: int
+    last_use: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ModelError(f"tensor {self.name!r} has negative size")
+        if self.last_use < self.first_use:
+            raise ModelError(f"tensor {self.name!r} dies before it is defined")
+
+    def overlaps(self, other: "TensorLife") -> bool:
+        """True when the two live ranges intersect (cannot share bytes)."""
+        return self.first_use <= other.last_use and other.first_use <= self.last_use
+
+
+@dataclass(frozen=True)
+class ArenaPlan:
+    """Offsets for every tensor plus the total arena size."""
+
+    offsets: Dict[str, int]
+    total_bytes: int
+
+
+def plan_arena(tensors: Sequence[TensorLife]) -> ArenaPlan:
+    """Greedy-by-size offset assignment with live-range overlap checks.
+
+    Tensors are placed largest-first at the lowest offset that does not
+    collide with any already-placed tensor whose live range overlaps --
+    the strategy of TFLM's ``GreedyMemoryPlanner``.
+    """
+    placed: List[Tuple[TensorLife, int]] = []
+    offsets: Dict[str, int] = {}
+    ordering = sorted(tensors, key=lambda t: (-t.nbytes, t.first_use, t.name))
+    for tensor in ordering:
+        size = _align(tensor.nbytes) or _ALIGN
+        conflicts = sorted(
+            ((off, off + (_align(p.nbytes) or _ALIGN)) for p, off in placed
+             if p.overlaps(tensor)),
+            key=lambda span: span[0],
+        )
+        candidate = 0
+        for start, end in conflicts:
+            if candidate + size <= start:
+                break
+            candidate = max(candidate, end)
+        offsets[tensor.name] = candidate
+        placed.append((tensor, candidate))
+    total = max(
+        (off + (_align(t.nbytes) or _ALIGN) for t, off in placed), default=0
+    )
+    return ArenaPlan(offsets=offsets, total_bytes=total)

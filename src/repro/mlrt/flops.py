@@ -1,0 +1,62 @@
+"""Compute-cost estimation: multiply-accumulate counts per model.
+
+The paper's latency hierarchy (RSNET >> DSNET >> MBNET) follows from the
+models' arithmetic intensity.  This estimator derives per-operator MAC
+counts from the graph, which the tests use to check that the runnable
+zoo preserves the paper's compute ordering, and which downstream users
+can use to size their own cost models.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Dict
+
+from repro.errors import ModelError
+from repro.mlrt.model import Model
+
+
+def node_macs(model: Model, node_name: str) -> int:
+    """Multiply-accumulate operations performed by one node."""
+    node = next((n for n in model.nodes if n.name == node_name), None)
+    if node is None:
+        raise ModelError(f"no node named {node_name!r}")
+    out_shape = model.shape_of(node.name)
+    if node.op == "conv2d":
+        kh, kw, cin, _ = model.weights[f"{node.name}.weight"].shape
+        return prod(out_shape) * kh * kw * cin
+    if node.op == "depthwise_conv2d":
+        kh, kw, _ = model.weights[f"{node.name}.weight"].shape
+        return prod(out_shape) * kh * kw
+    if node.op == "dense":
+        cin, cout = model.weights[f"{node.name}.weight"].shape
+        return out_shape[0] * cin * cout
+    if node.op in ("batch_norm", "relu", "relu6", "add", "softmax"):
+        return prod(out_shape)  # elementwise
+    if node.op in ("max_pool", "avg_pool"):
+        size = node.attrs["size"]
+        return prod(out_shape) * size * size
+    if node.op in ("global_avg_pool", "concat"):
+        return prod(out_shape)
+    raise ModelError(f"no MAC formula for op {node.op!r}")
+
+
+def model_macs(model: Model) -> int:
+    """Total MACs for one inference."""
+    return sum(node_macs(model, node.name) for node in model.nodes)
+
+
+def summarize(model: Model) -> Dict[str, Dict[str, int]]:
+    """Per-node summary: output elements, parameters, MACs."""
+    summary: Dict[str, Dict[str, int]] = {}
+    for node in model.nodes:
+        params = sum(
+            model.weights[f"{node.name}.{w}"].size
+            for w in model.node_weights(node)
+        )
+        summary[node.name] = {
+            "output_elements": prod(model.shape_of(node.name)),
+            "parameters": params,
+            "macs": node_macs(model, node.name),
+        }
+    return summary

@@ -1,0 +1,84 @@
+"""Common inference-framework interface (SeMIRT's integration surface).
+
+SeMIRT integrates a framework through four calls -- ``MODEL_LOAD``,
+``RUNTIME_INIT``, ``MODEL_EXEC``, ``PREPARE_OUTPUT`` (Figure 5) -- and
+that is exactly the surface expressed here: a framework deserialises a
+model artifact, creates per-thread runtimes, executes, and serialises
+outputs.  Frameworks differ in *memory behaviour*: the property
+``runtime_buffer_bytes`` reports how much working memory a runtime pins
+inside the enclave, which drives every memory experiment in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mlrt.model import Model
+
+
+class ModelRuntime(ABC):
+    """A per-thread execution context bound to one loaded model."""
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+        self._last_output: np.ndarray | None = None
+
+    @abstractmethod
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Run inference on a single input batch."""
+
+    @property
+    @abstractmethod
+    def buffer_bytes(self) -> int:
+        """Working memory this runtime pins (excludes the loaded model)."""
+
+    def prepare_output(self) -> bytes:
+        """Serialise the last output to bytes (Figure 5's PREPARE_OUTPUT)."""
+        if self._last_output is None:
+            raise ModelError("no output available; call execute() first")
+        return self._last_output.astype(np.float32).tobytes()
+
+    def clear(self) -> None:
+        """Drop per-request state (the strong-isolation reset of Section V)."""
+        self._last_output = None
+
+
+class InferenceFramework(ABC):
+    """A model inference framework integrated with SeMIRT."""
+
+    name: str
+
+    @abstractmethod
+    def create_runtime(self, model: Model) -> ModelRuntime:
+        """RUNTIME_INIT: build a fresh per-thread runtime for ``model``."""
+
+    def load_model(self, artifact: bytes) -> Model:
+        """MODEL_LOAD (plaintext half): deserialise a model artifact."""
+        return Model.deserialize(artifact)
+
+
+_REGISTRY: Dict[str, InferenceFramework] = {}
+
+
+def register_framework(framework: InferenceFramework) -> InferenceFramework:
+    """Register a framework instance under its name."""
+    _REGISTRY[framework.name] = framework
+    return framework
+
+
+def get_framework(name: str) -> InferenceFramework:
+    """Look up a registered framework (``"tvm"`` or ``"tflm"`` built in)."""
+    # Built-ins register on import; import them lazily (cheap after the
+    # first call) to avoid an import cycle with the runtime modules.
+    from repro.mlrt import tflm_rt, tvm_rt  # noqa: F401
+
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown inference framework {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

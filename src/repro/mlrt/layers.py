@@ -1,0 +1,221 @@
+"""Neural-network operators implemented with numpy.
+
+Each operator is a pure function plus a shape-inference helper; the graph
+executors in :mod:`repro.mlrt.tvm_rt` and :mod:`repro.mlrt.tflm_rt` call
+these through a single dispatch table, which is what guarantees the two
+frameworks compute identical results (a cross-check the tests exploit).
+
+Layout is NHWC, matching both TFLM and the paper's TVM builds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _pad_hw(x: np.ndarray, pad: int) -> np.ndarray:
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> np.ndarray:
+    """Extract (N, OH, OW, KH*KW*C) patches from an NHWC tensor."""
+    n, h, w, c = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(
+            strides[0],
+            strides[1] * stride,
+            strides[2] * stride,
+            strides[1],
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    return windows.reshape(n, oh, ow, kh * kw * c)
+
+
+# ---------------------------------------------------------------------------
+# forward implementations
+# ---------------------------------------------------------------------------
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, *, stride: int, pad: int) -> np.ndarray:
+    """2-D convolution; weight layout (KH, KW, CIN, COUT)."""
+    kh, kw, cin, cout = weight.shape
+    x = _pad_hw(x, pad)
+    cols = _im2col(x, kh, kw, stride)
+    out = cols @ weight.reshape(kh * kw * cin, cout)
+    return (out + bias).astype(np.float32)
+
+
+def depthwise_conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray, *, stride: int, pad: int) -> np.ndarray:
+    """Depthwise convolution; weight layout (KH, KW, C)."""
+    kh, kw, c = weight.shape
+    x = _pad_hw(x, pad)
+    cols = _im2col(x, kh, kw, stride)  # (N, OH, OW, KH*KW*C)
+    n, oh, ow, _ = cols.shape
+    cols = cols.reshape(n, oh, ow, kh * kw, c)
+    out = np.einsum("nhwkc,kc->nhwc", cols, weight.reshape(kh * kw, c))
+    return (out + bias).astype(np.float32)
+
+
+def dense(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Fully-connected layer; weight layout (IN, OUT)."""
+    return (x.reshape(x.shape[0], -1) @ weight + bias).astype(np.float32)
+
+
+def batch_norm(x: np.ndarray, scale: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Inference-time batch norm with folded scale/shift."""
+    return (x * scale + shift).astype(np.float32)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0.0)
+
+
+def relu6(x: np.ndarray) -> np.ndarray:
+    """Elementwise clip(x, 0, 6) (MobileNet's activation)."""
+    return np.clip(x, 0.0, 6.0)
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise addition (residual connections)."""
+    return (a + b).astype(np.float32)
+
+
+def concat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Channel concatenation (DenseNet's connective tissue)."""
+    return np.concatenate([a, b], axis=-1)
+
+
+def max_pool(x: np.ndarray, *, size: int, stride: int) -> np.ndarray:
+    """Max pooling over size x size windows."""
+    cols = _im2col(x, size, size, stride)
+    n, oh, ow, _ = cols.shape
+    return cols.reshape(n, oh, ow, size * size, x.shape[3]).max(axis=3)
+
+
+def avg_pool(x: np.ndarray, *, size: int, stride: int) -> np.ndarray:
+    """Average pooling over size x size windows."""
+    cols = _im2col(x, size, size, stride)
+    n, oh, ow, _ = cols.shape
+    return cols.reshape(n, oh, ow, size * size, x.shape[3]).mean(axis=3).astype(np.float32)
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Mean over the spatial dimensions, (N,H,W,C) -> (N,C)."""
+    return x.mean(axis=(1, 2)).astype(np.float32)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable softmax over the last axis."""
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return (e / e.sum(axis=-1, keepdims=True)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# shape inference
+# ---------------------------------------------------------------------------
+
+
+def _conv_hw(h: int, w: int, k: int, stride: int, pad: int) -> Tuple[int, int]:
+    return (h + 2 * pad - k) // stride + 1, (w + 2 * pad - k) // stride + 1
+
+
+def infer_shape(
+    op: str,
+    input_shapes: Sequence[Tuple[int, ...]],
+    attrs: Mapping,
+    weight_shapes: Mapping[str, Tuple[int, ...]],
+) -> Tuple[int, ...]:
+    """Output shape of ``op`` given input shapes, attributes, weights."""
+    first = input_shapes[0]
+    if op == "conv2d":
+        kh, kw, _, cout = weight_shapes["weight"]
+        n, h, w, _ = first
+        oh, ow = _conv_hw(h, w, kh, attrs["stride"], attrs["pad"])
+        return (n, oh, ow, cout)
+    if op == "depthwise_conv2d":
+        kh, kw, c = weight_shapes["weight"]
+        n, h, w, _ = first
+        oh, ow = _conv_hw(h, w, kh, attrs["stride"], attrs["pad"])
+        return (n, oh, ow, c)
+    if op == "dense":
+        _, cout = weight_shapes["weight"]
+        return (first[0], cout)
+    if op in ("batch_norm", "relu", "relu6", "softmax"):
+        return tuple(first)
+    if op == "add":
+        if tuple(input_shapes[0]) != tuple(input_shapes[1]):
+            raise ModelError("add requires matching shapes")
+        return tuple(first)
+    if op == "concat":
+        a, b = input_shapes
+        if a[:-1] != b[:-1]:
+            raise ModelError("concat requires matching leading dims")
+        return tuple(a[:-1]) + (a[-1] + b[-1],)
+    if op in ("max_pool", "avg_pool"):
+        n, h, w, c = first
+        oh, ow = _conv_hw(h, w, attrs["size"], attrs["stride"], 0)
+        return (n, oh, ow, c)
+    if op == "global_avg_pool":
+        return (first[0], first[3])
+    raise ModelError(f"unknown op {op!r}")
+
+
+def run_op(
+    op: str,
+    inputs: List[np.ndarray],
+    attrs: Mapping,
+    weights: Mapping[str, np.ndarray],
+) -> np.ndarray:
+    """Execute ``op`` on concrete tensors (the single dispatch point)."""
+    if op == "conv2d":
+        return conv2d(inputs[0], weights["weight"], weights["bias"],
+                      stride=attrs["stride"], pad=attrs["pad"])
+    if op == "depthwise_conv2d":
+        return depthwise_conv2d(inputs[0], weights["weight"], weights["bias"],
+                                stride=attrs["stride"], pad=attrs["pad"])
+    if op == "dense":
+        return dense(inputs[0], weights["weight"], weights["bias"])
+    if op == "batch_norm":
+        return batch_norm(inputs[0], weights["scale"], weights["shift"])
+    if op == "relu":
+        return relu(inputs[0])
+    if op == "relu6":
+        return relu6(inputs[0])
+    if op == "add":
+        return add(inputs[0], inputs[1])
+    if op == "concat":
+        return concat(inputs[0], inputs[1])
+    if op == "max_pool":
+        return max_pool(inputs[0], size=attrs["size"], stride=attrs["stride"])
+    if op == "avg_pool":
+        return avg_pool(inputs[0], size=attrs["size"], stride=attrs["stride"])
+    if op == "global_avg_pool":
+        return global_avg_pool(inputs[0])
+    if op == "softmax":
+        return softmax(inputs[0])
+    raise ModelError(f"unknown op {op!r}")
+
+
+#: ops that carry weights, and the weight names they expect
+WEIGHTED_OPS: Dict[str, Tuple[str, ...]] = {
+    "conv2d": ("weight", "bias"),
+    "depthwise_conv2d": ("weight", "bias"),
+    "dense": ("weight", "bias"),
+    "batch_norm": ("scale", "shift"),
+}

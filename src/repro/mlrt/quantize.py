@@ -1,0 +1,136 @@
+"""Post-training weight quantization (dynamic-range, TFLM style).
+
+Model size drives everything in SeSeMI -- download time, decryption
+time, enclave memory -- so shrinking artifacts is a first-order lever.
+This module implements per-tensor affine int8 quantization of weights
+("dynamic range quantization" in TFLite terms): weights are stored as
+int8 plus one float scale per tensor and dequantized on load, cutting
+the artifact roughly 4x while perturbing outputs only slightly.
+
+The quantized artifact is a self-contained binary (magic-tagged like the
+float format) that the owner encrypts and uploads exactly like a float
+model.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mlrt.model import GraphNode, Model
+from repro.mlrt.tensor import TensorSpec
+
+_QMAGIC = b"SESEMIQ1"
+_INT8_MAX = 127
+
+
+def quantize_array(array: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Symmetric per-tensor int8 quantization; returns ``(q, scale)``."""
+    array = np.asarray(array, dtype=np.float32)
+    peak = float(np.abs(array).max()) if array.size else 0.0
+    if peak == 0.0:
+        return np.zeros(array.shape, dtype=np.int8), 1.0
+    scale = peak / _INT8_MAX
+    quantized = np.clip(np.round(array / scale), -_INT8_MAX, _INT8_MAX)
+    return quantized.astype(np.int8), scale
+
+
+def dequantize_array(quantized: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_array` (lossy)."""
+    return (quantized.astype(np.float32)) * scale
+
+
+def quantize_model(model: Model) -> bytes:
+    """Serialise ``model`` with int8 weights; ~4x smaller than float32."""
+    manifest = []
+    blobs = []
+    offset = 0
+    for wname in sorted(model.weights):
+        quantized, scale = quantize_array(model.weights[wname])
+        raw = quantized.tobytes()
+        manifest.append(
+            {
+                "name": wname,
+                "shape": list(quantized.shape),
+                "scale": scale,
+                "offset": offset,
+                "nbytes": len(raw),
+            }
+        )
+        blobs.append(raw)
+        offset += len(raw)
+    header = json.dumps(
+        {
+            "name": model.name,
+            "input": {
+                "shape": list(model.input_spec.shape),
+                "dtype": model.input_spec.dtype,
+            },
+            "nodes": [
+                {"name": n.name, "op": n.op, "inputs": list(n.inputs), "attrs": n.attrs}
+                for n in model.nodes
+            ],
+            "weights": manifest,
+        }
+    ).encode()
+    return b"".join([_QMAGIC, struct.pack(">I", len(header)), header, *blobs])
+
+
+def load_quantized(raw: bytes) -> Model:
+    """Load a quantized artifact, dequantizing weights to float32."""
+    if raw[: len(_QMAGIC)] != _QMAGIC:
+        raise ModelError("not a quantized model artifact (bad magic)")
+    if len(raw) < 12:
+        raise ModelError("truncated quantized artifact")
+    (header_len,) = struct.unpack(">I", raw[8:12])
+    try:
+        header = json.loads(raw[12 : 12 + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+        raise ModelError(f"corrupt quantized header: {exc}") from exc
+    body = raw[12 + header_len :]
+    weights: Dict[str, np.ndarray] = {}
+    for item in header["weights"]:
+        chunk = body[item["offset"] : item["offset"] + item["nbytes"]]
+        if len(chunk) != item["nbytes"]:
+            raise ModelError(f"truncated quantized weight {item['name']!r}")
+        quantized = np.frombuffer(chunk, dtype=np.int8).reshape(item["shape"])
+        weights[item["name"]] = dequantize_array(quantized, item["scale"])
+    nodes = [
+        GraphNode(name=n["name"], op=n["op"], inputs=tuple(n["inputs"]), attrs=n["attrs"])
+        for n in header["nodes"]
+    ]
+    spec = TensorSpec(tuple(header["input"]["shape"]), header["input"]["dtype"])
+    return Model(header["name"], spec, nodes, weights)
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Size and accuracy effect of quantizing one model."""
+
+    float_bytes: int
+    quantized_bytes: int
+    max_output_error: float
+
+    @property
+    def compression(self) -> float:
+        return self.float_bytes / max(self.quantized_bytes, 1)
+
+
+def evaluate_quantization(model: Model, x: np.ndarray) -> QuantizationReport:
+    """Quantize, reload, and compare outputs on one input batch."""
+    float_blob = model.serialize()
+    quant_blob = quantize_model(model)
+    restored = load_quantized(quant_blob)
+    error = float(
+        np.abs(model.run_reference(x) - restored.run_reference(x)).max()
+    )
+    return QuantizationReport(
+        float_bytes=len(float_blob),
+        quantized_bytes=len(quant_blob),
+        max_output_error=error,
+    )

@@ -1,0 +1,39 @@
+"""Tensor bookkeeping: shapes, dtype sizes, buffer arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+DTYPE_SIZES = {"float32": 4, "int8": 1, "uint8": 1, "int32": 4}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype of one tensor flowing through a model graph."""
+
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPE_SIZES:
+            raise ModelError(f"unsupported dtype {self.dtype!r}")
+        if any(dim <= 0 for dim in self.shape):
+            raise ModelError(f"non-positive dimension in shape {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        return prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * DTYPE_SIZES[self.dtype]
+
+    def zeros(self) -> np.ndarray:
+        """A zero-filled array of this spec's shape and dtype."""
+        return np.zeros(self.shape, dtype=self.dtype)

@@ -1,0 +1,96 @@
+"""The OpenWhisk action interface (`/init`, `/run`) for SeMIRT hosts.
+
+OpenWhisk talks to a container through two HTTP endpoints: ``/init``
+(once, with the action's configuration) and ``/run`` (per activation,
+with the request parameters).  The paper implements "an asynchronous
+server conforming to the OpenWhisk specified action interface" around
+SeMIRT (Section V); this module is that adapter for the functional
+stack: request/response bodies are dicts shaped like the OpenWhisk
+protocol, binary payloads are hex-encoded as they would be base64 on the
+wire, and errors map to the protocol's status codes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.semirt import SemirtHost
+from repro.errors import AccessDenied, InvocationError, ReproError
+
+OK = 200
+BAD_REQUEST = 400
+FORBIDDEN = 403
+CONFLICT = 409
+SERVER_ERROR = 502
+
+
+class ActionServer:
+    """A container-local server speaking the OpenWhisk action protocol."""
+
+    def __init__(self, semirt: SemirtHost) -> None:
+        self._semirt = semirt
+        self._initialized = False
+        self._action_name: Optional[str] = None
+        self.activations = 0
+
+    # -- /init ---------------------------------------------------------------
+
+    def init(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Handle the one-time ``/init`` call.
+
+        OpenWhisk sends ``{"value": {"name": ..., "binary": ..., ...}}``;
+        a second init on a warm container is a protocol error (409).
+        """
+        if self._initialized:
+            return {"status": CONFLICT, "error": "container already initialised"}
+        value = body.get("value")
+        if not isinstance(value, dict) or "name" not in value:
+            return {"status": BAD_REQUEST, "error": "malformed init payload"}
+        self._action_name = value["name"]
+        self._initialized = True
+        return {"status": OK, "ok": True}
+
+    # -- /run ----------------------------------------------------------------
+
+    def run(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Handle one activation.
+
+        Expected parameters (the SeSeMI function signature):
+        ``request`` (hex AES-GCM ciphertext), ``uid``, ``model_id``.
+        The response carries the encrypted output, hex-encoded.
+        """
+        if not self._initialized:
+            return {"status": BAD_REQUEST, "error": "container not initialised"}
+        value = body.get("value")
+        if not isinstance(value, dict):
+            return {"status": BAD_REQUEST, "error": "missing activation value"}
+        missing = [k for k in ("request", "uid", "model_id") if k not in value]
+        if missing:
+            return {
+                "status": BAD_REQUEST,
+                "error": f"missing parameters: {', '.join(missing)}",
+            }
+        try:
+            enc_request = bytes.fromhex(value["request"])
+        except (ValueError, TypeError):
+            return {"status": BAD_REQUEST, "error": "request is not valid hex"}
+        self.activations += 1
+        try:
+            enc_response = self._semirt.infer(
+                enc_request, value["uid"], value["model_id"]
+            )
+        except AccessDenied as exc:
+            return {"status": FORBIDDEN, "error": str(exc)}
+        except (InvocationError, ReproError) as exc:
+            return {"status": SERVER_ERROR, "error": str(exc)}
+        return {"status": OK, "response": enc_response.hex()}
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    @property
+    def action_name(self) -> Optional[str]:
+        return self._action_name

@@ -1,0 +1,66 @@
+"""Facade tying nodes + controller + storage into one platform object."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.serverless.controller import Controller, PlatformConfig
+from repro.serverless.invoker import Invoker
+from repro.serverless.storage import NFS, BlobStore, StorageProfile
+from repro.sgx.attestation import AttestationService
+from repro.sgx.epc import GB
+from repro.sgx.platform import SGX2, HardwareProfile
+from repro.sim.core import Simulation
+
+
+class ServerlessPlatform:
+    """A cluster: invokers, a controller, shared storage, attestation.
+
+    Mirrors the paper's testbed topology: N invoker nodes schedule
+    sandboxes, one logical controller routes requests, a shared store
+    holds (encrypted) model artifacts, and a cluster-wide attestation
+    service verifies quotes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_nodes: int = 1,
+        node_memory: int = 64 * GB,
+        cores_per_node: int = 12,
+        hardware: HardwareProfile = SGX2,
+        storage_profile: StorageProfile = NFS,
+        config: PlatformConfig = PlatformConfig(),
+        metrics=None,
+    ) -> None:
+        self.sim = sim
+        self.attestation = AttestationService()
+        # All nodes share one storage uplink (the cluster NFS server): at
+        # saturation, concurrent model downloads queue behind each other.
+        from repro.sim.resources import Resource
+
+        self.storage_link = Resource(sim, capacity=1, name="cluster.storage")
+        self.nodes: List[Invoker] = [
+            Invoker(
+                sim,
+                memory_bytes=node_memory,
+                cores=cores_per_node,
+                hardware=hardware,
+                attestation_service=self.attestation,
+                storage_link=self.storage_link,
+            )
+            for _ in range(num_nodes)
+        ]
+        self.controller = Controller(sim, self.nodes, config, metrics=metrics)
+        self.storage = BlobStore(storage_profile)
+        self.hardware = hardware
+
+    # Convenience pass-throughs -------------------------------------------------
+
+    def deploy(self, spec, factory) -> None:
+        """Register an action with the controller."""
+        self.controller.deploy(spec, factory)
+
+    def invoke(self, action_name, request):
+        """Submit a request; returns the completion event."""
+        return self.controller.invoke(action_name, request)

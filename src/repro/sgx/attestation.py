@@ -1,0 +1,159 @@
+"""Remote attestation: reports, quotes, quoting enclave, verification.
+
+The chain mirrors Intel's architecture:
+
+- an enclave produces a local **report** carrying its MRENCLAVE, security
+  version, attributes, and 64 bytes of caller-chosen ``report_data``
+  (SeSeMI binds the hash of the RA-TLS handshake key here);
+- the platform's **quoting enclave** turns a report into a **quote** by
+  signing it with an attestation key provisioned by the manufacturer
+  (EPID on SGX1, ECDSA/DCAP on SGX2 -- both are Schnorr signatures in our
+  model, differing in the verification *path* and cost);
+- a relying party verifies the quote against the manufacturer root and
+  checks the enclave identity against its expected value.
+
+Verification for EPID-style quotes models the round trip to the Intel
+Attestation Service; DCAP verification is local against cached collateral.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.crypto.signature import Signature, SigningKey, VerifyKey
+from repro.errors import AttestationError
+from repro.sgx.measurement import EnclaveMeasurement
+
+REPORT_DATA_SIZE = 64
+
+
+class AttestationKind(str, Enum):
+    """Which attestation flavour a platform supports."""
+
+    EPID = "epid"  # SGX1: quote verified via the Intel Attestation Service
+    DCAP = "dcap"  # SGX2: ECDSA quote verified locally against collateral
+
+
+@dataclass(frozen=True)
+class Report:
+    """A local attestation report (EREPORT output)."""
+
+    mrenclave: EnclaveMeasurement
+    isv_svn: int
+    debug: bool
+    report_data: bytes
+    platform_id: str
+
+    def __post_init__(self) -> None:
+        if len(self.report_data) != REPORT_DATA_SIZE:
+            raise AttestationError(
+                f"report_data must be exactly {REPORT_DATA_SIZE} bytes"
+            )
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding covered by the quote signature."""
+        platform = self.platform_id.encode()
+        return b"".join(
+            [
+                b"SGXREPORT",
+                self.mrenclave.to_bytes(),
+                struct.pack(">HB", self.isv_svn, int(self.debug)),
+                self.report_data,
+                struct.pack(">H", len(platform)),
+                platform,
+            ]
+        )
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed attestation quote."""
+
+    report: Report
+    kind: AttestationKind
+    signature: Signature
+
+    def signed_payload(self) -> bytes:
+        """The bytes the attestation key signed (kind + report encoding)."""
+        return self.kind.value.encode() + b"\x00" + self.report.encode()
+
+
+class QuotingEnclave:
+    """The per-platform quoting enclave holding the attestation key."""
+
+    def __init__(self, kind: AttestationKind, attestation_key: SigningKey) -> None:
+        self.kind = kind
+        self._key = attestation_key
+        self.quotes_generated = 0
+
+    def quote(self, report: Report) -> Quote:
+        """Sign ``report`` into a quote."""
+        self.quotes_generated += 1
+        payload = self.kind.value.encode() + b"\x00" + report.encode()
+        return Quote(report=report, kind=self.kind, signature=self._key.sign(payload))
+
+
+@dataclass
+class QuotePolicy:
+    """What a relying party requires of a quote."""
+
+    expected_mrenclave: Optional[EnclaveMeasurement] = None
+    min_isv_svn: int = 0
+    allow_debug: bool = False
+
+
+class AttestationService:
+    """Verifies quotes against the manufacturer's root of trust.
+
+    A single service instance plays the role of both the Intel
+    Attestation Service (EPID path) and the cached DCAP collateral
+    (ECDSA path); enclave platforms register their attestation keys with
+    it at provisioning time, exactly as Intel provisions real hardware.
+    """
+
+    def __init__(self) -> None:
+        self._roots: dict[str, VerifyKey] = {}
+        self.verifications = 0
+
+    def provision_platform(self, platform_id: str, key: SigningKey) -> None:
+        """Record the attestation public key for a platform."""
+        self._roots[platform_id] = key.verify_key
+
+    def verify(self, quote: Quote, policy: QuotePolicy | None = None) -> Report:
+        """Verify a quote's signature and policy; return the inner report.
+
+        Raises :class:`AttestationError` on any failure: unknown platform,
+        bad signature, stale security version, debug enclave, or identity
+        mismatch.
+        """
+        self.verifications += 1
+        root = self._roots.get(quote.report.platform_id)
+        if root is None:
+            raise AttestationError(
+                f"unknown platform {quote.report.platform_id!r}: not provisioned"
+            )
+        try:
+            root.verify(quote.signed_payload(), quote.signature)
+        except Exception as exc:
+            raise AttestationError(f"quote signature invalid: {exc}") from exc
+        policy = policy or QuotePolicy()
+        report = quote.report
+        if report.debug and not policy.allow_debug:
+            raise AttestationError("debug enclaves are not acceptable")
+        if report.isv_svn < policy.min_isv_svn:
+            raise AttestationError(
+                f"security version {report.isv_svn} below minimum {policy.min_isv_svn}"
+            )
+        if (
+            policy.expected_mrenclave is not None
+            and report.mrenclave != policy.expected_mrenclave
+        ):
+            raise AttestationError(
+                "enclave identity mismatch: "
+                f"got {report.mrenclave.value[:16]}, "
+                f"expected {policy.expected_mrenclave.value[:16]}"
+            )
+        return report

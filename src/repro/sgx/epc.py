@@ -1,0 +1,133 @@
+"""Enclave Page Cache (EPC) accounting and paging cost model.
+
+SGX reserves a fixed region of physical memory for enclave pages: 128 MB
+on the paper's SGX1 machines, configurable up to 64 GB on its SGX2
+machines.  When the total working set of live enclaves exceeds the EPC,
+the kernel driver pages enclave memory in and out with an expensive
+encrypt/evict cycle, which is the effect behind Figures 11b, 12c/d.
+
+The manager tracks committed bytes per enclave, allows over-commit (as
+the hardware does, with paging), and exposes a *slowdown factor* used by
+the performance model: 1.0 while everything fits, growing with the
+over-commit ratio once it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import EpcError
+
+PAGE_SIZE = 4096
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+def _round_to_pages(nbytes: int) -> int:
+    return ((nbytes + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+
+
+@dataclass
+class EpcStats:
+    """Counters exposed for experiments and assertions."""
+
+    peak_committed: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+
+class EpcManager:
+    """Tracks enclave page commitments against an EPC capacity.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Size of the EPC (e.g. ``128 * MB`` for SGX1).
+    paging_slope:
+        How fast the slowdown grows per unit of over-commit ratio.  The
+        default is calibrated so a 2x over-commit roughly quadruples
+        access latency, matching the steep knees in Figure 11b.
+    """
+
+    def __init__(self, capacity_bytes: int, paging_slope: float = 3.0) -> None:
+        if capacity_bytes <= 0:
+            raise EpcError("EPC capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.paging_slope = paging_slope
+        self._committed: Dict[str, int] = {}
+        self.stats = EpcStats()
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def committed_bytes(self) -> int:
+        """Total bytes currently committed across all enclaves."""
+        return sum(self._committed.values())
+
+    def committed_for(self, enclave_id: str) -> int:
+        """Bytes currently committed by one enclave."""
+        return self._committed.get(enclave_id, 0)
+
+    def allocate(self, enclave_id: str, nbytes: int) -> int:
+        """Commit ``nbytes`` (page-rounded) for ``enclave_id``.
+
+        Over-commit is allowed -- the hardware pages -- but a single
+        enclave may not exceed the EPC capacity on SGX1-like platforms
+        where enclave size is bounded by the driver; we enforce only
+        non-negative sizes here and leave policy to the platform.
+        """
+        if nbytes < 0:
+            raise EpcError("cannot allocate a negative number of bytes")
+        rounded = _round_to_pages(nbytes)
+        self._committed[enclave_id] = self._committed.get(enclave_id, 0) + rounded
+        self.stats.allocations += 1
+        self.stats.peak_committed = max(self.stats.peak_committed, self.committed_bytes)
+        return rounded
+
+    def free(self, enclave_id: str, nbytes: int | None = None) -> None:
+        """Release ``nbytes`` (or everything) committed by ``enclave_id``."""
+        held = self._committed.get(enclave_id, 0)
+        if nbytes is None:
+            released = held
+        else:
+            released = _round_to_pages(nbytes)
+            if released > held:
+                raise EpcError(
+                    f"enclave {enclave_id} frees {released} bytes but holds {held}"
+                )
+        remaining = held - released
+        if remaining:
+            self._committed[enclave_id] = remaining
+        else:
+            self._committed.pop(enclave_id, None)
+        self.stats.frees += 1
+
+    # -- performance model -----------------------------------------------------
+
+    @property
+    def pressure(self) -> float:
+        """Committed-to-capacity ratio (>1 means the EPC is over-committed)."""
+        return self.committed_bytes / self.capacity_bytes
+
+    def access_slowdown(self) -> float:
+        """Multiplier on enclave memory-bound work under current pressure.
+
+        1.0 while the combined working set fits in the EPC; beyond that
+        the cost of the evict/reload cycle grows with the over-commit
+        ratio.  This shape (flat, then a steep knee at the EPC limit)
+        matches Figure 11b.
+        """
+        over = self.pressure - 1.0
+        if over <= 0:
+            return 1.0
+        return 1.0 + self.paging_slope * over
+
+    def slowdown_for_working_set(self, extra_bytes: int = 0) -> float:
+        """Slowdown if ``extra_bytes`` more were committed (what-if probe)."""
+        ratio = (self.committed_bytes + extra_bytes) / self.capacity_bytes
+        over = ratio - 1.0
+        if over <= 0:
+            return 1.0
+        return 1.0 + self.paging_slope * over

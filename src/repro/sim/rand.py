@@ -1,0 +1,38 @@
+"""Seeded random streams for reproducible experiments.
+
+Every stochastic component (arrival process, jitter source) draws from
+its own named stream so adding a new component never perturbs the draws
+of existing ones -- experiment outputs stay bit-identical across runs and
+refactorings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """A family of independent, deterministically-seeded RNG streams."""
+
+    def __init__(self, seed: int = 2025) -> None:
+        self.seed = seed
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name`` (created on first use)."""
+        generator = self._streams.get(name)
+        if generator is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            generator = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = generator
+        return generator
+
+    def exponential(self, name: str, mean: float) -> float:
+        """One exponential draw with the given mean from stream ``name``."""
+        return float(self.stream(name).exponential(mean))
+
+    def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw from stream ``name``."""
+        return float(self.stream(name).uniform(low, high))

@@ -1,0 +1,107 @@
+"""Shared resources for simulation processes.
+
+- :class:`Resource` -- a counted resource (CPU cores of an invoker node);
+  requests queue FIFO when the capacity is exhausted.
+- :class:`Store` -- an unbounded FIFO message queue (request inboxes);
+  ``get`` events fire in arrival order as items are put.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulation
+
+
+class ResourceRequest(Event):
+    """A pending or granted claim on one unit of a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: Simulation, resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    Usage from a process::
+
+        req = cores.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            cores.release(req)
+    """
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: Deque[ResourceRequest] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> ResourceRequest:
+        """Claim one unit; the returned event fires when granted."""
+        req = ResourceRequest(self.sim, self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: ResourceRequest) -> None:
+        """Return the unit held by ``req`` and admit the next waiter."""
+        if req.resource is not self:
+            raise SimulationError("request belongs to a different resource")
+        if self._waiting:
+            successor = self._waiting.popleft()
+            successor.succeed()
+        else:
+            if self._in_use == 0:
+                raise SimulationError(f"{self.name}: release without request")
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, sim: Simulation, name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

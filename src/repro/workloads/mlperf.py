@@ -1,0 +1,50 @@
+"""The MLPerf-style mixed workload of the FnPacker evaluation (Section VI-D).
+
+Two representative MLPerf patterns are mixed:
+
+- Poisson streams to the popular models ``m0`` and ``m1`` at 2 rps each
+  for eight minutes;
+- two interactive sessions (around minutes 4 and 6) in which one user
+  queries models ``m0`` .. ``m4`` sequentially on the same sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.arrival import Arrival, Session, merge_arrivals, poisson
+
+
+@dataclass(frozen=True)
+class FnPackerWorkload:
+    """The generated workload: open-loop arrivals plus sessions."""
+
+    arrivals: List[Arrival]
+    sessions: Tuple[Session, ...]
+
+
+def build_fnpacker_workload(
+    popular_rate_rps: float = 2.0,
+    duration_s: float = 480.0,
+    session_times: Tuple[float, ...] = (240.0, 360.0),
+    model_ids: Tuple[str, ...] = ("m0", "m1", "m2", "m3", "m4"),
+    seed: int = 2025,
+) -> FnPackerWorkload:
+    """Generate the Table III / IV workload.
+
+    ``model_ids[0]`` and ``model_ids[1]`` receive the Poisson traffic;
+    every session queries all of ``model_ids`` in order.
+    """
+    rng = np.random.default_rng(seed)
+    streams = [
+        poisson(popular_rate_rps, duration_s, model_ids[0], user_id="alice", rng=rng),
+        poisson(popular_rate_rps, duration_s, model_ids[1], user_id="bob", rng=rng),
+    ]
+    sessions = tuple(
+        Session(start_time=at, models=model_ids, user_id="analyst")
+        for at in session_times
+    )
+    return FnPackerWorkload(arrivals=merge_arrivals(*streams), sessions=sessions)

@@ -1,0 +1,47 @@
+"""Unicode sparklines for rendering timelines in text reports.
+
+The MMPP experiments produce latency-over-time series (Figure 13's
+plots); the report renders them inline as block-character sparklines so
+the burst/recovery dynamics are visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """Render ``values`` as a block-character sparkline.
+
+    ``lo``/``hi`` pin the scale (useful for comparing several lines);
+    they default to the series' own range.  A flat series renders as a
+    row of low blocks rather than dividing by zero.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BARS[0] * len(values)
+    out = []
+    for value in values:
+        position = (value - lo) / span
+        index = min(int(position * len(_BARS)), len(_BARS) - 1)
+        out.append(_BARS[max(index, 0)])
+    return "".join(out)
+
+
+def labelled_sparkline(label: str, values: Sequence[float],
+                       unit: str = "s", width: int = 12) -> str:
+    """One report line: label, sparkline, and the min/max annotations."""
+    if not values:
+        return f"{label:<{width}} (no data)"
+    line = sparkline(values)
+    return (
+        f"{label:<{width}} {line}  "
+        f"[{min(values):.2f}{unit} .. {max(values):.2f}{unit}]"
+    )

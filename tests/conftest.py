@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import SeSeMIEnvironment
+from repro.mlrt.zoo import build_mobilenet
+from repro.sgx.attestation import AttestationService
+from repro.sgx.platform import SGX2, SgxPlatform
+from repro.sim.core import Simulation
+
+
+@pytest.fixture()
+def sim() -> Simulation:
+    return Simulation()
+
+
+@pytest.fixture()
+def attestation() -> AttestationService:
+    return AttestationService()
+
+
+@pytest.fixture()
+def sgx_platform(attestation) -> SgxPlatform:
+    return SgxPlatform(SGX2, attestation_service=attestation)
+
+
+@pytest.fixture(scope="module")
+def env() -> SeSeMIEnvironment:
+    """A functional SeSeMI deployment shared within a test module."""
+    return SeSeMIEnvironment()
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    return build_mobilenet()
+
+
+@pytest.fixture(scope="module")
+def tiny_input(tiny_model):
+    rng = np.random.default_rng(42)
+    return rng.standard_normal(tiny_model.input_spec.shape).astype(np.float32)

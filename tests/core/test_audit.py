@@ -1,0 +1,106 @@
+"""The hash-chained KeyService audit log (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import (
+    GENESIS,
+    AuditEntry,
+    AuditLog,
+    attach_audit_log,
+    fetch_audit_entries,
+)
+from repro.core.client import KeyServiceConnection
+from repro.core.deployment import SeSeMIEnvironment
+from repro.errors import SeSeMIError
+from repro.mlrt.zoo import build_mobilenet
+
+
+@pytest.fixture(scope="module")
+def audited_world():
+    env = SeSeMIEnvironment()
+    log = attach_audit_log(env.keyservice.code)
+    owner = env.connect_owner()
+    user = env.connect_user()
+    model = build_mobilenet()
+    semirt = env.launch_semirt("tvm")
+    env.authorize(owner, user, model, "m", semirt.measurement)
+    x = np.zeros(model.input_spec.shape, dtype=np.float32)
+    env.infer(user, semirt, "m", x)
+    return env, log, owner, user, semirt
+
+
+def test_chain_starts_at_genesis():
+    log = AuditLog()
+    assert log.head_hash == GENESIS
+    entry = log.append("grant_access", "owner", "m", "ok")
+    assert entry.prev_hash == GENESIS
+    assert log.head_hash == entry.entry_hash()
+
+
+def test_chain_verification_detects_tampering():
+    log = AuditLog()
+    for i in range(5):
+        log.append("grant_access", f"actor-{i}", "m", "ok")
+    entries = log.entries()
+    assert AuditLog.verify_chain(entries)
+    forged = list(entries)
+    forged[2] = AuditEntry(
+        index=2, op="grant_access", actor="mallory", subject="m",
+        outcome="ok", prev_hash=entries[2].prev_hash,
+    )
+    assert not AuditLog.verify_chain(forged)
+    # Dropping an entry breaks the chain too.
+    assert not AuditLog.verify_chain(entries[:2] + entries[3:])
+
+
+def test_operations_are_recorded(audited_world):
+    env, log, owner, user, semirt = audited_world
+    ops = [entry.op for entry in log.entries()]
+    assert "add_model_key" in ops
+    assert "grant_access" in ops
+    assert "add_req_key" in ops
+    assert "provision" in ops
+
+
+def test_provision_records_enclave_identity(audited_world):
+    env, log, owner, user, semirt = audited_world
+    provisions = [e for e in log.entries() if e.op == "provision"]
+    assert provisions
+    assert provisions[0].actor == semirt.measurement.value
+    assert provisions[0].outcome == "ok"
+
+
+def test_denied_operations_are_recorded(audited_world):
+    env, log, owner, user, semirt = audited_world
+    intruder = env.connect_user("intruder")
+    intruder.add_request_key("m", semirt.measurement)
+    x = np.zeros((1, 16, 16, 3), dtype=np.float32)
+    enc = intruder.encrypt_request("m", semirt.measurement, x)
+    with pytest.raises(Exception):
+        semirt.infer(enc, intruder.principal_id, "m")
+    denied = [e for e in log.entries() if e.outcome == "denied"]
+    assert any(e.op == "provision" for e in denied)
+
+
+def test_no_key_material_in_log(audited_world):
+    env, log, owner, user, semirt = audited_world
+    model_key = bytes(owner.model_key("m")).hex()
+    serialized = str([e.to_wire() for e in log.entries()])
+    assert model_key not in serialized
+
+
+def test_owner_fetches_and_verifies_chain(audited_world):
+    env, log, owner, user, semirt = audited_world
+    connection = KeyServiceConnection(
+        env.keyservice, env.attestation, env.keyservice.measurement, "auditor"
+    )
+    entries = fetch_audit_entries(connection)
+    assert len(entries) == len(log)
+    assert AuditLog.verify_chain(entries)
+
+
+def test_double_attach_rejected(audited_world):
+    env, log, *_ = audited_world
+    with pytest.raises(SeSeMIError):
+        attach_audit_log(env.keyservice.code)

@@ -1,0 +1,127 @@
+"""Concurrent requests inside one SeMIRT enclave (real threads).
+
+The paper's Figure 6: requests are dispatched to a thread pool, each
+thread enters the enclave on its own TCS, the decrypted model lives in
+the shared heap, and each thread keeps its runtime and output in
+thread-local storage.  These tests run actual Python threads through the
+functional enclave to verify the isolation of per-thread state and the
+TCS admission limit.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import SeSeMIEnvironment
+from repro.core.semirt import default_semirt_config
+from repro.errors import TcsExhausted
+
+
+@pytest.fixture(scope="module")
+def concurrent_setup(tiny_model):
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user = env.connect_user()
+    semirt = env.launch_semirt(
+        "tflm", config=default_semirt_config(tcs_count=4)
+    )
+    env.authorize(owner, user, tiny_model, "shared-model", semirt.measurement)
+    return env, owner, user, semirt
+
+
+def test_parallel_requests_get_their_own_outputs(concurrent_setup, tiny_model):
+    env, owner, user, semirt = concurrent_setup
+    rng = np.random.default_rng(0)
+    inputs = [
+        rng.standard_normal(tiny_model.input_spec.shape).astype(np.float32)
+        for _ in range(4)
+    ]
+    outputs = [None] * 4
+    errors = []
+    barrier = threading.Barrier(4)
+
+    def worker(index):
+        try:
+            barrier.wait(timeout=10)
+            outputs[index] = env.infer(user, semirt, "shared-model", inputs[index])
+        except Exception as exc:  # pragma: no cover - surfaced by assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    for index, x in enumerate(inputs):
+        expected = tiny_model.run_reference(x).ravel()
+        assert np.allclose(outputs[index], expected, atol=1e-5), index
+
+
+def test_all_threads_share_one_loaded_model(concurrent_setup, tiny_model):
+    env, owner, user, semirt = concurrent_setup
+    x = np.zeros(tiny_model.input_spec.shape, dtype=np.float32)
+    env.infer(user, semirt, "shared-model", x)
+    # One model object in the enclave heap, regardless of thread count.
+    assert semirt.code._model_id == "shared-model"
+
+
+def test_tcs_admission_limit(concurrent_setup, tiny_model):
+    """More simultaneous ECALLs than TCSs are rejected by the hardware."""
+    import time
+
+    env, owner, user, semirt = concurrent_setup
+    capacity = semirt.enclave.config.tcs_count
+    release = threading.Event()
+    admitted = []
+
+    def blocking_load(model_id):
+        """An OCALL handler that parks the loading thread in the enclave;
+        the other threads park on the model-switch lock -- either way,
+        each occupies its TCS."""
+        release.wait(timeout=30)
+        raise RuntimeError("unblocked")
+
+    original = semirt.enclave._ocall_handlers["OC_LOAD_MODEL"]
+    semirt.enclave.register_ocall("OC_LOAD_MODEL", blocking_load)
+    # Force the model-load path so threads hit the blocking OCALL.
+    semirt.code._model_id = None
+    semirt.code._model = None
+
+    enc = user.encrypt_request(
+        "shared-model", semirt.measurement,
+        np.zeros(tiny_model.input_spec.shape, dtype=np.float32),
+    )
+
+    def occupant():
+        try:
+            semirt.enclave.ecall(
+                "EC_MODEL_INF", enc, user.principal_id, "shared-model"
+            )
+        except RuntimeError:
+            admitted.append(1)
+
+    threads = [threading.Thread(target=occupant) for _ in range(capacity)]
+    for thread in threads:
+        thread.start()
+    # Wait until every TCS is occupied.
+    deadline = time.time() + 10
+    while semirt.enclave.tcs_in_use < capacity and time.time() < deadline:
+        time.sleep(0.01)
+    try:
+        assert semirt.enclave.tcs_in_use == capacity
+        with pytest.raises(TcsExhausted):
+            semirt.enclave.ecall(
+                "EC_MODEL_INF", enc, user.principal_id, "shared-model"
+            )
+    finally:
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        semirt.enclave.register_ocall("OC_LOAD_MODEL", original)
+    assert len(admitted) >= 1  # at least the loader thread was unblocked
+    assert semirt.enclave.tcs_in_use == 0
+    # Restore a servable state for later tests in the module.
+    x = np.zeros(tiny_model.input_spec.shape, dtype=np.float32)
+    env.infer(user, semirt, "shared-model", x)

@@ -1,0 +1,73 @@
+"""SeSeMIEnvironment wiring and client lifecycle edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import OwnerClient, UserClient
+from repro.core.deployment import SeSeMIEnvironment
+from repro.errors import SeSeMIError
+from repro.mlrt.zoo import build_mobilenet
+from repro.sgx.platform import SGX1
+
+
+@pytest.fixture(scope="module")
+def env():
+    return SeSeMIEnvironment()
+
+
+def test_connect_registers_principals(env):
+    owner = env.connect_owner("o1")
+    assert owner.principal_id == owner.identity_key.fingerprint
+
+
+def test_worker_platforms_are_cached(env):
+    assert env.worker_platform("n1") is env.worker_platform("n1")
+    assert env.worker_platform("n1") is not env.worker_platform("n2")
+
+
+def test_expected_semirt_matches_launched(env):
+    semirt = env.launch_semirt("tflm", node_id="match-node")
+    assert env.expected_semirt("tflm") == semirt.measurement
+
+
+def test_sgx1_environment_buildable():
+    env1 = SeSeMIEnvironment(hardware=SGX1)
+    owner = env1.connect_owner()
+    assert owner.principal_id is not None
+    assert env1.keyservice_platform.profile is SGX1
+
+
+def test_unregistered_principal_guards(env):
+    owner = OwnerClient("loner")
+    with pytest.raises(SeSeMIError):
+        owner.register()  # not connected
+    user = UserClient("loner")
+    with pytest.raises(SeSeMIError):
+        env.authorize(owner, user, build_mobilenet(), "m", env.keyservice.measurement)
+
+
+def test_model_key_requires_deploy_first(env):
+    owner = env.connect_owner("o2")
+    with pytest.raises(SeSeMIError):
+        owner.model_key("never-deployed")
+
+
+def test_request_key_generated_once(env):
+    user = env.connect_user("u2")
+    enclave = env.keyservice.measurement  # any measurement works as a slot
+    first = user.request_key("m", enclave)
+    assert user.request_key("m", enclave) is first
+
+
+def test_full_flow_on_two_frameworks(env):
+    owner = env.connect_owner("o3")
+    user = env.connect_user("u3")
+    model = build_mobilenet()
+    x = np.random.default_rng(0).standard_normal(model.input_spec.shape)
+    x = x.astype(np.float32)
+    expected = model.run_reference(x).ravel()
+    for framework in ("tvm", "tflm"):
+        semirt = env.launch_semirt(framework, node_id=f"fw-{framework}")
+        env.authorize(owner, user, model, f"m-{framework}", semirt.measurement)
+        out = env.infer(user, semirt, f"m-{framework}", x)
+        assert np.allclose(out, expected, atol=1e-5), framework

@@ -1,0 +1,95 @@
+"""Sharded KeyService fleet and model-key rotation."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import OwnerClient, UserClient
+from repro.core.deployment import SeSeMIEnvironment
+from repro.core.keyfleet import KeyServiceFleet
+from repro.core.stages import Stage
+from repro.errors import AccessDenied, ConfigError, InvocationError
+from repro.sgx.attestation import AttestationService
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    attestation = AttestationService()
+    return attestation, KeyServiceFleet(3, attestation)
+
+
+def test_fleet_validation():
+    with pytest.raises(ConfigError):
+        KeyServiceFleet(0, AttestationService())
+
+
+def test_all_shards_share_identity(fleet):
+    _, ks_fleet = fleet
+    assert ks_fleet.identical_identities()
+    assert ks_fleet.measurement == ks_fleet.shards[0].measurement
+
+
+def test_shard_placement_deterministic(fleet):
+    _, ks_fleet = fleet
+    pid = "ab" * 32
+    assert ks_fleet.shard_for(pid) is ks_fleet.shard_for(pid)
+    assert 0 <= ks_fleet.shard_index_for(pid) < 3
+
+
+def test_shards_isolate_principals(fleet):
+    """A principal registered on one shard is unknown to the others."""
+    attestation, ks_fleet = fleet
+    owner = OwnerClient("sharded-owner")
+    # Register on the shard the fleet assigns for this identity.
+    home = ks_fleet.shard_for(owner.identity_key.fingerprint)
+    owner.connect(home, attestation, ks_fleet.measurement)
+    owner.register()
+    others = [s for s in ks_fleet.shards if s is not home]
+    # The same op against a different shard fails: unknown identity.
+    stranger = OwnerClient("sharded-owner")
+    stranger.identity_key = owner.identity_key
+    stranger.connect(others[0], attestation, ks_fleet.measurement)
+    stranger.principal_id = owner.identity_key.fingerprint
+    from repro.crypto.gcm import AESGCM
+    from repro.core import wire
+
+    blob = AESGCM(bytes(owner.identity_key)).seal(
+        wire.encode({"model_id": "m", "model_key": b"k" * 16}),
+        aad=b"add_model_key",
+    )
+    reply = stranger.connection.call(
+        {"op": "add_model_key", "oid": stranger.principal_id, "blob": blob}
+    )
+    assert not reply["ok"]
+
+
+def test_key_rotation_invalidates_stale_keys(tiny_model, tiny_input):
+    """After rotation, enclaves must re-fetch; old artifacts are gone."""
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user = env.connect_user()
+    semirt = env.launch_semirt("tvm")
+    env.authorize(owner, user, tiny_model, "rotating", semirt.measurement)
+    before = env.infer(user, semirt, "rotating", tiny_input)
+
+    owner.rotate_model_key("rotating", tiny_model, env.storage)
+
+    # A fresh enclave fetches the NEW key and serves correctly.
+    fresh = env.launch_semirt("tvm", node_id="post-rotation")
+    user.add_request_key("rotating", fresh.measurement)
+    owner.grant_access("rotating", fresh.measurement, user.principal_id)
+    after = env.infer(user, fresh, "rotating", tiny_input)
+    assert np.allclose(before, after, atol=1e-5)
+
+    # The already-warm enclave keeps serving from its cached model copy
+    # (hot path) -- rotation does not interrupt in-flight service ...
+    still = env.infer(user, semirt, "rotating", tiny_input)
+    assert np.allclose(still, before, atol=1e-5)
+
+    # ... and because the single-pair key cache is evicted together with
+    # the model, a reload can never pair the stale key with the new
+    # artifact: the enclave re-fetches and decrypts the rotated artifact.
+    env.authorize(owner, user, tiny_model, "other", semirt.measurement)
+    env.infer(user, semirt, "other", tiny_input)  # evicts 'rotating' + keys
+    reloaded = env.infer(user, semirt, "rotating", tiny_input)
+    assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+    assert np.allclose(reloaded, before, atol=1e-5)

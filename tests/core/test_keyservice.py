@@ -1,0 +1,157 @@
+"""KeyService (Algorithm 1): registration, key management, provisioning."""
+
+import pytest
+
+from repro.core import wire
+from repro.core.client import KeyServiceConnection, OwnerClient, UserClient
+from repro.core.keyservice import (
+    KEYSERVICE_CONFIG,
+    KeyServiceHost,
+    expected_keyservice_measurement,
+)
+from repro.crypto.gcm import AESGCM
+from repro.crypto.keys import SymmetricKey
+from repro.errors import AccessDenied, EnclaveError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveBuildConfig
+from repro.sgx.platform import SGX2, SgxPlatform
+
+
+@pytest.fixture()
+def ks():
+    attestation = AttestationService()
+    platform = SgxPlatform(SGX2, attestation_service=attestation)
+    host = KeyServiceHost(platform, attestation)
+    return attestation, host
+
+
+def connect(host, attestation, name="client"):
+    return KeyServiceConnection(host, attestation, host.measurement, name=name)
+
+
+def test_expected_measurement_matches_deployment(ks):
+    _, host = ks
+    assert expected_keyservice_measurement(KEYSERVICE_CONFIG) == host.measurement
+
+
+def test_expected_measurement_detects_config_change(ks):
+    _, host = ks
+    other = expected_keyservice_measurement(
+        EnclaveBuildConfig(memory_bytes=64 * 1024 * 1024, tcs_count=8)
+    )
+    assert other != host.measurement
+
+
+def test_registration_returns_key_hash(ks):
+    attestation, host = ks
+    connection = connect(host, attestation)
+    key = SymmetricKey.generate()
+    reply = connection.call_checked({"op": "register", "identity_key": bytes(key)})
+    assert reply["id"] == key.fingerprint
+    assert host.code.registered_principals == 1
+
+
+def test_unknown_operation_refused(ks):
+    attestation, host = ks
+    connection = connect(host, attestation)
+    reply = connection.call({"op": "frobnicate"})
+    assert not reply["ok"]
+    assert "unknown operation" in reply["error"]
+
+
+def test_add_model_key_requires_registration(ks):
+    attestation, host = ks
+    connection = connect(host, attestation)
+    reply = connection.call(
+        {"op": "add_model_key", "oid": "f" * 64, "blob": b"anything"}
+    )
+    assert not reply["ok"]
+    assert "not registered" in reply["error"]
+
+
+def test_add_model_key_requires_authenticated_blob(ks):
+    attestation, host = ks
+    connection = connect(host, attestation)
+    key = SymmetricKey.generate()
+    oid = connection.call_checked(
+        {"op": "register", "identity_key": bytes(key)}
+    )["id"]
+    # Blob sealed under a DIFFERENT key: the owner did not authorise this.
+    forged = AESGCM(bytes(SymmetricKey.generate())).seal(
+        wire.encode({"model_id": "m", "model_key": b"k" * 16}),
+        aad=b"add_model_key",
+    )
+    reply = connection.call({"op": "add_model_key", "oid": oid, "blob": forged})
+    assert not reply["ok"]
+    assert "not authenticated" in reply["error"]
+
+
+def test_op_payload_cannot_be_replayed_as_other_op(ks):
+    """AAD pins the operation: an add_req_key blob is not a grant_access."""
+    attestation, host = ks
+    connection = connect(host, attestation)
+    key = SymmetricKey.generate()
+    oid = connection.call_checked(
+        {"op": "register", "identity_key": bytes(key)}
+    )["id"]
+    blob = AESGCM(bytes(key)).seal(
+        wire.encode({"model_id": "m", "enclave_id": "e" * 64, "uid": oid}),
+        aad=b"add_req_key",
+    )
+    reply = connection.call({"op": "grant_access", "oid": oid, "blob": blob})
+    assert not reply["ok"]
+
+
+def test_provisioning_requires_attested_channel(ks):
+    """An unattested client (no quote) can never draw keys out."""
+    attestation, host = ks
+    connection = connect(host, attestation)
+    reply = connection.call({"op": "provision", "uid": "u" * 64, "model_id": "m"})
+    assert not reply["ok"]
+    assert "mutually attested" in reply["error"]
+
+
+def test_unknown_channel_rejected(ks):
+    _, host = ks
+    with pytest.raises(EnclaveError):
+        host.request(9999, b"ciphertext")
+
+
+def test_clients_full_setup_flow(ks, tiny_model):
+    """Owner + user complete the whole key-setup workflow of Section III."""
+    attestation, host = ks
+    owner, user = OwnerClient("owner"), UserClient("user")
+    for principal in (owner, user):
+        principal.connect(host, attestation, host.measurement)
+        principal.register()
+    from repro.serverless.storage import BlobStore
+    from repro.sgx.measurement import EnclaveMeasurement
+
+    storage = BlobStore()
+    enclave = EnclaveMeasurement("ab" * 32)
+    owner.deploy_model(tiny_model, "m1", storage)
+    owner.add_model_key("m1")
+    owner.grant_access("m1", enclave, user.principal_id)
+    user.add_request_key("m1", enclave)
+    # The uploaded artifact is ciphertext, not the plain model.
+    blob = storage.get("models/m1")
+    assert tiny_model.serialize() not in blob
+    assert host.code.registered_principals == 2
+
+
+def test_client_detects_wrong_keyservice_identity(ks):
+    """A client refuses to talk to an enclave with the wrong E_K."""
+    attestation, host = ks
+    from repro.errors import AttestationError
+    from repro.sgx.measurement import EnclaveMeasurement
+
+    with pytest.raises(AttestationError):
+        KeyServiceConnection(
+            host, attestation, EnclaveMeasurement("ee" * 32), name="victim"
+        )
+
+
+def test_keyservice_ecall_surface_is_minimal(ks):
+    """Only the two network-facing ECALLs are exported."""
+    _, host = ks
+    assert host.enclave.exported_ecalls == {"EC_HANDSHAKE", "EC_REQUEST"}

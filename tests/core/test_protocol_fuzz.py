@@ -1,0 +1,95 @@
+"""Protocol fuzzing: malformed and adversarial inputs never break the TCB.
+
+The adversary can invoke enclave functions with arbitrary arguments
+(threat model, Section III).  These tests throw random garbage at the
+KeyService and SeMIRT ECALL surfaces and require that every outcome is a
+*clean, typed* failure -- no unhandled exception classes, no state
+corruption, and definitely no secrets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.core.deployment import SeSeMIEnvironment
+from repro.errors import ReproError
+from repro.mlrt.zoo import build_mobilenet
+
+#: exception families a hostile caller may legitimately trigger
+ACCEPTABLE = (ReproError, ValueError, KeyError, TypeError, AttributeError)
+
+
+@pytest.fixture(scope="module")
+def world():
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user = env.connect_user()
+    model = build_mobilenet()
+    semirt = env.launch_semirt("tvm")
+    env.authorize(owner, user, model, "m", semirt.measurement)
+    x = np.zeros(model.input_spec.shape, dtype=np.float32)
+    baseline = env.infer(user, semirt, "m", x)
+    return env, owner, user, semirt, model, x, baseline
+
+
+@settings(max_examples=25, deadline=None)
+@given(garbage=st.binary(min_size=0, max_size=200))
+def test_keyservice_rejects_garbage_ciphertext(world, garbage):
+    env, *_ = world
+    connection_blob_channel = 1  # some previously opened channel id
+    try:
+        env.keyservice.request(connection_blob_channel, garbage)
+    except ACCEPTABLE:
+        pass  # clean failure
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    channel_id=st.integers(-10, 10_000),
+    payload=st.binary(min_size=0, max_size=64),
+)
+def test_keyservice_rejects_random_channels(world, channel_id, payload):
+    env, *_ = world
+    try:
+        env.keyservice.request(channel_id, payload)
+    except ACCEPTABLE:
+        pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    offer=st.dictionaries(
+        st.text(max_size=12),
+        st.one_of(st.binary(max_size=64), st.integers(), st.text(max_size=12)),
+        max_size=4,
+    )
+)
+def test_keyservice_rejects_malformed_handshakes(world, offer):
+    env, *_ = world
+    try:
+        env.keyservice.handshake(offer)
+    except ACCEPTABLE:
+        pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blob=st.binary(min_size=0, max_size=128),
+    uid=st.text(max_size=80),
+    model_id=st.text(max_size=40),
+)
+def test_semirt_rejects_garbage_requests(world, blob, uid, model_id):
+    env, owner, user, semirt, *_ = world
+    try:
+        semirt.enclave.ecall("EC_MODEL_INF", blob, uid, model_id)
+    except ACCEPTABLE:
+        pass
+
+
+def test_system_still_healthy_after_fuzzing(world):
+    """After all the garbage above, legitimate service is unaffected."""
+    env, owner, user, semirt, model, x, baseline = world
+    again = env.infer(user, semirt, "m", x)
+    assert np.allclose(again, baseline)

@@ -1,0 +1,128 @@
+"""Invocation-path planning: Algorithm 2's cold/warm/hot semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stages import (
+    PER_REQUEST_STAGES,
+    InvocationKind,
+    SemirtCacheState,
+    Stage,
+    plan_invocation,
+)
+
+
+def fresh():
+    return SemirtCacheState()
+
+
+def primed(model="m", user="u"):
+    state = SemirtCacheState()
+    state.note_served(model, user)
+    return state
+
+
+def test_cold_path_runs_everything():
+    plan = plan_invocation(fresh(), "m", "u")
+    assert plan.kind == InvocationKind.COLD
+    assert plan.stages[0] == Stage.ENCLAVE_INIT
+    for stage in Stage:
+        if stage == Stage.SANDBOX_INIT:
+            continue
+        assert plan.needs(stage), stage
+
+
+def test_hot_path_minimal():
+    plan = plan_invocation(primed(), "m", "u")
+    assert plan.kind == InvocationKind.HOT
+    assert plan.stages == PER_REQUEST_STAGES
+
+
+def test_warm_path_model_switch():
+    plan = plan_invocation(primed("other"), "m", "u")
+    assert plan.kind == InvocationKind.WARM
+    assert plan.needs(Stage.MODEL_LOADING)
+    assert plan.needs(Stage.MODEL_DECRYPT)
+    assert plan.needs(Stage.RUNTIME_INIT)
+    assert plan.needs(Stage.KEY_RETRIEVAL)  # single-pair cache was evicted
+    assert not plan.needs(Stage.ENCLAVE_INIT)
+
+
+def test_user_switch_only_refetches_keys():
+    plan = plan_invocation(primed("m", "alice"), "m", "bob")
+    assert plan.kind == InvocationKind.WARM
+    assert plan.needs(Stage.KEY_RETRIEVAL)
+    assert not plan.needs(Stage.MODEL_LOADING)
+    assert not plan.needs(Stage.RUNTIME_INIT)
+
+
+def test_runtime_missing_downgrades_to_warm():
+    state = primed()
+    state.runtime_for = None
+    plan = plan_invocation(state, "m", "u")
+    assert plan.kind == InvocationKind.WARM
+    assert plan.needs(Stage.RUNTIME_INIT)
+    assert not plan.needs(Stage.MODEL_LOADING)
+
+
+def test_key_cache_disabled_forces_retrieval():
+    plan = plan_invocation(primed(), "m", "u", key_cache_enabled=False)
+    assert plan.kind == InvocationKind.WARM
+    assert plan.needs(Stage.KEY_RETRIEVAL)
+
+
+def test_runtime_reuse_disabled_forces_init():
+    plan = plan_invocation(primed(), "m", "u", reuse_runtime=False)
+    assert plan.kind == InvocationKind.WARM
+    assert plan.needs(Stage.RUNTIME_INIT)
+    assert not plan.needs(Stage.MODEL_LOADING)
+
+
+def test_note_served_sets_all_caches():
+    state = fresh()
+    state.note_served("m", "u")
+    assert state.enclave_ready
+    assert state.loaded_model == "m"
+    assert state.key_cache == ("m", "u")
+    assert state.runtime_for == "m"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    enclave_ready=st.booleans(),
+    loaded=st.sampled_from([None, "m", "other"]),
+    keys=st.sampled_from([None, ("m", "u"), ("m", "x"), ("other", "u")]),
+    runtime=st.sampled_from([None, "m", "other"]),
+    key_cache_enabled=st.booleans(),
+    reuse_runtime=st.booleans(),
+)
+def test_plan_invariants_property(
+    enclave_ready, loaded, keys, runtime, key_cache_enabled, reuse_runtime
+):
+    state = SemirtCacheState(
+        enclave_ready=enclave_ready,
+        loaded_model=loaded if enclave_ready else None,
+        key_cache=keys if enclave_ready else None,
+        runtime_for=runtime if enclave_ready else None,
+    )
+    plan = plan_invocation(
+        state, "m", "u",
+        key_cache_enabled=key_cache_enabled, reuse_runtime=reuse_runtime,
+    )
+    # Per-request stages always run, in order, at the end.
+    assert plan.stages[-3:] == PER_REQUEST_STAGES
+    # Enclave init appears iff the enclave is not ready, and implies COLD.
+    assert plan.needs(Stage.ENCLAVE_INIT) == (not enclave_ready)
+    if not enclave_ready:
+        assert plan.kind == InvocationKind.COLD
+    # HOT means nothing model/key-related needs to run.
+    if plan.kind == InvocationKind.HOT:
+        assert not plan.needs(Stage.KEY_RETRIEVAL)
+        assert not plan.needs(Stage.MODEL_LOADING)
+        assert not plan.needs(Stage.RUNTIME_INIT)
+    # Model decrypt never happens without model loading.
+    assert plan.needs(Stage.MODEL_DECRYPT) == plan.needs(Stage.MODEL_LOADING)
+    # Loading a model implies its runtime must be (re)initialised.
+    if plan.needs(Stage.MODEL_LOADING):
+        assert plan.needs(Stage.RUNTIME_INIT)

@@ -1,0 +1,82 @@
+"""Wire codec: roundtrips and malformed-input handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.core.wire import WireError
+
+
+def test_roundtrip_simple():
+    message = {"op": "register", "count": 3, "flag": True, "nothing": None}
+    assert wire.decode(wire.encode(message)) == message
+
+
+def test_roundtrip_bytes():
+    message = {"key": b"\x00\x01\xff", "nested": {"blob": b"abc"}}
+    assert wire.decode(wire.encode(message)) == message
+
+
+def test_roundtrip_lists():
+    message = {"items": [1, "two", b"three", {"four": 4}]}
+    assert wire.decode(wire.encode(message)) == message
+
+
+def test_tuples_become_lists():
+    assert wire.decode(wire.encode({"t": (1, 2)})) == {"t": [1, 2]}
+
+
+def test_deterministic_encoding():
+    assert wire.encode({"b": 1, "a": 2}) == wire.encode({"a": 2, "b": 1})
+
+
+def test_non_dict_rejected():
+    with pytest.raises(WireError):
+        wire.encode([1, 2, 3])  # type: ignore[arg-type]
+
+
+def test_unencodable_value_rejected():
+    with pytest.raises(WireError):
+        wire.encode({"bad": object()})
+
+
+def test_malformed_bytes_rejected():
+    with pytest.raises(WireError):
+        wire.decode(b"\xff\xfe not json")
+    with pytest.raises(WireError):
+        wire.decode(b"[1,2,3]")
+
+
+def test_bad_hex_tag_rejected():
+    with pytest.raises(WireError):
+        wire.decode(b'{"k": {"__bytes_hex__": "zz"}}')
+
+
+simple_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(10**9), 10**9)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=15,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(message=st.dictionaries(st.text(max_size=10), simple_values, max_size=6))
+def test_roundtrip_property(message):
+    decoded = wire.decode(wire.encode(message))
+
+    def normalise(value):
+        if isinstance(value, tuple):
+            return [normalise(v) for v in value]
+        if isinstance(value, list):
+            return [normalise(v) for v in value]
+        if isinstance(value, dict):
+            return {k: normalise(v) for k, v in value.items()}
+        return value
+
+    assert decoded == normalise(message)

@@ -1,0 +1,114 @@
+"""AES block cipher: FIPS-197 vectors, batch path, error handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.errors import InvalidKey
+
+# FIPS-197 Appendix C example vectors: (key, plaintext, ciphertext)
+FIPS_VECTORS = [
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "00112233445566778899aabbccddeeff",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "00112233445566778899aabbccddeeff",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "00112233445566778899aabbccddeeff",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_VECTORS)
+def test_fips_encrypt_vectors(key, plaintext, ciphertext):
+    cipher = AES(bytes.fromhex(key))
+    assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() == ciphertext
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", FIPS_VECTORS)
+def test_fips_decrypt_vectors(key, plaintext, ciphertext):
+    cipher = AES(bytes.fromhex(key))
+    assert cipher.decrypt_block(bytes.fromhex(ciphertext)).hex() == plaintext
+
+
+@pytest.mark.parametrize("size,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_round_counts(size, rounds):
+    assert AES(b"\x00" * size).rounds == rounds
+
+
+def test_batch_matches_scalar():
+    cipher = AES(b"0123456789abcdef")
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 256, size=(64, 16), dtype=np.uint8)
+    batch = cipher.encrypt_blocks(blocks)
+    for i in range(64):
+        assert batch[i].tobytes() == cipher.encrypt_block(blocks[i].tobytes())
+
+
+def test_batch_is_pure():
+    cipher = AES(b"0123456789abcdef")
+    blocks = np.zeros((4, 16), dtype=np.uint8)
+    cipher.encrypt_blocks(blocks)
+    assert not blocks.any(), "input blocks must not be mutated"
+
+
+@pytest.mark.parametrize("bad", [b"", b"short", b"\x00" * 15, b"\x00" * 33])
+def test_invalid_key_sizes_rejected(bad):
+    with pytest.raises(InvalidKey):
+        AES(bad)
+
+
+def test_non_bytes_key_rejected():
+    with pytest.raises(InvalidKey):
+        AES("0123456789abcdef")  # type: ignore[arg-type]
+
+
+def test_wrong_block_size_rejected():
+    cipher = AES(b"\x00" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+def test_bad_batch_shape_rejected():
+    cipher = AES(b"\x00" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_blocks(np.zeros((4, 8), dtype=np.uint8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    block=st.binary(min_size=16, max_size=16),
+)
+def test_roundtrip_property(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=10, deadline=None)
+@given(key=st.binary(min_size=32, max_size=32), block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_property_aes256(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_encryption_not_identity():
+    cipher = AES(b"\x00" * 16)
+    block = b"\x00" * 16
+    assert cipher.encrypt_block(block) != block
+
+
+def test_different_keys_differ():
+    block = b"A" * 16
+    assert AES(b"k" * 16).encrypt_block(block) != AES(b"j" * 16).encrypt_block(block)

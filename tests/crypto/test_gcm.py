@@ -1,0 +1,170 @@
+"""AES-GCM: NIST vectors, authentication, AAD binding, seal/open."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import AESGCM, NONCE_SIZE, TAG_SIZE
+from repro.crypto.keys import SymmetricKey
+from repro.errors import InvalidTag
+
+# NIST GCM test vectors (McGrew & Viega test cases 1-4, AES-128).
+NIST_CASES = [
+    # (key, iv, plaintext, aad, ciphertext, tag)
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "",
+        "",
+        "",
+        "58e2fccefa7e3061367f1d57a4e7455a",
+    ),
+    (
+        "00000000000000000000000000000000",
+        "000000000000000000000000",
+        "00000000000000000000000000000000",
+        "",
+        "0388dace60b6a392f328c2b971b2fe78",
+        "ab6e47d42cec13bdf53a67b21257bddf",
+    ),
+    (
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255",
+        "",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985",
+        "4d5c2af327cd64a62cf35abd2ba6fab4",
+    ),
+    (
+        "feffe9928665731c6d6a8f9467308308",
+        "cafebabefacedbaddecaf888",
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39",
+        "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091",
+        "5bc94fbc3221a5db94fae95ae7121a47",
+    ),
+]
+
+
+@pytest.mark.parametrize("key,iv,pt,aad,ct,tag", NIST_CASES)
+def test_nist_encrypt_vectors(key, iv, pt, aad, ct, tag):
+    cipher = AESGCM(bytes.fromhex(key))
+    out = cipher.encrypt(bytes.fromhex(iv), bytes.fromhex(pt), bytes.fromhex(aad))
+    assert out[:-TAG_SIZE].hex() == ct
+    assert out[-TAG_SIZE:].hex() == tag
+
+
+@pytest.mark.parametrize("key,iv,pt,aad,ct,tag", NIST_CASES)
+def test_nist_decrypt_vectors(key, iv, pt, aad, ct, tag):
+    cipher = AESGCM(bytes.fromhex(key))
+    wire = bytes.fromhex(ct) + bytes.fromhex(tag)
+    assert cipher.decrypt(bytes.fromhex(iv), wire, bytes.fromhex(aad)).hex() == pt
+
+
+def test_tampered_ciphertext_rejected():
+    cipher = AESGCM(b"k" * 16)
+    wire = cipher.encrypt(b"n" * 12, b"attack at dawn")
+    for position in range(len(wire)):
+        corrupted = bytearray(wire)
+        corrupted[position] ^= 0x01
+        with pytest.raises(InvalidTag):
+            cipher.decrypt(b"n" * 12, bytes(corrupted))
+
+
+def test_tampered_aad_rejected():
+    cipher = AESGCM(b"k" * 16)
+    wire = cipher.encrypt(b"n" * 12, b"payload", aad=b"model-1")
+    with pytest.raises(InvalidTag):
+        cipher.decrypt(b"n" * 12, wire, aad=b"model-2")
+
+
+def test_wrong_nonce_rejected():
+    cipher = AESGCM(b"k" * 16)
+    wire = cipher.encrypt(b"n" * 12, b"payload")
+    with pytest.raises(InvalidTag):
+        cipher.decrypt(b"m" * 12, wire)
+
+
+def test_wrong_key_rejected():
+    wire = AESGCM(b"k" * 16).encrypt(b"n" * 12, b"payload")
+    with pytest.raises(InvalidTag):
+        AESGCM(b"j" * 16).decrypt(b"n" * 12, wire)
+
+
+def test_truncated_ciphertext_rejected():
+    cipher = AESGCM(b"k" * 16)
+    with pytest.raises(InvalidTag):
+        cipher.decrypt(b"n" * 12, b"short")
+
+
+def test_non_default_nonce_length_supported():
+    cipher = AESGCM(b"k" * 16)
+    wire = cipher.encrypt(b"long-nonce-16byte", b"payload")
+    assert cipher.decrypt(b"long-nonce-16byte", wire) == b"payload"
+
+
+def test_seal_open_roundtrip():
+    cipher = AESGCM(b"k" * 16)
+    blob = cipher.seal(b"secret model", aad=b"ctx")
+    assert cipher.open(blob, aad=b"ctx") == b"secret model"
+    assert len(blob) == NONCE_SIZE + len(b"secret model") + TAG_SIZE
+
+
+def test_seal_uses_fresh_nonces():
+    cipher = AESGCM(b"k" * 16)
+    assert cipher.seal(b"x") != cipher.seal(b"x")
+
+
+def test_open_rejects_short_blob():
+    with pytest.raises(InvalidTag):
+        AESGCM(b"k" * 16).open(b"tiny")
+
+
+def test_accepts_symmetric_key_objects():
+    key = SymmetricKey.generate()
+    cipher = AESGCM(key)
+    assert cipher.open(cipher.seal(b"data")) == b"data"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.binary(min_size=16, max_size=16),
+    nonce=st.binary(min_size=12, max_size=12),
+    plaintext=st.binary(min_size=0, max_size=200),
+    aad=st.binary(min_size=0, max_size=64),
+)
+def test_roundtrip_property(key, nonce, plaintext, aad):
+    cipher = AESGCM(key)
+    assert cipher.decrypt(nonce, cipher.encrypt(nonce, plaintext, aad), aad) == plaintext
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    plaintext=st.binary(min_size=1, max_size=100),
+    flip=st.integers(min_value=0, max_value=10_000),
+)
+def test_any_bitflip_detected_property(plaintext, flip):
+    cipher = AESGCM(b"k" * 16)
+    wire = bytearray(cipher.encrypt(b"n" * 12, plaintext))
+    index = flip % (len(wire) * 8)
+    wire[index // 8] ^= 1 << (index % 8)
+    with pytest.raises(InvalidTag):
+        cipher.decrypt(b"n" * 12, bytes(wire))
+
+
+def test_large_payload_roundtrip():
+    cipher = AESGCM(b"k" * 16)
+    payload = bytes(range(256)) * 2048  # 512 KiB
+    assert cipher.open(cipher.seal(payload)) == payload

@@ -1,0 +1,71 @@
+"""SHA-256 / HMAC / HKDF against published test vectors."""
+
+import pytest
+
+from repro.crypto.hashes import hkdf, hmac_sha256, sha256
+
+
+def test_sha256_empty():
+    assert (
+        sha256(b"").hex()
+        == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_sha256_abc():
+    assert (
+        sha256(b"abc").hex()
+        == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+
+
+def test_hmac_rfc4231_case1():
+    key = b"\x0b" * 20
+    assert (
+        hmac_sha256(key, b"Hi There").hex()
+        == "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+
+
+def test_hmac_rfc4231_case2():
+    assert (
+        hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex()
+        == "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+
+
+def test_hkdf_rfc5869_case1():
+    ikm = b"\x0b" * 22
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    okm = hkdf(ikm, length=42, salt=salt, info=info)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a"
+        "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_rfc5869_case3_no_salt_no_info():
+    okm = hkdf(b"\x0b" * 22, length=42)
+    assert okm.hex() == (
+        "8da4e775a563c18f715f802a063c5a31"
+        "b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_hkdf_output_lengths():
+    for length in (1, 16, 32, 33, 64, 255):
+        assert len(hkdf(b"secret", length=length)) == length
+
+
+def test_hkdf_invalid_length():
+    with pytest.raises(ValueError):
+        hkdf(b"secret", length=0)
+    with pytest.raises(ValueError):
+        hkdf(b"secret", length=255 * 32 + 1)
+
+
+def test_hkdf_info_separates_keys():
+    assert hkdf(b"secret", info=b"a") != hkdf(b"secret", info=b"b")

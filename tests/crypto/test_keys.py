@@ -1,0 +1,49 @@
+"""Symmetric key material and fingerprints."""
+
+import pytest
+
+from repro.crypto.hashes import sha256
+from repro.crypto.keys import SymmetricKey, random_bytes
+from repro.errors import InvalidKey
+
+
+def test_generate_sizes():
+    for size in (16, 24, 32):
+        assert len(SymmetricKey.generate(size)) == size
+
+
+def test_generate_default_is_aes128():
+    assert len(SymmetricKey.generate()) == 16
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(InvalidKey):
+        SymmetricKey(b"short")
+    with pytest.raises(InvalidKey):
+        SymmetricKey.generate(17)
+
+
+def test_fingerprint_is_sha256_of_material():
+    key = SymmetricKey(b"0123456789abcdef")
+    assert key.fingerprint == sha256(b"0123456789abcdef").hex()
+
+
+def test_fingerprint_stable_and_distinct():
+    a, b = SymmetricKey.generate(), SymmetricKey.generate()
+    assert a.fingerprint == a.fingerprint
+    assert a.fingerprint != b.fingerprint
+
+
+def test_bytes_conversion():
+    key = SymmetricKey(b"0123456789abcdef")
+    assert bytes(key) == b"0123456789abcdef"
+
+
+def test_repr_hides_material():
+    key = SymmetricKey(b"0123456789abcdef")
+    assert "0123456789abcdef" not in repr(key)
+
+
+def test_random_bytes_length_and_freshness():
+    assert len(random_bytes(12)) == 12
+    assert random_bytes(16) != random_bytes(16)

@@ -1,0 +1,136 @@
+"""Chunked AEAD (STREAM): roundtrips and chunk-level attacks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import TAG_SIZE
+from repro.crypto.stream import (
+    _HEADER,
+    DEFAULT_CHUNK_SIZE,
+    iter_open_stream,
+    open_stream,
+    seal_stream,
+)
+from repro.errors import CryptoError, InvalidTag
+
+KEY = b"k" * 16
+
+
+def test_roundtrip_multi_chunk():
+    payload = bytes(range(256)) * 40  # 10240 bytes
+    sealed = seal_stream(KEY, payload, chunk_size=1000)
+    assert open_stream(KEY, sealed) == payload
+
+
+def test_roundtrip_exact_chunk_boundary():
+    payload = b"x" * 3000
+    sealed = seal_stream(KEY, payload, chunk_size=1000)
+    assert open_stream(KEY, sealed) == payload
+
+
+def test_roundtrip_empty():
+    sealed = seal_stream(KEY, b"")
+    assert open_stream(KEY, sealed) == b""
+
+
+def test_iteration_yields_chunks():
+    payload = b"abcdefgh"
+    sealed = seal_stream(KEY, payload, chunk_size=3)
+    chunks = list(iter_open_stream(KEY, sealed))
+    assert chunks == [b"abc", b"def", b"gh"]
+
+
+def test_aad_binding():
+    sealed = seal_stream(KEY, b"model-bytes", aad=b"model-1")
+    assert open_stream(KEY, sealed, aad=b"model-1") == b"model-bytes"
+    with pytest.raises(InvalidTag):
+        open_stream(KEY, sealed, aad=b"model-2")
+
+
+def test_wrong_key_rejected():
+    sealed = seal_stream(KEY, b"payload")
+    with pytest.raises(InvalidTag):
+        open_stream(b"j" * 16, sealed)
+
+
+def _chunks_of(sealed, chunk_size):
+    header, body = sealed[: _HEADER.size], sealed[_HEADER.size :]
+    wire = chunk_size + TAG_SIZE
+    return header, [body[i : i + wire] for i in range(0, len(body), wire)]
+
+
+def test_chunk_reorder_detected():
+    sealed = seal_stream(KEY, b"A" * 1000 + b"B" * 1000 + b"C" * 1000, chunk_size=1000)
+    header, chunks = _chunks_of(sealed, 1000)
+    swapped = header + chunks[1] + chunks[0] + chunks[2]
+    with pytest.raises(InvalidTag, match="chunk 0"):
+        open_stream(KEY, swapped)
+
+
+def test_chunk_duplication_detected():
+    sealed = seal_stream(KEY, b"A" * 1000 + b"B" * 1000, chunk_size=1000)
+    header, chunks = _chunks_of(sealed, 1000)
+    duplicated = header + chunks[0] + chunks[0] + chunks[1]
+    with pytest.raises(InvalidTag):
+        open_stream(KEY, duplicated)
+
+
+def test_truncation_detected():
+    """Dropping the final chunk cannot yield a shorter 'valid' stream."""
+    sealed = seal_stream(KEY, b"A" * 1000 + b"B" * 1000 + b"C" * 500, chunk_size=1000)
+    header, chunks = _chunks_of(sealed, 1000)
+    truncated = header + chunks[0] + chunks[1]
+    with pytest.raises(InvalidTag):
+        open_stream(KEY, truncated)
+
+
+def test_header_tampering_detected():
+    sealed = bytearray(seal_stream(KEY, b"payload"))
+    sealed[0] ^= 1  # magic
+    with pytest.raises(InvalidTag):
+        open_stream(KEY, bytes(sealed))
+    with pytest.raises(InvalidTag):
+        open_stream(KEY, b"short")
+
+
+def test_invalid_chunk_size_rejected():
+    with pytest.raises(CryptoError):
+        seal_stream(KEY, b"x", chunk_size=0)
+
+
+def test_streams_are_unlinkable():
+    """Two seals of the same payload share no ciphertext (fresh stream id)."""
+    a = seal_stream(KEY, b"same payload")
+    b = seal_stream(KEY, b"same payload")
+    assert a[_HEADER.size:] != b[_HEADER.size:]
+
+
+def test_default_chunk_size_large_payload():
+    payload = b"z" * (2 * DEFAULT_CHUNK_SIZE + 123)
+    sealed = seal_stream(KEY, payload)
+    assert open_stream(KEY, sealed) == payload
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=5000),
+    chunk_size=st.integers(1, 700),
+)
+def test_roundtrip_property(payload, chunk_size):
+    sealed = seal_stream(KEY, payload, chunk_size=chunk_size)
+    assert open_stream(KEY, sealed) == payload
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    payload=st.binary(min_size=10, max_size=2000),
+    flip=st.integers(0, 10**9),
+)
+def test_any_bitflip_detected_property(payload, flip):
+    sealed = bytearray(seal_stream(KEY, payload, chunk_size=256))
+    body_start = _HEADER.size
+    bit = flip % ((len(sealed) - body_start) * 8)
+    sealed[body_start + bit // 8] ^= 1 << (bit % 8)
+    with pytest.raises(InvalidTag):
+        open_stream(KEY, bytes(sealed))

@@ -1,0 +1,70 @@
+"""Experiment scaffolding helpers."""
+
+import pytest
+
+from repro.core.simbridge import ServableModel
+from repro.experiments.common import (
+    DirectRouter,
+    action_budget,
+    deploy_single_model,
+    format_table,
+    make_testbed,
+    sgx1_testbed,
+    system_factory,
+)
+from repro.mlrt.zoo import profile
+from repro.serverless.action import MEMORY_GRANULE
+from repro.sgx.epc import MB
+from repro.sgx.platform import SGX1, SGX2
+
+
+def test_make_testbed_defaults():
+    bed = make_testbed(num_nodes=3)
+    assert len(bed.platform.nodes) == 3
+    assert bed.platform.hardware is SGX2
+    assert bed.cost.hardware is SGX2
+
+
+def test_sgx1_testbed_matches_table5():
+    bed = sgx1_testbed()
+    node = bed.platform.nodes[0]
+    assert node.sgx.profile is SGX1
+    assert node.num_cores == 10            # Xeon W-1290P
+    assert node.memory_total == 12 * 1024 ** 3 + 512 * MB  # 12.5 GB
+
+
+def test_action_budget_granularity():
+    servable = ServableModel(profile=profile("MBNET"), framework="tvm")
+    budget = action_budget(servable)
+    assert budget % MEMORY_GRANULE == 0
+    assert budget >= servable.enclave_bytes
+    assert action_budget(servable, tcs_count=4) > budget
+
+
+def test_system_factory_names():
+    models = {"m": ServableModel(profile=profile("MBNET"), framework="tvm")}
+    bed = make_testbed(num_nodes=1)
+    for system in ("SeSeMI", "Iso-reuse", "Native", "Untrusted"):
+        factory = system_factory(system, models, bed.cost)
+        assert callable(factory)
+        assert factory() is not factory()  # fresh actor per container
+    with pytest.raises(ValueError):
+        system_factory("Kubernetes", models, bed.cost)
+
+
+def test_deploy_single_model_registers_action():
+    bed = make_testbed(num_nodes=1)
+    models = deploy_single_model(bed, "SeSeMI", "DSNET", "tflm", endpoint="x")
+    assert "m" in models
+    assert bed.controller.deployment("x").spec.image == "sesemi-tflm"
+
+
+def test_direct_router():
+    router = DirectRouter("ep")
+    assert router.route("anything", 0.0) == "ep"
+
+
+def test_format_table_handles_mixed_types():
+    text = format_table(["name", "value"], [("a", 1.23456), ("b", 1000.5)])
+    assert "1.235" in text
+    assert "1000.50" in text

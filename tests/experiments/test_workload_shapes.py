@@ -1,0 +1,51 @@
+"""The experiment-internal workload constructions (ramps, MMPP phases)."""
+
+import pytest
+
+from repro.experiments import fig12, fig13
+
+
+def test_fig12_ramp_precedes_steady():
+    arrivals, measure_from, duration = fig12._ramped_arrivals(rate=20.0)
+    times = [a.time for a in arrivals]
+    assert times == sorted(times)
+    ramp_span = len(fig12.RAMP_STEPS) * fig12.RAMP_STEP_S
+    # Ramp phases run at fractions of the target rate.
+    ramp = [t for t in times if t < ramp_span]
+    steady = [t for t in times if t >= ramp_span]
+    ramp_rate = len(ramp) / ramp_span
+    steady_rate = len(steady) / fig12.STEADY_S
+    assert steady_rate == pytest.approx(20.0, rel=0.05)
+    assert ramp_rate < steady_rate
+    assert measure_from == duration - fig12.MEASURE_S
+
+
+def test_fig12_ramp_handles_low_rates():
+    arrivals, measure_from, duration = fig12._ramped_arrivals(rate=1.0)
+    assert arrivals, "even a 1 rps sweep needs warmup traffic"
+    assert duration > measure_from > 0
+
+
+def test_fig13_mmpp_has_warmup_then_bursts():
+    arrivals = fig13._mmpp_arrivals(duration_s=120.0)
+    times = [a.time for a in arrivals]
+    assert times == sorted(times)
+
+    def rate(lo, hi):
+        return sum(1 for t in times if lo <= t < hi) / (hi - lo)
+
+    # Warm-up phase at ~20 rps.
+    assert rate(0, fig13.WARMUP_S) == pytest.approx(20.0, rel=0.25)
+    # The second MMPP phase doubles the mean rate.
+    phase1 = rate(fig13.WARMUP_S, fig13.WARMUP_S + fig13.PHASE_S)
+    phase2 = rate(fig13.WARMUP_S + fig13.PHASE_S, fig13.WARMUP_S + 2 * fig13.PHASE_S)
+    assert phase2 > 1.4 * phase1
+
+
+def test_fig13_budgets_match_paper():
+    assert fig13.FIG14_BUDGETS_MB == {
+        ("DSNET", 1): 256,
+        ("DSNET", 4): 384,
+        ("RSNET", 1): 768,
+        ("RSNET", 4): 1536,
+    }

@@ -1,0 +1,94 @@
+"""The tensor-arena planner: packing correctness and reuse."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.mlrt.arena import TensorLife, plan_arena
+
+
+def overlapping_bytes(plan, a: TensorLife, b: TensorLife) -> bool:
+    start_a, end_a = plan.offsets[a.name], plan.offsets[a.name] + a.nbytes
+    start_b, end_b = plan.offsets[b.name], plan.offsets[b.name] + b.nbytes
+    return start_a < end_b and start_b < end_a
+
+
+def test_disjoint_lifetimes_share_bytes():
+    tensors = [
+        TensorLife("a", 1000, 0, 1),
+        TensorLife("b", 1000, 2, 3),  # a is dead by now
+    ]
+    plan = plan_arena(tensors)
+    assert plan.total_bytes < 2048 + 64  # reuse happened
+
+
+def test_overlapping_lifetimes_never_share():
+    tensors = [
+        TensorLife("a", 1000, 0, 5),
+        TensorLife("b", 1000, 2, 3),
+    ]
+    plan = plan_arena(tensors)
+    assert not overlapping_bytes(plan, tensors[0], tensors[1])
+
+
+def test_chain_reuses_like_tflm():
+    """A linear chain x0->x1->...->xN needs only ~2 slots."""
+    tensors = [TensorLife(f"x{i}", 1024, i, i + 1) for i in range(10)]
+    plan = plan_arena(tensors)
+    assert plan.total_bytes <= 2 * 1024 + 128
+
+
+def test_zero_size_tensor_handled():
+    plan = plan_arena([TensorLife("empty", 0, 0, 1)])
+    assert plan.total_bytes > 0  # aligned placeholder slot
+
+
+def test_invalid_lifetime_rejected():
+    with pytest.raises(ModelError):
+        TensorLife("bad", 10, 5, 2)
+    with pytest.raises(ModelError):
+        TensorLife("bad", -1, 0, 1)
+
+
+def test_empty_plan():
+    plan = plan_arena([])
+    assert plan.total_bytes == 0
+    assert plan.offsets == {}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    specs=st.lists(
+        st.tuples(
+            st.integers(0, 4096),    # size
+            st.integers(0, 20),      # first use
+            st.integers(0, 10),      # extra lifetime
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_no_live_overlap_property(specs):
+    """Tensors with overlapping live ranges never overlap in the arena."""
+    tensors = [
+        TensorLife(f"t{i}", size, first, first + extra)
+        for i, (size, first, extra) in enumerate(specs)
+    ]
+    plan = plan_arena(tensors)
+    for i, a in enumerate(tensors):
+        assert plan.offsets[a.name] >= 0
+        for b in tensors[i + 1 :]:
+            if a.overlaps(b) and a.nbytes and b.nbytes:
+                assert not overlapping_bytes(plan, a, b), (a, b, plan.offsets)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 4096), min_size=1, max_size=15)
+)
+def test_all_live_lower_bound_property(sizes):
+    """If every tensor is live simultaneously, the arena holds them all."""
+    tensors = [TensorLife(f"t{i}", s, 0, 100) for i, s in enumerate(sizes)]
+    plan = plan_arena(tensors)
+    assert plan.total_bytes >= sum(sizes)

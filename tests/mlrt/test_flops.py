@@ -1,0 +1,67 @@
+"""MAC estimation against hand-computed values and the zoo ordering."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mlrt.flops import model_macs, node_macs, summarize
+from repro.mlrt.model import GraphBuilder
+from repro.mlrt.tensor import TensorSpec
+from repro.mlrt.zoo import build_densenet, build_mobilenet, build_resnet
+
+
+def test_conv_macs_hand_computed():
+    builder = GraphBuilder("m", TensorSpec((1, 8, 8, 3)))
+    conv = builder.conv("input", 16, k=3, stride=1, pad=1)
+    model = builder.build()
+    # output 8x8x16, each from a 3*3*3 patch
+    assert node_macs(model, conv) == 8 * 8 * 16 * 3 * 3 * 3
+
+
+def test_depthwise_macs_hand_computed():
+    builder = GraphBuilder("m", TensorSpec((1, 8, 8, 4)))
+    dw = builder.depthwise("input", k=3, stride=1, pad=1)
+    model = builder.build()
+    assert node_macs(model, dw) == 8 * 8 * 4 * 3 * 3
+
+
+def test_dense_macs_hand_computed():
+    builder = GraphBuilder("m", TensorSpec((1, 10)))
+    fc = builder.dense("input", 7)
+    model = builder.build()
+    assert node_macs(model, fc) == 10 * 7
+
+
+def test_depthwise_separable_cheaper_than_full_conv():
+    """MobileNet's whole point, at the MAC level."""
+    full = GraphBuilder("f", TensorSpec((1, 8, 8, 16)))
+    conv = full.conv("input", 16, k=3)
+    full_model = full.build()
+    separable = GraphBuilder("s", TensorSpec((1, 8, 8, 16)))
+    dw = separable.depthwise("input", k=3)
+    pw = separable.conv(dw, 16, k=1, pad=0)
+    sep_model = separable.build()
+    assert model_macs(sep_model) < model_macs(full_model) / 2
+
+
+def test_zoo_compute_ordering_matches_paper_latencies():
+    """RSNET > DSNET > MBNET in compute, like the Table II latencies."""
+    macs = {
+        "mbnet": model_macs(build_mobilenet()),
+        "rsnet": model_macs(build_resnet()),
+        "dsnet": model_macs(build_densenet()),
+    }
+    assert macs["rsnet"] > macs["dsnet"] > macs["mbnet"]
+
+
+def test_unknown_node_rejected():
+    model = build_mobilenet()
+    with pytest.raises(ModelError):
+        node_macs(model, "ghost")
+
+
+def test_summary_totals_consistent():
+    model = build_mobilenet()
+    summary = summarize(model)
+    assert sum(s["macs"] for s in summary.values()) == model_macs(model)
+    total_params = sum(s["parameters"] for s in summary.values())
+    assert total_params == sum(w.size for w in model.weights.values())

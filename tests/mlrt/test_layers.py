@@ -1,0 +1,128 @@
+"""Operator correctness against naive references and known values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.mlrt import layers
+
+
+def naive_conv2d(x, w, b, stride, pad):
+    n, h, wd, cin = x.shape
+    kh, kw, _, cout = w.shape
+    x = np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (wd + 2 * pad - kw) // stride + 1
+    out = np.zeros((n, oh, ow, cout), dtype=np.float32)
+    for bi in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[bi, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                for co in range(cout):
+                    out[bi, i, j, co] = (patch * w[:, :, :, co]).sum() + b[co]
+    return out
+
+
+@pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1)])
+def test_conv2d_matches_naive(stride, pad):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2, 6, 6, 3)).astype(np.float32)
+    w = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+    b = rng.standard_normal(4).astype(np.float32)
+    fast = layers.conv2d(x, w, b, stride=stride, pad=pad)
+    assert np.allclose(fast, naive_conv2d(x, w, b, stride, pad), atol=1e-4)
+
+
+def test_depthwise_matches_per_channel_conv():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((1, 5, 5, 3)).astype(np.float32)
+    w = rng.standard_normal((3, 3, 3)).astype(np.float32)
+    b = np.zeros(3, dtype=np.float32)
+    out = layers.depthwise_conv2d(x, w, b, stride=1, pad=1)
+    for channel in range(3):
+        single = layers.conv2d(
+            x[..., channel : channel + 1],
+            w[..., channel : channel + 1, None],
+            np.zeros(1, dtype=np.float32),
+            stride=1,
+            pad=1,
+        )
+        assert np.allclose(out[..., channel], single[..., 0], atol=1e-4)
+
+
+def test_dense_known_values():
+    x = np.array([[1.0, 2.0]], dtype=np.float32)
+    w = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+    b = np.array([10.0, 20.0], dtype=np.float32)
+    assert np.allclose(layers.dense(x, w, b), [[11.0, 22.0]])
+
+
+def test_batch_norm_scale_shift():
+    x = np.ones((1, 2, 2, 2), dtype=np.float32)
+    out = layers.batch_norm(x, np.array([2.0, 3.0]), np.array([1.0, -1.0]))
+    assert np.allclose(out[..., 0], 3.0)
+    assert np.allclose(out[..., 1], 2.0)
+
+
+def test_relu_and_relu6():
+    x = np.array([-5.0, 0.0, 3.0, 10.0], dtype=np.float32)
+    assert np.allclose(layers.relu(x), [0, 0, 3, 10])
+    assert np.allclose(layers.relu6(x), [0, 0, 3, 6])
+
+
+def test_add_and_concat():
+    a = np.ones((1, 2, 2, 2), dtype=np.float32)
+    b = np.full((1, 2, 2, 3), 2.0, dtype=np.float32)
+    assert layers.concat(a, b).shape == (1, 2, 2, 5)
+    assert np.allclose(layers.add(a, a), 2.0)
+
+
+def test_max_and_avg_pool():
+    x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+    assert np.allclose(
+        layers.max_pool(x, size=2, stride=2)[0, :, :, 0], [[5, 7], [13, 15]]
+    )
+    assert np.allclose(
+        layers.avg_pool(x, size=2, stride=2)[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]]
+    )
+
+
+def test_global_avg_pool():
+    x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+    assert np.allclose(layers.global_avg_pool(x), [[3.0, 4.0]])
+
+
+def test_softmax_properties():
+    x = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+    out = layers.softmax(x)
+    assert out.sum() == pytest.approx(1.0, abs=1e-5)
+    assert (np.diff(out[0]) > 0).all()
+
+
+def test_softmax_numerically_stable():
+    out = layers.softmax(np.array([[1000.0, 1000.0]], dtype=np.float32))
+    assert np.isfinite(out).all()
+
+
+def test_shape_inference_matches_execution():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((1, 8, 8, 3)).astype(np.float32)
+    w = rng.standard_normal((3, 3, 3, 5)).astype(np.float32)
+    b = np.zeros(5, dtype=np.float32)
+    out = layers.conv2d(x, w, b, stride=2, pad=1)
+    inferred = layers.infer_shape(
+        "conv2d", [x.shape], {"stride": 2, "pad": 1}, {"weight": w.shape}
+    )
+    assert tuple(out.shape) == inferred
+
+
+def test_infer_shape_validates():
+    with pytest.raises(ModelError):
+        layers.infer_shape("add", [(1, 2), (1, 3)], {}, {})
+    with pytest.raises(ModelError):
+        layers.infer_shape("nonsense", [(1,)], {}, {})
+
+
+def test_run_op_unknown_rejected():
+    with pytest.raises(ModelError):
+        layers.run_op("nonsense", [np.zeros(1)], {}, {})

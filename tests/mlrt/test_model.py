@@ -1,0 +1,111 @@
+"""Model graph IR, serialisation, and the graph builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.mlrt.model import GraphBuilder, GraphNode, Model
+from repro.mlrt.tensor import TensorSpec
+
+
+def small_model():
+    builder = GraphBuilder("tiny", TensorSpec((1, 8, 8, 3)), seed=3)
+    x = builder.relu(builder.conv("input", 4))
+    x = builder.max_pool(x)
+    x = builder.softmax(builder.dense(x, 5))
+    return builder.build()
+
+
+def test_builder_produces_runnable_model():
+    model = small_model()
+    x = np.random.default_rng(0).standard_normal((1, 8, 8, 3)).astype(np.float32)
+    out = model.run_reference(x)
+    assert out.shape == (1, 5)
+    assert out.sum() == pytest.approx(1.0, abs=1e-5)
+
+
+def test_shape_inference_consistency():
+    model = small_model()
+    assert model.shape_of("input") == (1, 8, 8, 3)
+    assert model.output_shape == (1, 5)
+
+
+def test_serialize_roundtrip_preserves_output():
+    model = small_model()
+    x = np.random.default_rng(1).standard_normal((1, 8, 8, 3)).astype(np.float32)
+    restored = Model.deserialize(model.serialize())
+    assert restored.name == model.name
+    assert np.allclose(model.run_reference(x), restored.run_reference(x))
+
+
+def test_serialize_roundtrip_preserves_weights():
+    model = small_model()
+    restored = Model.deserialize(model.serialize())
+    assert set(restored.weights) == set(model.weights)
+    for name in model.weights:
+        assert np.array_equal(restored.weights[name], model.weights[name])
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(ModelError):
+        Model.deserialize(b"not a model at all")
+
+
+def test_deserialize_rejects_corrupt_header():
+    blob = bytearray(small_model().serialize())
+    blob[14] ^= 0xFF  # inside the JSON header
+    with pytest.raises(ModelError):
+        Model.deserialize(bytes(blob))
+
+
+def test_deserialize_rejects_truncated_weights():
+    blob = small_model().serialize()
+    with pytest.raises(ModelError):
+        Model.deserialize(blob[:-10])
+
+
+def test_weight_bytes_counts_payload():
+    model = small_model()
+    assert model.weight_bytes == sum(w.nbytes for w in model.weights.values())
+
+
+def test_unordered_graph_rejected():
+    spec = TensorSpec((1, 4))
+    nodes = [GraphNode("late", "relu", ("missing",))]
+    with pytest.raises(ModelError, match="topologically"):
+        Model("bad", spec, nodes, {})
+
+
+def test_empty_model_has_no_output():
+    model = Model("empty", TensorSpec((1, 4)), [], {})
+    with pytest.raises(ModelError):
+        _ = model.output_node
+
+
+def test_residual_and_concat_graphs():
+    builder = GraphBuilder("res", TensorSpec((1, 4, 4, 2)), seed=5)
+    trunk = builder.conv("input", 2)
+    branch = builder.relu(trunk)
+    joined = builder.add(trunk, branch)
+    both = builder.concat(joined, trunk)
+    model = builder.build()
+    assert model.shape_of(both) == (1, 4, 4, 4)
+    x = np.zeros((1, 4, 4, 2), dtype=np.float32)
+    assert model.run_reference(x).shape == (1, 4, 4, 4)
+
+
+def test_builder_deterministic_by_seed():
+    a = GraphBuilder("m", TensorSpec((1, 4, 4, 1)), seed=9)
+    a.conv("input", 2)
+    b = GraphBuilder("m", TensorSpec((1, 4, 4, 1)), seed=9)
+    b.conv("input", 2)
+    for name in a.weights:
+        assert np.array_equal(a.weights[name], b.weights[name])
+
+
+def test_tensor_spec_validation():
+    with pytest.raises(ModelError):
+        TensorSpec((1, 0, 4))
+    with pytest.raises(ModelError):
+        TensorSpec((1, 4), dtype="float64")
+    assert TensorSpec((2, 3)).nbytes == 24

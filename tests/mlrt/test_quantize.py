@@ -1,0 +1,99 @@
+"""Int8 weight quantization: size, accuracy, robustness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.mlrt.quantize import (
+    dequantize_array,
+    evaluate_quantization,
+    load_quantized,
+    quantize_array,
+    quantize_model,
+)
+from repro.mlrt.zoo import build_mobilenet, build_resnet
+
+
+def test_quantize_array_roundtrip_error_bounded():
+    rng = np.random.default_rng(0)
+    array = rng.standard_normal((64, 64)).astype(np.float32)
+    quantized, scale = quantize_array(array)
+    restored = dequantize_array(quantized, scale)
+    assert np.abs(restored - array).max() <= scale  # half-step rounding bound
+
+
+def test_quantize_zero_array():
+    quantized, scale = quantize_array(np.zeros((4, 4), dtype=np.float32))
+    assert scale == 1.0
+    assert not quantized.any()
+
+
+def test_quantize_preserves_shape_and_dtype():
+    quantized, _ = quantize_array(np.ones((2, 3, 4), dtype=np.float32))
+    assert quantized.shape == (2, 3, 4)
+    assert quantized.dtype == np.int8
+
+
+def test_model_artifact_smaller():
+    # The weight payload shrinks exactly 4x (float32 -> int8); on the
+    # tiny test models the JSON header dilutes the whole-artifact ratio.
+    model = build_mobilenet()
+    report = evaluate_quantization(
+        model, np.zeros(model.input_spec.shape, dtype=np.float32)
+    )
+    assert report.compression > 1.8
+    quantized_weight_bytes = sum(
+        w.size for w in model.weights.values()  # int8: one byte per element
+    )
+    assert model.weight_bytes == 4 * quantized_weight_bytes
+
+
+def test_quantized_model_outputs_close():
+    model = build_resnet()
+    x = np.random.default_rng(1).standard_normal(model.input_spec.shape)
+    x = x.astype(np.float32)
+    report = evaluate_quantization(model, x)
+    assert report.max_output_error < 0.05  # softmax outputs in [0, 1]
+
+
+def test_quantized_roundtrip_runs_in_runtimes():
+    from repro.mlrt.framework import get_framework
+
+    model = build_mobilenet()
+    restored = load_quantized(quantize_model(model))
+    x = np.random.default_rng(2).standard_normal(model.input_spec.shape)
+    x = x.astype(np.float32)
+    out = get_framework("tflm").create_runtime(restored).execute(x)
+    assert np.allclose(out, restored.run_reference(x), atol=1e-5)
+
+
+def test_load_rejects_float_artifact():
+    model = build_mobilenet()
+    with pytest.raises(ModelError, match="magic"):
+        load_quantized(model.serialize())
+
+
+def test_load_rejects_truncation():
+    blob = quantize_model(build_mobilenet())
+    with pytest.raises(ModelError):
+        load_quantized(blob[:-5])
+
+
+def test_quantization_deterministic():
+    model = build_mobilenet()
+    assert quantize_model(model) == quantize_model(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(-100.0, 100.0, allow_nan=False), min_size=1, max_size=50
+    )
+)
+def test_quantize_error_bound_property(values):
+    array = np.array(values, dtype=np.float32)
+    quantized, scale = quantize_array(array)
+    restored = dequantize_array(quantized, scale)
+    assert np.abs(restored - array).max() <= scale * 0.5 + 1e-6

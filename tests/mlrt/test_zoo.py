@@ -1,0 +1,87 @@
+"""The model zoo: paper profile values and runnable architectures."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mlrt.zoo import FRAMEWORKS, MB, PROFILES, profile
+
+
+def test_table1_model_sizes():
+    assert profile("MBNET").model_bytes == 17 * MB
+    assert profile("RSNET").model_bytes == 170 * MB
+    assert profile("DSNET").model_bytes == 44 * MB
+
+
+def test_table1_buffer_sizes():
+    assert profile("MBNET").tvm_buffer_bytes == 30 * MB
+    assert profile("MBNET").tflm_buffer_bytes == 5 * MB
+    assert profile("RSNET").tvm_buffer_bytes == 205 * MB
+    assert profile("RSNET").tflm_buffer_bytes == 24 * MB
+    assert profile("DSNET").tvm_buffer_bytes == 55 * MB
+    assert profile("DSNET").tflm_buffer_bytes == 12 * MB
+
+
+def test_table2_hot_latencies():
+    assert profile("MBNET").tvm_exec_s == pytest.approx(0.06579)
+    assert profile("RSNET").tvm_exec_s == pytest.approx(0.98296)
+    assert profile("DSNET").tvm_exec_s == pytest.approx(0.38881)
+
+
+def test_runtime_init_ratios():
+    """Section VI-A: TVM runtime init is 39.6/21.3/15.0% of exec."""
+    assert profile("MBNET").tvm_runtime_init_s / profile("MBNET").tvm_exec_s == pytest.approx(0.396)
+    assert profile("RSNET").tvm_runtime_init_s / profile("RSNET").tvm_exec_s == pytest.approx(0.213)
+    assert profile("DSNET").tvm_runtime_init_s / profile("DSNET").tvm_exec_s == pytest.approx(0.15)
+
+
+def test_appendix_enclave_memory_configs():
+    assert profile("MBNET").tvm_enclave_bytes == 0x4000000
+    assert profile("RSNET").tvm_enclave_bytes == 0x23000000
+    assert profile("DSNET").tvm_enclave_bytes == 0x8000000
+    assert profile("MBNET").tflm_enclave_bytes == 0x3000000
+    assert profile("RSNET").tflm_enclave_bytes == 0x16000000
+    assert profile("DSNET").tflm_enclave_bytes == 0x6000000
+
+
+def test_azure_download_times():
+    assert profile("MBNET").azure_download_s == pytest.approx(0.180)
+    assert profile("DSNET").azure_download_s == pytest.approx(0.360)
+    assert profile("RSNET").azure_download_s == pytest.approx(2.100)
+
+
+def test_lambda_ordering():
+    """TFLM buffers are fractions of the model; TVM buffers exceed it."""
+    for prof in PROFILES.values():
+        assert prof.lam["tflm"] < 1.0
+        assert prof.lam["tvm"] > 1.0
+
+
+def test_accessors_validate_framework():
+    prof = profile("MBNET")
+    for accessor in (prof.buffer_bytes, prof.enclave_bytes, prof.exec_s, prof.runtime_init_s):
+        with pytest.raises(ModelError):
+            accessor("onnx")
+    for framework in FRAMEWORKS:
+        assert prof.buffer_bytes(framework) > 0
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(ModelError):
+        profile("GPT4")
+
+
+def test_lookup_case_insensitive():
+    assert profile("mbnet") is profile("MBNET")
+
+
+@pytest.mark.parametrize("name", list(PROFILES))
+def test_builders_produce_named_architectures(name):
+    model = PROFILES[name].builder()
+    ops = {node.op for node in model.nodes}
+    if name == "MBNET":
+        assert "depthwise_conv2d" in ops  # depthwise-separable blocks
+    if name == "RSNET":
+        assert "add" in ops  # residual connections
+    if name == "DSNET":
+        assert "concat" in ops  # dense connectivity
+    assert model.nodes[-1].op == "softmax"

@@ -1,0 +1,98 @@
+"""The OpenWhisk /init + /run action protocol around SeMIRT."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import SeSeMIEnvironment
+from repro.serverless.action_server import (
+    BAD_REQUEST,
+    CONFLICT,
+    FORBIDDEN,
+    OK,
+    SERVER_ERROR,
+    ActionServer,
+)
+
+
+@pytest.fixture(scope="module")
+def rig(tiny_model, tiny_input):
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user = env.connect_user()
+    semirt = env.launch_semirt("tvm")
+    env.authorize(owner, user, tiny_model, "m", semirt.measurement)
+    server = ActionServer(semirt)
+    assert server.init({"value": {"name": "secure-infer"}})["status"] == OK
+    return env, user, semirt, server
+
+
+def activation(user, semirt, tiny_input, model_id="m"):
+    enc = user.encrypt_request(model_id, semirt.measurement, tiny_input)
+    return {
+        "value": {
+            "request": enc.hex(),
+            "uid": user.principal_id,
+            "model_id": model_id,
+        }
+    }
+
+
+def test_run_roundtrip(rig, tiny_model, tiny_input):
+    env, user, semirt, server = rig
+    reply = server.run(activation(user, semirt, tiny_input))
+    assert reply["status"] == OK
+    out = user.decrypt_response(
+        "m", semirt.measurement, bytes.fromhex(reply["response"])
+    )
+    assert np.allclose(out, tiny_model.run_reference(tiny_input).ravel(), atol=1e-5)
+    assert server.activations >= 1
+
+
+def test_double_init_conflicts(rig):
+    *_, server = rig
+    assert server.init({"value": {"name": "again"}})["status"] == CONFLICT
+
+
+def test_init_validation(tiny_model):
+    env = SeSeMIEnvironment()
+    semirt = env.launch_semirt("tvm")
+    server = ActionServer(semirt)
+    assert server.init({})["status"] == BAD_REQUEST
+    assert server.init({"value": {}})["status"] == BAD_REQUEST
+    assert server.action_name is None
+
+
+def test_run_before_init_rejected(tiny_model):
+    env = SeSeMIEnvironment()
+    semirt = env.launch_semirt("tvm")
+    server = ActionServer(semirt)
+    assert server.run({"value": {}})["status"] == BAD_REQUEST
+
+
+def test_run_parameter_validation(rig):
+    env, user, semirt, server = rig
+    assert server.run({})["status"] == BAD_REQUEST
+    assert server.run({"value": {"uid": "x"}})["status"] == BAD_REQUEST
+    bad_hex = {"value": {"request": "zz", "uid": "u", "model_id": "m"}}
+    assert server.run(bad_hex)["status"] == BAD_REQUEST
+
+
+def test_unauthorized_maps_to_403(rig, tiny_input):
+    env, user, semirt, server = rig
+    intruder = env.connect_user("intruder")
+    intruder.add_request_key("m", semirt.measurement)
+    reply = server.run(activation(intruder, semirt, tiny_input))
+    assert reply["status"] == FORBIDDEN
+    assert "response" not in reply
+
+
+def test_bad_ciphertext_maps_to_502(rig):
+    env, user, semirt, server = rig
+    forged = {
+        "value": {
+            "request": (b"\x00" * 64).hex(),
+            "uid": user.principal_id,
+            "model_id": "m",
+        }
+    }
+    assert server.run(forged)["status"] == SERVER_ERROR

@@ -1,0 +1,177 @@
+"""Controller scheduling: warm reuse, cold starts, queueing, keep-alive."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.serverless.action import ActionSpec, Request, round_memory_budget
+from repro.serverless.container import ActionRuntime
+from repro.serverless.controller import PlatformConfig
+from repro.serverless.platform import ServerlessPlatform
+from repro.sim.core import Simulation
+
+MB = 1024 * 1024
+BUDGET = round_memory_budget(100 * MB)
+
+
+class EchoRuntime(ActionRuntime):
+    """Serves requests after a fixed service time."""
+
+    def __init__(self, startup_s=0.5, service_s=0.1):
+        self.startup_s = startup_s
+        self.service_s = service_s
+        self.served = 0
+
+    def startup(self, ctx):
+        yield ctx.sim.timeout(self.startup_s)
+
+    def handle(self, ctx, request):
+        yield ctx.sim.timeout(self.service_s)
+        self.served += 1
+        return {"echo": request.model_id}, "hot", {"exec": self.service_s}
+
+
+def build(num_nodes=1, node_memory=4 * 1024 * MB, config=None, concurrency=1,
+          runtime_factory=None):
+    sim = Simulation()
+    platform = ServerlessPlatform(
+        sim, num_nodes=num_nodes, node_memory=node_memory,
+        config=config or PlatformConfig(),
+    )
+    spec = ActionSpec(name="f", image="img", memory_budget=BUDGET,
+                      concurrency=concurrency)
+    platform.deploy(spec, runtime_factory or EchoRuntime)
+    return sim, platform
+
+
+def invoke_n(sim, platform, count, gap=0.0):
+    events = []
+
+    def driver(sim):
+        for _ in range(count):
+            events.append(platform.invoke("f", Request(model_id="m", user_id="u")))
+            if gap:
+                yield sim.timeout(gap)
+        if not gap:
+            yield sim.timeout(0)
+
+    sim.process(driver(sim))
+    sim.run()
+    return [e.value for e in events]
+
+
+def test_deploy_twice_rejected():
+    sim, platform = build()
+    spec = ActionSpec(name="f", image="img", memory_budget=BUDGET)
+    with pytest.raises(PlatformError):
+        platform.deploy(spec, EchoRuntime)
+
+
+def test_invoke_unknown_action_rejected():
+    sim, platform = build()
+    with pytest.raises(PlatformError):
+        platform.invoke("ghost", Request(model_id="m", user_id="u"))
+
+
+def test_first_request_is_cold():
+    sim, platform = build()
+    (result,) = invoke_n(sim, platform, 1)
+    assert result.kind == "cold"
+    assert "sandbox_init" in result.stage_seconds
+    assert result.latency > 2.0  # sandbox init dominates
+
+
+def test_warm_reuse_on_sequential_requests():
+    sim, platform = build()
+    results = invoke_n(sim, platform, 3, gap=5.0)
+    assert [r.kind for r in results] == ["cold", "hot", "hot"]
+    assert results[1].latency < results[0].latency
+    assert platform.controller.cold_starts == 1
+
+
+def test_burst_spawns_multiple_containers():
+    sim, platform = build()
+    results = invoke_n(sim, platform, 4)
+    assert platform.controller.cold_starts == 4
+    assert {r.kind for r in results} == {"cold"}
+
+
+def test_container_concurrency_shares_instance():
+    sim, platform = build(concurrency=4)
+    results = invoke_n(sim, platform, 4)
+    assert platform.controller.cold_starts == 1
+    assert len({r.container_id for r in results}) == 1
+
+
+def test_memory_exhaustion_queues_requests():
+    # Node fits exactly one container; the second request must wait for it.
+    sim, platform = build(node_memory=BUDGET)
+    results = invoke_n(sim, platform, 3)
+    assert platform.controller.cold_starts == 1
+    assert len({r.container_id for r in results}) == 1
+    assert sorted(r.finished_at for r in results)[2] > results[0].finished_at
+
+
+def test_spillover_to_second_node():
+    sim, platform = build(num_nodes=2, node_memory=BUDGET)
+    results = invoke_n(sim, platform, 2)
+    assert len({r.node_id for r in results}) == 2
+
+
+def test_keepalive_reaps_idle_containers():
+    config = PlatformConfig(keepalive_s=10.0)
+    sim, platform = build(config=config)
+    invoke_n(sim, platform, 1)
+    sim.run(until=sim.now + 100.0)
+    assert platform.controller.warm_containers("f") == 0
+    reserved = sum(node.memory_used for node in platform.nodes)
+    assert reserved == 0
+
+
+def test_keepalive_not_reaped_while_active():
+    config = PlatformConfig(keepalive_s=10.0)
+    sim, platform = build(config=config)
+    results = invoke_n(sim, platform, 10, gap=5.0)  # steady traffic
+    assert platform.controller.cold_starts == 1
+    assert [r.kind for r in results].count("cold") == 1
+
+
+def test_memory_timeline_records_reservations():
+    sim, platform = build()
+    invoke_n(sim, platform, 1)
+    timeline = platform.controller.memory_timeline
+    assert timeline[0] == (0.0, 0)
+    assert max(level for _, level in timeline) == BUDGET
+
+
+def test_controller_overhead_serialises_admission():
+    config = PlatformConfig(controller_overhead_s=1.0, sandbox_init_s=0.0)
+    sim, platform = build(
+        config=config, concurrency=8,
+        runtime_factory=lambda: EchoRuntime(startup_s=0.0),
+    )
+    results = invoke_n(sim, platform, 3)
+    # Admissions pass through a serial 1s stage: completions are spaced.
+    finishes = sorted(r.finished_at for r in results)
+    assert finishes[1] - finishes[0] >= 0.99
+    assert finishes[2] - finishes[1] >= 0.99
+
+
+def test_mru_container_preferred():
+    sim, platform = build()
+    events = []
+
+    def driver(sim):
+        events.append(platform.invoke("f", Request(model_id="m", user_id="u")))
+        yield sim.timeout(1.0)
+        events.append(platform.invoke("f", Request(model_id="m", user_id="u")))
+        yield sim.timeout(9.0)  # both containers warm and idle by now
+        events.append(platform.invoke("f", Request(model_id="m", user_id="u")))
+
+    sim.process(driver(sim))
+    sim.run()
+    first, second, late = (e.value for e in events)
+    assert {first.kind, second.kind} == {"cold"}
+    # The most recently used container serves the follow-up request.
+    most_recent = max((first, second), key=lambda r: r.finished_at)
+    assert late.kind == "hot"
+    assert late.container_id == most_recent.container_id

@@ -1,0 +1,77 @@
+"""Invoker nodes: memory pool, SGX wiring, launch/quote timing hooks."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.serverless.invoker import Invoker
+from repro.sgx.epc import GB, MB
+from repro.sgx.platform import SGX1, SGX2
+from repro.sim.core import Simulation
+
+
+@pytest.fixture()
+def node(sim):
+    return Invoker(sim, memory_bytes=1 * GB, cores=12)
+
+
+def test_memory_reserve_release(node):
+    node.reserve_memory(256 * MB)
+    assert node.memory_free == 1 * GB - 256 * MB
+    node.release_memory(256 * MB)
+    assert node.memory_free == 1 * GB
+
+
+def test_over_reserve_rejected(node):
+    with pytest.raises(PlatformError):
+        node.reserve_memory(2 * GB)
+
+
+def test_over_release_rejected(node):
+    with pytest.raises(PlatformError):
+        node.release_memory(1)
+
+
+def test_can_fit(node):
+    assert node.can_fit(1 * GB)
+    assert not node.can_fit(1 * GB + 1)
+
+
+def test_node_has_sgx_platform(sim):
+    node = Invoker(sim, memory_bytes=GB, hardware=SGX1)
+    assert node.sgx.profile is SGX1
+    assert node.sgx.epc.capacity_bytes == 128 * MB
+
+
+def test_platform_id_matches_node(node):
+    assert node.sgx.platform_id == node.node_id
+
+
+def test_enclave_init_time_includes_epc_paging(sim):
+    node = Invoker(sim, memory_bytes=GB, hardware=SGX1)
+    small = node.enclave_init_time(32 * MB)
+    node.sgx.epc.allocate("other", 128 * MB)  # EPC already full
+    loaded = node.enclave_init_time(32 * MB)
+    assert loaded > small
+
+
+def test_quote_time_grows_with_queue(sim, node):
+    idle = node.quote_time()
+    node.quoting.request()
+    node.quoting.request()  # one holder + one queued
+    busy = node.quote_time()
+    assert busy > idle
+
+
+def test_shared_storage_link(sim):
+    from repro.sim.resources import Resource
+
+    shared = Resource(sim, capacity=1)
+    a = Invoker(sim, memory_bytes=GB, storage_link=shared)
+    b = Invoker(sim, memory_bytes=GB, storage_link=shared)
+    assert a.storage_link is b.storage_link
+
+
+def test_default_private_storage_link(sim):
+    a = Invoker(sim, memory_bytes=GB)
+    b = Invoker(sim, memory_bytes=GB)
+    assert a.storage_link is not b.storage_link

@@ -1,0 +1,129 @@
+"""Quotes, verification policies, and the attestation service."""
+
+import pytest
+
+from repro.crypto.signature import Signature, SigningKey
+from repro.errors import AttestationError
+from repro.sgx.attestation import (
+    AttestationKind,
+    AttestationService,
+    Quote,
+    QuotePolicy,
+    QuotingEnclave,
+    Report,
+)
+from repro.sgx.measurement import EnclaveMeasurement
+
+MRENCLAVE = EnclaveMeasurement("ab" * 32)
+OTHER = EnclaveMeasurement("cd" * 32)
+
+
+def make_report(mrenclave=MRENCLAVE, isv_svn=2, debug=False, platform="node-1"):
+    return Report(
+        mrenclave=mrenclave,
+        isv_svn=isv_svn,
+        debug=debug,
+        report_data=b"\x00" * 64,
+        platform_id=platform,
+    )
+
+
+@pytest.fixture()
+def service_and_qe():
+    service = AttestationService()
+    key = SigningKey.generate()
+    service.provision_platform("node-1", key)
+    return service, QuotingEnclave(AttestationKind.DCAP, key)
+
+
+def test_report_data_must_be_64_bytes():
+    with pytest.raises(AttestationError):
+        Report(
+            mrenclave=MRENCLAVE, isv_svn=1, debug=False,
+            report_data=b"short", platform_id="node-1",
+        )
+
+
+def test_quote_verifies(service_and_qe):
+    service, qe = service_and_qe
+    report = service.verify(qe.quote(make_report()))
+    assert report.mrenclave == MRENCLAVE
+
+
+def test_unknown_platform_rejected(service_and_qe):
+    service, qe = service_and_qe
+    quote = qe.quote(make_report(platform="node-1"))
+    rogue = Quote(
+        report=make_report(platform="rogue"),
+        kind=quote.kind,
+        signature=quote.signature,
+    )
+    with pytest.raises(AttestationError, match="unknown platform"):
+        service.verify(rogue)
+
+
+def test_forged_signature_rejected(service_and_qe):
+    service, _ = service_and_qe
+    forged = Quote(
+        report=make_report(),
+        kind=AttestationKind.DCAP,
+        signature=SigningKey.generate().sign(b"whatever"),
+    )
+    with pytest.raises(AttestationError, match="signature"):
+        service.verify(forged)
+
+
+def test_report_substitution_rejected(service_and_qe):
+    """A valid signature cannot be re-bound to a different report."""
+    service, qe = service_and_qe
+    quote = qe.quote(make_report())
+    spliced = Quote(
+        report=make_report(mrenclave=OTHER), kind=quote.kind,
+        signature=quote.signature,
+    )
+    with pytest.raises(AttestationError):
+        service.verify(spliced)
+
+
+def test_policy_mrenclave_mismatch(service_and_qe):
+    service, qe = service_and_qe
+    quote = qe.quote(make_report())
+    with pytest.raises(AttestationError, match="identity mismatch"):
+        service.verify(quote, QuotePolicy(expected_mrenclave=OTHER))
+
+
+def test_policy_min_svn(service_and_qe):
+    service, qe = service_and_qe
+    quote = qe.quote(make_report(isv_svn=1))
+    with pytest.raises(AttestationError, match="security version"):
+        service.verify(quote, QuotePolicy(min_isv_svn=3))
+    service.verify(quote, QuotePolicy(min_isv_svn=1))
+
+
+def test_policy_debug_rejected_by_default(service_and_qe):
+    service, qe = service_and_qe
+    quote = qe.quote(make_report(debug=True))
+    with pytest.raises(AttestationError, match="debug"):
+        service.verify(quote)
+    service.verify(quote, QuotePolicy(allow_debug=True))
+
+
+def test_kind_is_bound_into_signature(service_and_qe):
+    """Re-labelling an EPID quote as DCAP breaks the signature."""
+    service, _ = service_and_qe
+    key = SigningKey.generate()
+    service.provision_platform("node-2", key)
+    epid_qe = QuotingEnclave(AttestationKind.EPID, key)
+    quote = epid_qe.quote(make_report(platform="node-2"))
+    relabelled = Quote(
+        report=quote.report, kind=AttestationKind.DCAP, signature=quote.signature
+    )
+    with pytest.raises(AttestationError):
+        service.verify(relabelled)
+
+
+def test_quote_counter(service_and_qe):
+    _, qe = service_and_qe
+    before = qe.quotes_generated
+    qe.quote(make_report())
+    assert qe.quotes_generated == before + 1

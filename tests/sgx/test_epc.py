@@ -1,0 +1,110 @@
+"""EPC accounting and the paging slowdown model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EpcError
+from repro.sgx.epc import MB, PAGE_SIZE, EpcManager
+
+
+def test_allocation_rounds_to_pages():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    rounded = epc.allocate("e1", 1)
+    assert rounded == PAGE_SIZE
+    assert epc.committed_for("e1") == PAGE_SIZE
+
+
+def test_capacity_validation():
+    with pytest.raises(EpcError):
+        EpcManager(capacity_bytes=0)
+
+
+def test_negative_allocation_rejected():
+    epc = EpcManager(capacity_bytes=MB)
+    with pytest.raises(EpcError):
+        epc.allocate("e1", -1)
+
+
+def test_overcommit_allowed_with_slowdown():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.allocate("e1", 128 * MB)
+    assert epc.access_slowdown() == 1.0
+    epc.allocate("e2", 128 * MB)
+    assert epc.pressure == pytest.approx(2.0)
+    assert epc.access_slowdown() > 1.0
+
+
+def test_slowdown_flat_until_capacity():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.allocate("e1", 64 * MB)
+    assert epc.access_slowdown() == 1.0
+
+
+def test_slowdown_monotone_in_pressure():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    previous = epc.access_slowdown()
+    for index in range(8):
+        epc.allocate(f"e{index}", 64 * MB)
+        current = epc.access_slowdown()
+        assert current >= previous
+        previous = current
+
+
+def test_what_if_probe_does_not_commit():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.slowdown_for_working_set(512 * MB)
+    assert epc.committed_bytes == 0
+
+
+def test_free_partial_and_full():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.allocate("e1", 10 * MB)
+    epc.free("e1", 4 * MB)
+    assert epc.committed_for("e1") == 6 * MB
+    epc.free("e1")
+    assert epc.committed_for("e1") == 0
+
+
+def test_free_more_than_held_rejected():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.allocate("e1", MB)
+    with pytest.raises(EpcError):
+        epc.free("e1", 2 * MB)
+
+
+def test_free_unknown_enclave_is_noop():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.free("ghost")  # freeing everything held (nothing) is fine
+    assert epc.committed_bytes == 0
+
+
+def test_stats_track_peak():
+    epc = EpcManager(capacity_bytes=128 * MB)
+    epc.allocate("e1", 100 * MB)
+    epc.free("e1")
+    epc.allocate("e2", 10 * MB)
+    assert epc.stats.peak_committed >= 100 * MB
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 16 * MB)), max_size=30
+    )
+)
+def test_accounting_invariants_property(operations):
+    """Committed bytes equal the sum of per-enclave holdings, never negative."""
+    epc = EpcManager(capacity_bytes=64 * MB)
+    holdings = {}
+    for enclave_index, nbytes in operations:
+        key = f"e{enclave_index}"
+        epc.allocate(key, nbytes)
+        pages = ((nbytes + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+        holdings[key] = holdings.get(key, 0) + pages
+    assert epc.committed_bytes == sum(holdings.values())
+    for key, held in holdings.items():
+        assert epc.committed_for(key) == held
+        epc.free(key)
+    assert epc.committed_bytes == 0
+    assert epc.access_slowdown() == 1.0

@@ -1,0 +1,66 @@
+"""MRENCLAVE computation: determinism and sensitivity."""
+
+import pytest
+
+from repro.sgx.enclave import EnclaveCode
+from repro.sgx.measurement import EnclaveMeasurement, code_identity_of, measure
+
+
+class ProgramA(EnclaveCode):
+    def work(self):
+        return 1
+
+
+class ProgramB(EnclaveCode):
+    def work(self):
+        return 2
+
+
+def test_measurement_deterministic():
+    identity = code_identity_of(ProgramA)
+    assert measure(identity, {"tcs": 1}) == measure(identity, {"tcs": 1})
+
+
+def test_measurement_changes_with_config():
+    identity = code_identity_of(ProgramA)
+    assert measure(identity, {"tcs": 1}) != measure(identity, {"tcs": 2})
+
+
+def test_measurement_changes_with_code():
+    config = {"tcs": 1}
+    assert measure(code_identity_of(ProgramA), config) != measure(
+        code_identity_of(ProgramB), config
+    )
+
+
+def test_instance_and_class_identity_agree():
+    assert code_identity_of(ProgramA()) == code_identity_of(ProgramA)
+
+
+def test_nested_config_covered():
+    identity = code_identity_of(ProgramA)
+    a = measure(identity, {"settings": {"isolation": {"sequential": False}}})
+    b = measure(identity, {"settings": {"isolation": {"sequential": True}}})
+    assert a != b
+
+
+def test_config_key_order_irrelevant():
+    identity = code_identity_of(ProgramA)
+    assert measure(identity, {"a": 1, "b": 2}) == measure(identity, {"b": 2, "a": 1})
+
+
+def test_unserialisable_config_rejected():
+    with pytest.raises(ValueError):
+        measure(code_identity_of(ProgramA), {"bad": object()})
+
+
+def test_measurement_value_validation():
+    with pytest.raises(ValueError):
+        EnclaveMeasurement("nothex")
+    with pytest.raises(ValueError):
+        EnclaveMeasurement("A" * 64)  # uppercase rejected
+
+
+def test_measurement_to_bytes():
+    m = measure(code_identity_of(ProgramA), {})
+    assert m.to_bytes().hex() == m.value

@@ -1,0 +1,190 @@
+"""RA-TLS handshakes and secure channels, including MITM scenarios."""
+
+import pytest
+
+from repro.crypto.dh import DHKeyPair
+from repro.errors import AttestationError, CryptoError, InvalidTag
+from repro.sgx.attestation import AttestationService, QuotePolicy
+from repro.sgx.enclave import EnclaveBuildConfig, EnclaveCode
+from repro.sgx.platform import SGX2, SgxPlatform
+from repro.sgx.ratls import (
+    HandshakeOffer,
+    RatlsPeer,
+    complete_handshake,
+    perform_handshake,
+    respond_handshake,
+)
+
+MB = 1024 * 1024
+
+
+class Service(EnclaveCode):
+    pass
+
+
+@pytest.fixture()
+def setup():
+    attestation = AttestationService()
+    platform = SgxPlatform(SGX2, attestation_service=attestation)
+    enclave = platform.create_enclave(Service(), EnclaveBuildConfig(memory_bytes=MB))
+    return attestation, platform, enclave
+
+
+def attested_peer(name, enclave, platform):
+    return RatlsPeer(name, enclave=enclave, quoter=platform.quote)
+
+
+def test_plain_handshake_channel(setup):
+    client, server = RatlsPeer("c"), RatlsPeer("s")
+    c, s = perform_handshake(client, server)
+    assert s.recv(c.send(b"hello")) == b"hello"
+    assert c.recv(s.send(b"world")) == b"world"
+
+
+def test_one_way_attested_handshake(setup):
+    attestation, platform, enclave = setup
+    client = RatlsPeer("client")
+    server = attested_peer("server", enclave, platform)
+    c, s = perform_handshake(
+        client, server, attestation,
+        client_requires=QuotePolicy(expected_mrenclave=enclave.measurement),
+    )
+    assert s.recv(c.send(b"register")) == b"register"
+
+
+def test_mutual_attested_handshake(setup):
+    attestation, platform, enclave = setup
+    other = platform.create_enclave(Service(), EnclaveBuildConfig(memory_bytes=2 * MB))
+    client = attested_peer("semirt", enclave, platform)
+    server = attested_peer("keyservice", other, platform)
+    c, s = perform_handshake(
+        client, server, attestation,
+        client_requires=QuotePolicy(expected_mrenclave=other.measurement),
+        server_requires=QuotePolicy(expected_mrenclave=enclave.measurement),
+    )
+    assert s.recv(c.send(b"provision")) == b"provision"
+
+
+def test_missing_quote_rejected(setup):
+    attestation, platform, enclave = setup
+    client, server = RatlsPeer("c"), RatlsPeer("s")  # server unattested
+    with pytest.raises(AttestationError, match="no quote"):
+        perform_handshake(
+            client, server, attestation,
+            client_requires=QuotePolicy(),
+        )
+
+
+def test_wrong_identity_rejected(setup):
+    attestation, platform, enclave = setup
+    client = RatlsPeer("client")
+    server = attested_peer("server", enclave, platform)
+    wrong = "ef" * 32
+    from repro.sgx.measurement import EnclaveMeasurement
+
+    with pytest.raises(AttestationError):
+        perform_handshake(
+            client, server, attestation,
+            client_requires=QuotePolicy(expected_mrenclave=EnclaveMeasurement(wrong)),
+        )
+
+
+def test_quote_splice_mitm_rejected(setup):
+    """An attacker cannot graft a genuine quote onto its own DH key."""
+    attestation, platform, enclave = setup
+    server = attested_peer("server", enclave, platform)
+    genuine_offer = server.offer()
+    mitm_key = DHKeyPair.generate()
+    spliced = HandshakeOffer(dh_public=mitm_key.public, quote=genuine_offer.quote)
+    client = RatlsPeer("client")
+    client_offer = client.offer()
+    with pytest.raises(AttestationError, match="bind"):
+        complete_handshake(
+            client, client_offer, spliced, attestation,
+            client_requires=QuotePolicy(expected_mrenclave=enclave.measurement),
+        )
+
+
+def test_channel_rejects_replay(setup):
+    c, s = perform_handshake(RatlsPeer("c"), RatlsPeer("s"))
+    wire = c.send(b"one")
+    s.recv(wire)
+    with pytest.raises(InvalidTag):
+        s.recv(wire)
+
+
+def test_channel_rejects_reorder(setup):
+    c, s = perform_handshake(RatlsPeer("c"), RatlsPeer("s"))
+    first, second = c.send(b"one"), c.send(b"two")
+    with pytest.raises(InvalidTag):
+        s.recv(second)
+
+
+def test_channel_rejects_reflection(setup):
+    """A message cannot be reflected back to its sender (direction keys)."""
+    c, s = perform_handshake(RatlsPeer("c"), RatlsPeer("s"))
+    wire = c.send(b"one")
+    with pytest.raises(InvalidTag):
+        c.recv(wire)
+
+
+def test_channel_rejects_tampering(setup):
+    c, s = perform_handshake(RatlsPeer("c"), RatlsPeer("s"))
+    wire = bytearray(c.send(b"payload"))
+    wire[0] ^= 1
+    with pytest.raises(InvalidTag):
+        s.recv(bytes(wire))
+
+
+def test_channels_are_independent(setup):
+    c1, s1 = perform_handshake(RatlsPeer("c"), RatlsPeer("s"))
+    c2, s2 = perform_handshake(RatlsPeer("c"), RatlsPeer("s"))
+    with pytest.raises(InvalidTag):
+        s2.recv(c1.send(b"cross-channel"))
+
+
+def test_offer_wire_roundtrip(setup):
+    attestation, platform, enclave = setup
+    peer = attested_peer("p", enclave, platform)
+    offer = peer.offer()
+    restored = HandshakeOffer.from_wire(offer.to_wire())
+    assert restored.dh_public == offer.dh_public
+    assert restored.quote == offer.quote
+
+
+def test_offer_wire_malformed_rejected():
+    with pytest.raises(AttestationError):
+        HandshakeOffer.from_wire({"nonsense": 1})
+
+
+def test_shared_secret_requires_offer_first():
+    peer = RatlsPeer("p")
+    other = RatlsPeer("o")
+    other_offer = other.offer()
+    with pytest.raises(CryptoError):
+        peer.shared_secret(other_offer)
+
+
+def test_attested_peer_needs_both_enclave_and_quoter(setup):
+    _, platform, enclave = setup
+    with pytest.raises(ValueError):
+        RatlsPeer("bad", enclave=enclave)
+
+
+def test_respond_handshake_returns_client_report(setup):
+    attestation, platform, enclave = setup
+    client = attested_peer("client", enclave, platform)
+    server = RatlsPeer("server-plain")
+    offer = client.offer()
+    _, _, report = respond_handshake(
+        server, offer, attestation, server_requires=QuotePolicy()
+    )
+    assert report is not None
+    assert report.mrenclave == enclave.measurement
+
+
+def test_respond_handshake_unattested_client_gives_no_report(setup):
+    server = RatlsPeer("server")
+    offer = RatlsPeer("client").offer()
+    _, _, report = respond_handshake(server, offer)
+    assert report is None

@@ -1,0 +1,163 @@
+"""Resources and stores: capacity, FIFO, conservation invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulation
+from repro.sim.resources import Resource, Store
+
+
+def test_capacity_enforced(sim):
+    cores = Resource(sim, capacity=2)
+    finish_times = {}
+
+    def worker(sim, name):
+        claim = cores.request()
+        yield claim
+        try:
+            yield sim.timeout(1.0)
+            finish_times[name] = sim.now
+        finally:
+            cores.release(claim)
+
+    for i in range(4):
+        sim.process(worker(sim, i))
+    sim.run()
+    assert finish_times == {0: 1.0, 1: 1.0, 2: 2.0, 3: 2.0}
+
+
+def test_fifo_admission(sim):
+    gate = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, name, arrive):
+        yield sim.timeout(arrive)
+        claim = gate.request()
+        yield claim
+        try:
+            order.append(name)
+            yield sim.timeout(10.0)
+        finally:
+            gate.release(claim)
+
+    for i, arrive in enumerate((0.0, 1.0, 2.0, 3.0)):
+        sim.process(worker(sim, i, arrive))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_invalid_capacity():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_release_without_request_rejected(sim):
+    resource = Resource(sim, capacity=1)
+    claim = resource.request()
+    resource.release(claim)
+    with pytest.raises(SimulationError):
+        resource.release(claim)
+
+
+def test_release_wrong_resource_rejected(sim):
+    a, b = Resource(sim, 1), Resource(sim, 1)
+    claim = a.request()
+    with pytest.raises(SimulationError):
+        b.release(claim)
+
+
+def test_queue_length_visible(sim):
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    resource.request()
+    resource.request()
+    assert resource.in_use == 1
+    assert resource.queue_length == 2
+
+
+def test_store_fifo(sim):
+    box = Store(sim)
+    received = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield box.get()
+            received.append(item)
+
+    def producer(sim):
+        for item in ("a", "b", "c"):
+            yield sim.timeout(1)
+            box.put(item)
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert received == ["a", "b", "c"]
+
+
+def test_store_buffers_when_no_getter(sim):
+    box = Store(sim)
+    box.put(1)
+    box.put(2)
+    assert len(box) == 2
+
+    def consumer(sim):
+        first = yield box.get()
+        second = yield box.get()
+        return (first, second)
+
+    assert sim.run_process(consumer(sim)) == (1, 2)
+
+
+def test_store_getters_served_in_order(sim):
+    box = Store(sim)
+    log = []
+
+    def consumer(sim, name):
+        item = yield box.get()
+        log.append((name, item))
+
+    sim.process(consumer(sim, "first"))
+    sim.process(consumer(sim, "second"))
+
+    def producer(sim):
+        yield sim.timeout(1)
+        box.put("x")
+        box.put("y")
+
+    sim.process(producer(sim))
+    sim.run()
+    assert log == [("first", "x"), ("second", "y")]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 4),
+    durations=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=15),
+)
+def test_resource_conservation_property(capacity, durations):
+    """Never more than `capacity` workers hold the resource at once."""
+    sim = Simulation()
+    resource = Resource(sim, capacity=capacity)
+    active = {"count": 0, "peak": 0}
+
+    def worker(sim, hold):
+        claim = resource.request()
+        yield claim
+        active["count"] += 1
+        active["peak"] = max(active["peak"], active["count"])
+        try:
+            yield sim.timeout(hold)
+        finally:
+            active["count"] -= 1
+            resource.release(claim)
+
+    for hold in durations:
+        sim.process(worker(sim, hold))
+    sim.run()
+    assert active["count"] == 0
+    assert active["peak"] <= capacity
+    assert resource.in_use == 0

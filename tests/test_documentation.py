@@ -1,0 +1,56 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+The deliverable is a library someone else can adopt, so this meta-test
+walks every module under ``repro`` and requires docstrings on modules,
+public classes, and public functions/methods.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in SKIP_MODULES:
+            continue
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+@pytest.mark.parametrize("module", list(iter_modules()), ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", list(iter_modules()), ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    for name, member in public_members(module):
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not (
+                    attr.__doc__ and attr.__doc__.strip()
+                ):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, f"{module.__name__}: missing docstrings: {undocumented}"

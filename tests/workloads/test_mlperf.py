@@ -1,0 +1,43 @@
+"""The MLPerf-style mixed workload generator (Section VI-D)."""
+
+import pytest
+
+from repro.workloads.mlperf import build_fnpacker_workload
+
+
+def test_default_workload_shape():
+    workload = build_fnpacker_workload()
+    # Two Poisson streams at 2 rps for 8 minutes each: ~1920 arrivals.
+    assert len(workload.arrivals) == pytest.approx(2 * 2 * 480, rel=0.15)
+    assert {a.model_id for a in workload.arrivals} == {"m0", "m1"}
+    assert {a.user_id for a in workload.arrivals} == {"alice", "bob"}
+    assert len(workload.sessions) == 2
+
+
+def test_sessions_cover_all_models():
+    workload = build_fnpacker_workload()
+    for session, expected_start in zip(workload.sessions, (240.0, 360.0)):
+        assert session.models == ("m0", "m1", "m2", "m3", "m4")
+        assert session.start_time == expected_start
+        assert session.user_id == "analyst"
+
+
+def test_arrivals_time_ordered_and_bounded():
+    workload = build_fnpacker_workload(duration_s=100.0)
+    times = [a.time for a in workload.arrivals]
+    assert times == sorted(times)
+    assert times[-1] < 100.0
+
+
+def test_seed_determinism():
+    a = build_fnpacker_workload(seed=1)
+    b = build_fnpacker_workload(seed=1)
+    c = build_fnpacker_workload(seed=2)
+    assert [x.time for x in a.arrivals] == [x.time for x in b.arrivals]
+    assert [x.time for x in a.arrivals] != [x.time for x in c.arrivals]
+
+
+def test_custom_model_ids():
+    workload = build_fnpacker_workload(model_ids=("x", "y", "z"))
+    assert {a.model_id for a in workload.arrivals} == {"x", "y"}
+    assert workload.sessions[0].models == ("x", "y", "z")

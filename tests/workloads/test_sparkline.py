@@ -1,0 +1,46 @@
+"""Sparkline rendering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.sparkline import labelled_sparkline, sparkline
+
+
+def test_empty_series():
+    assert sparkline([]) == ""
+
+
+def test_flat_series_renders_low_blocks():
+    assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+
+def test_monotone_series_monotone_blocks():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert line == "▁▂▃▄▅▆▇█"
+
+
+def test_extremes_hit_first_and_last_blocks():
+    line = sparkline([0.0, 10.0])
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_pinned_scale():
+    # Pinning lo/hi lets two series share a scale.
+    a = sparkline([1.0, 2.0], lo=0.0, hi=10.0)
+    b = sparkline([9.0, 10.0], lo=0.0, hi=10.0)
+    assert a < b  # lexically lower blocks
+
+
+def test_labelled_line():
+    text = labelled_sparkline("SeSeMI", [0.5, 1.0, 0.4])
+    assert text.startswith("SeSeMI")
+    assert "[0.40s .. 1.00s]" in text
+    assert labelled_sparkline("x", []) == "x            (no data)"
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.floats(0, 1e6), min_size=1, max_size=60))
+def test_length_and_charset_property(values):
+    line = sparkline(values)
+    assert len(line) == len(values)
+    assert set(line) <= set("▁▂▃▄▅▆▇█")

@@ -1,0 +1,73 @@
+"""Trace parsing, formatting, and synthetic skewed traces."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.arrival import Arrival
+from repro.workloads.trace import (
+    format_trace_csv,
+    parse_trace_csv,
+    synthesize_skewed_trace,
+)
+
+
+def test_parse_basic_trace():
+    text = "time,model_id,user_id\n0.5,m1,alice\n0.1,m2,bob\n"
+    arrivals = parse_trace_csv(text)
+    assert [a.model_id for a in arrivals] == ["m2", "m1"]  # sorted by time
+    assert arrivals[0].user_id == "bob"
+
+
+def test_parse_without_header_and_user():
+    arrivals = parse_trace_csv("1.0,m1\n2.0,m2,\n")
+    assert len(arrivals) == 2
+    assert arrivals[0].user_id == "trace-user"
+
+
+def test_parse_skips_comments_and_blank_lines():
+    arrivals = parse_trace_csv("# comment\n\n1.0,m1\n")
+    assert len(arrivals) == 1
+
+
+def test_parse_rejects_bad_rows():
+    with pytest.raises(ConfigError):
+        parse_trace_csv("not-a-time,m1\n")
+    with pytest.raises(ConfigError):
+        parse_trace_csv("-1.0,m1\n")
+    with pytest.raises(ConfigError):
+        parse_trace_csv("1.0\n")
+
+
+def test_roundtrip():
+    arrivals = [
+        Arrival(time=0.25, model_id="m1", user_id="u1"),
+        Arrival(time=1.5, model_id="m2", user_id="u2"),
+    ]
+    assert parse_trace_csv(format_trace_csv(arrivals)) == arrivals
+
+
+def test_synthetic_trace_skew():
+    models = [f"m{i}" for i in range(10)]
+    arrivals = synthesize_skewed_trace(models, duration_s=500.0,
+                                       total_rate_rps=10.0, skew=1.5)
+    counts = {m: 0 for m in models}
+    for arrival in arrivals:
+        counts[arrival.model_id] += 1
+    # Hot head: the top model gets far more traffic than the tail.
+    assert counts["m0"] > 4 * counts["m9"]
+    assert len(arrivals) == pytest.approx(5000, rel=0.1)
+
+
+def test_synthetic_trace_validation():
+    with pytest.raises(ConfigError):
+        synthesize_skewed_trace([], 10.0, 1.0)
+    with pytest.raises(ConfigError):
+        synthesize_skewed_trace(["m"], 0.0, 1.0)
+    with pytest.raises(ConfigError):
+        synthesize_skewed_trace(["m"], 10.0, -1.0)
+
+
+def test_synthetic_trace_deterministic():
+    a = synthesize_skewed_trace(["m0", "m1"], 50.0, 5.0, seed=3)
+    b = synthesize_skewed_trace(["m0", "m1"], 50.0, 5.0, seed=3)
+    assert a == b
