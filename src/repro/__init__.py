@@ -16,10 +16,12 @@ Quick tour:
 - :mod:`repro.serverless` -- an OpenWhisk-like platform on virtual time.
 - :mod:`repro.sim` -- the discrete-event simulation core.
 - :mod:`repro.workloads` -- arrival processes, drivers, metrics.
+- :mod:`repro.obs` -- distributed tracing: spans, critical-path
+  analysis, Chrome-trace export, in wall time or virtual time.
 """
 
-from repro.core.deployment import SeSeMIEnvironment
+from repro.core.deployment import ModelHandle, SeSeMIEnvironment, UserSession
 
 __version__ = "1.0.0"
 
-__all__ = ["SeSeMIEnvironment", "__version__"]
+__all__ = ["ModelHandle", "SeSeMIEnvironment", "UserSession", "__version__"]

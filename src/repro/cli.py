@@ -1,19 +1,29 @@
-"""Command-line interface: list and run the paper's experiments.
+"""Command-line interface: list, run, and trace the paper's experiments.
 
 Usage::
 
     python -m repro list                 # show available experiments
     python -m repro run fig9             # print one experiment's table
     python -m repro run table2 fig10     # several at once
+    python -m repro run fig8 --json      # raw result as JSON
+    python -m repro run fig12 --seed 7   # seed the global RNGs first
+    python -m repro trace fig8           # dump a chrome://tracing file
     python -m repro report [PATH]        # regenerate EXPERIMENTS.md
+
+Experiments self-register through the :func:`experiment` decorator into
+the :data:`EXPERIMENTS` registry; trace sources register through
+:func:`trace_source` into :data:`TRACES`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig8,
@@ -29,74 +39,209 @@ from repro.experiments import (
     table34,
 )
 
-#: experiment name -> (description, runner returning the rendered report)
-EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
-    "table1": (
-        "Table I: evaluation models and buffer sizes",
-        lambda: table1.format_report(table1.run()),
-    ),
-    "fig8": (
-        "Figure 8: cold-invocation stage breakdown",
-        lambda: fig8.format_report(fig8.run()),
-    ),
-    "fig9": (
-        "Figure 9: cold/warm/hot vs untrusted paths",
-        lambda: fig9.format_report(fig9.run()),
-    ),
-    "fig10": (
-        "Figure 10: enclave memory saving vs concurrency",
-        lambda: fig10.format_report(fig10.run()),
-    ),
-    "fig11": (
-        "Figure 11: latency vs concurrency (CPU / EPC bound)",
-        lambda: fig11.format_report(fig11.run()),
-    ),
-    "fig12": (
-        "Figure 12: single-node rate sweeps (quick grid)",
-        lambda: fig12.format_report(fig12.run(quick=True)),
-    ),
-    "fig13": (
-        "Figures 13/14: multi-node MMPP latency and GB-s cost",
-        lambda: fig13.format_report(fig13.run(duration_s=240.0)),
-    ),
-    "table2": (
-        "Table II: strong-isolation overhead",
-        lambda: table2.format_report(table2.run()),
-    ),
-    "table34": (
-        "Tables III/IV: FnPacker vs baselines",
-        lambda: table34.format_report(table34.run()),
-    ),
-    "fig15": (
-        "Figures 15/16: enclave launch + attestation overhead",
-        lambda: fig15.format_report(fig15.run()),
-    ),
-    "fig17": (
-        "Figures 17/18: breakdown with vs without SGX",
-        lambda: fig17.format_report(fig17.run()),
-    ),
-}
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: a raw runner plus a renderer.
+
+    Iterating yields ``(description, report_runner)`` so older code that
+    tuple-unpacked the registry values keeps working.
+    """
+
+    name: str
+    description: str
+    run: Callable[[], dict]
+    render: Callable[[dict], str]
+
+    def report(self) -> str:
+        """Run the experiment and render its paper-style table."""
+        return self.render(self.run())
+
+    def __iter__(self):
+        """Back-compat view as the old ``(description, runner)`` pair."""
+        yield self.description
+        yield self.report
+
+
+#: experiment name -> :class:`Experiment` (populated by :func:`experiment`)
+EXPERIMENTS: Dict[str, Experiment] = {}
+
+#: trace source name -> (description, callable returning finished spans)
+TRACES: Dict[str, tuple] = {}
+
+
+def experiment(name: str, description: str, render: Callable[[dict], str]):
+    """Register a function returning an experiment's raw result dict."""
+
+    def register(run: Callable[[], dict]) -> Callable[[], dict]:
+        EXPERIMENTS[name] = Experiment(name, description, run, render)
+        return run
+
+    return register
+
+
+def trace_source(name: str, description: str):
+    """Register a function returning a finished-span list to export."""
+
+    def register(collect: Callable[[], list]) -> Callable[[], list]:
+        TRACES[name] = (description, collect)
+        return collect
+
+    return register
+
+
+# -- registry ---------------------------------------------------------------------
+
+experiment(
+    "table1", "Table I: evaluation models and buffer sizes", table1.format_report
+)(table1.run)
+experiment(
+    "fig8", "Figure 8: cold-invocation stage breakdown", fig8.format_report
+)(fig8.run)
+experiment(
+    "fig9", "Figure 9: cold/warm/hot vs untrusted paths", fig9.format_report
+)(fig9.run)
+experiment(
+    "fig10", "Figure 10: enclave memory saving vs concurrency", fig10.format_report
+)(fig10.run)
+experiment(
+    "fig11", "Figure 11: latency vs concurrency (CPU / EPC bound)",
+    fig11.format_report,
+)(fig11.run)
+
+
+@experiment(
+    "fig12", "Figure 12: single-node rate sweeps (quick grid)", fig12.format_report
+)
+def _run_fig12() -> dict:
+    """Figure 12 on the quick parameter grid."""
+    return fig12.run(quick=True)
+
+
+@experiment(
+    "fig13", "Figures 13/14: multi-node MMPP latency and GB-s cost",
+    fig13.format_report,
+)
+def _run_fig13() -> dict:
+    """Figures 13/14 with the shortened duration the CLI uses."""
+    return fig13.run(duration_s=240.0)
+
+
+experiment(
+    "table2", "Table II: strong-isolation overhead", table2.format_report
+)(table2.run)
+experiment(
+    "table34", "Tables III/IV: FnPacker vs baselines", table34.format_report
+)(table34.run)
+experiment(
+    "fig15", "Figures 15/16: enclave launch + attestation overhead",
+    fig15.format_report,
+)(fig15.run)
+experiment(
+    "fig17", "Figures 17/18: breakdown with vs without SGX", fig17.format_report
+)(fig17.run)
+
+
+@trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
+def _trace_fig8() -> list:
+    """Span dump of one virtual-time cold request (MBNET on TVM)."""
+    spans, _ = fig8.traced_cold_request("MBNET", "tvm")
+    return spans
+
+
+@trace_source("fig17", "one cold request on the untrusted runtime")
+def _trace_fig17() -> list:
+    """Span dump of the non-SGX comparison path of Figures 17/18."""
+    spans, _ = fig8.traced_cold_request("MBNET", "tvm", system="Untrusted")
+    return spans
+
+
+@trace_source("session", "a functional cold+hot inference via the session API")
+def _trace_session() -> list:
+    """Span dump of two real inferences (cold then hot) in wall time."""
+    import numpy as np
+
+    from repro.core.deployment import SeSeMIEnvironment
+    from repro.mlrt.zoo import build_mobilenet
+
+    env = SeSeMIEnvironment()
+    model = build_mobilenet()
+    env.deploy(model, "m", owner="owner").grant("user")
+    x = np.zeros(model.input_spec.shape, dtype=np.float32)
+    with env.session("user", "m") as session:
+        session.infer(x)
+        session.infer(x)
+    return env.tracer.finished_spans()
+
+
+# -- commands ---------------------------------------------------------------------
+
+
+def _seed_rngs(seed: Optional[int]) -> None:
+    """Seed the global RNGs the experiments draw from."""
+    if seed is None:
+        return
+    import numpy as np
+
+    random.seed(seed)
+    np.random.seed(seed)
+
+
+def _json_default(value):
+    """JSON fallback for numpy scalars and other non-JSON leaves."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
 
 
 def _cmd_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
-    for name, (description, _) in EXPERIMENTS.items():
-        print(f"  {name:<{width}}  {description}")
+    for name, entry in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {entry.description}")
     return 0
 
 
-def _cmd_run(names) -> int:
+def _cmd_run(names: List[str], as_json: bool, seed: Optional[int]) -> int:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("run `python -m repro list` to see what exists", file=sys.stderr)
         return 2
+    _seed_rngs(seed)
+    collected: Dict[str, dict] = {}
     for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"=== {name}: {description} ===")
+        entry = EXPERIMENTS[name]
+        if as_json:
+            collected[name] = entry.run()
+            continue
+        print(f"=== {name}: {entry.description} ===")
         started = time.time()
-        print(runner())
+        print(entry.report())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    if as_json:
+        print(json.dumps(collected, indent=2, default=_json_default))
+    return 0
+
+
+def _cmd_trace(name: str, out: Optional[str]) -> int:
+    if name not in TRACES:
+        print(f"unknown trace source: {name}", file=sys.stderr)
+        print(
+            f"traceable: {', '.join(sorted(TRACES))}", file=sys.stderr
+        )
+        return 2
+    from repro.obs.export import write_chrome_trace
+
+    description, collect = TRACES[name]
+    path = out or f"trace-{name}.json"
+    started = time.time()
+    spans = collect()
+    write_chrome_trace(spans, path, service=f"sesemi:{name}")
+    print(
+        f"wrote {len(spans)} spans ({description}) to {path} "
+        f"in {time.time() - started:.1f}s -- open with chrome://tracing"
+    )
     return 0
 
 
@@ -120,13 +265,30 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list available experiments")
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument("names", nargs="+", help="experiment names")
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="emit raw result dicts as JSON instead of tables",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed the global RNGs before running",
+    )
+    trace_parser = sub.add_parser(
+        "trace", help="run a traced workload and dump a chrome://tracing file"
+    )
+    trace_parser.add_argument("name", help="trace source (see errors for choices)")
+    trace_parser.add_argument(
+        "--out", default=None, help="output path (default: trace-<name>.json)"
+    )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.names)
+        return _cmd_run(args.names, args.json, args.seed)
+    if args.command == "trace":
+        return _cmd_trace(args.name, args.out)
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

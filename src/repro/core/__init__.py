@@ -3,7 +3,7 @@
 from repro.core.batching import BatchingSemirtActor, batching_semirt_factory
 from repro.core.client import KeyServiceConnection, OwnerClient, UserClient
 from repro.core.costs import CostModel
-from repro.core.deployment import SeSeMIEnvironment
+from repro.core.deployment import ModelHandle, SeSeMIEnvironment, UserSession
 from repro.core.fnpacker import (
     AllInOneRouter,
     FnPackerRouter,
@@ -62,6 +62,7 @@ __all__ = [
     "KeyServiceEnclaveCode",
     "KeyServiceFleet",
     "KeyServiceHost",
+    "ModelHandle",
     "NativeSimActor",
     "OneToOneRouter",
     "OwnerClient",
@@ -75,6 +76,7 @@ __all__ = [
     "Stage",
     "UntrustedSimActor",
     "UserClient",
+    "UserSession",
     "batching_semirt_factory",
     "default_semirt_config",
     "expected_keyservice_measurement",

@@ -19,6 +19,7 @@ from repro.crypto.gcm import AESGCM
 from repro.crypto.keys import SymmetricKey
 from repro.errors import AccessDenied, InvocationError, SeSeMIError
 from repro.mlrt.model import Model
+from repro.obs.tracer import maybe_span
 from repro.sgx.attestation import AttestationService, QuotePolicy
 from repro.sgx.measurement import EnclaveMeasurement
 from repro.sgx.ratls import HandshakeOffer, RatlsPeer, complete_handshake
@@ -37,18 +38,23 @@ class KeyServiceConnection:
         attestation: AttestationService,
         expected_measurement: EnclaveMeasurement,
         name: str = "client",
+        tracer=None,
     ) -> None:
-        peer = RatlsPeer(name)
-        offer = peer.offer()
-        reply = host.handshake(offer.to_wire())
-        server_offer = HandshakeOffer.from_wire(reply["server_offer"])
-        self._channel = complete_handshake(
-            peer,
-            offer,
-            server_offer,
-            verifier=attestation,
-            client_requires=QuotePolicy(expected_mrenclave=expected_measurement),
-        )
+        self._tracer = tracer
+        with maybe_span(
+            tracer, "ratls_handshake", client=name, peer="keyservice"
+        ):
+            peer = RatlsPeer(name)
+            offer = peer.offer()
+            reply = host.handshake(offer.to_wire())
+            server_offer = HandshakeOffer.from_wire(reply["server_offer"])
+            self._channel = complete_handshake(
+                peer,
+                offer,
+                server_offer,
+                verifier=attestation,
+                client_requires=QuotePolicy(expected_mrenclave=expected_measurement),
+            )
         self._channel_id = reply["channel_id"]
         self._host = host
 
@@ -69,11 +75,13 @@ class KeyServiceConnection:
 class _Principal:
     """Shared owner/user behaviour: identity key + registration."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, tracer=None) -> None:
         self.name = name
         self.identity_key = SymmetricKey.generate()
         self._connection: Optional[KeyServiceConnection] = None
         self.principal_id: Optional[str] = None
+        #: optional :class:`~repro.obs.tracer.Tracer` for client-side spans
+        self.tracer = tracer
 
     @property
     def connection(self) -> KeyServiceConnection:
@@ -89,7 +97,11 @@ class _Principal:
     ) -> None:
         """Attest KeyService and open a secure channel."""
         self._connection = KeyServiceConnection(
-            keyservice_host, attestation, expected_measurement, name=self.name
+            keyservice_host,
+            attestation,
+            expected_measurement,
+            name=self.name,
+            tracer=self.tracer,
         )
 
     def register(self) -> str:
@@ -113,8 +125,8 @@ class _Principal:
 class OwnerClient(_Principal):
     """The model owner: trains, encrypts, deploys, and grants access."""
 
-    def __init__(self, name: str = "owner") -> None:
-        super().__init__(name)
+    def __init__(self, name: str = "owner", tracer=None) -> None:
+        super().__init__(name, tracer=tracer)
         self._model_keys: Dict[str, SymmetricKey] = {}
 
     def model_key(self, model_id: str) -> SymmetricKey:
@@ -184,8 +196,8 @@ class OwnerClient(_Principal):
 class UserClient(_Principal):
     """The model user: releases request keys and runs encrypted inference."""
 
-    def __init__(self, name: str = "user") -> None:
-        super().__init__(name)
+    def __init__(self, name: str = "user", tracer=None) -> None:
+        super().__init__(name, tracer=tracer)
         self._request_keys: Dict[Tuple[str, str], SymmetricKey] = {}
 
     def request_key(self, model_id: str, enclave: EnclaveMeasurement) -> SymmetricKey:
@@ -216,25 +228,27 @@ class UserClient(_Principal):
         self, model_id: str, enclave: EnclaveMeasurement, x: np.ndarray
     ) -> bytes:
         """Encrypt an input tensor for ``model_id`` under the request key."""
-        key = self.request_key(model_id, enclave)
-        payload = wire.encode({"input": x.astype(np.float32).tobytes()})
-        return AESGCM(bytes(key)).seal(
-            payload, aad=REQUEST_AAD + model_id.encode()
-        )
+        with maybe_span(self.tracer, "encrypt_request", model_id=model_id):
+            key = self.request_key(model_id, enclave)
+            payload = wire.encode({"input": x.astype(np.float32).tobytes()})
+            return AESGCM(bytes(key)).seal(
+                payload, aad=REQUEST_AAD + model_id.encode()
+            )
 
     def decrypt_response(
         self, model_id: str, enclave: EnclaveMeasurement, enc_response: bytes
     ) -> np.ndarray:
         """Authenticate and decrypt the inference result."""
-        key = self.request_key(model_id, enclave)
-        try:
-            payload = wire.decode(
-                AESGCM(bytes(key)).open(
-                    enc_response, aad=RESPONSE_AAD + model_id.encode()
+        with maybe_span(self.tracer, "decrypt_response", model_id=model_id):
+            key = self.request_key(model_id, enclave)
+            try:
+                payload = wire.decode(
+                    AESGCM(bytes(key)).open(
+                        enc_response, aad=RESPONSE_AAD + model_id.encode()
+                    )
                 )
-            )
-        except Exception as exc:
-            raise InvocationError(
-                "response does not authenticate under the request key"
-            ) from exc
-        return np.frombuffer(payload["output"], dtype=np.float32)
+            except Exception as exc:
+                raise InvocationError(
+                    "response does not authenticate under the request key"
+                ) from exc
+            return np.frombuffer(payload["output"], dtype=np.float32)

@@ -10,6 +10,23 @@ walks the three workflow stages of Section III:
 3. *request serving*: users encrypt requests, SeMIRT enclaves fetch keys
    via mutual attestation and execute inference.
 
+The preferred surface is the **session API**::
+
+    env = SeSeMIEnvironment()
+    handle = env.deploy(model, "ehr-model", owner="hospital")
+    handle.grant("alice")
+    with env.session("alice", "ehr-model") as session:
+        y = session.infer(x)
+
+Every ``session.infer`` call produces a full span tree on
+``env.tracer`` -- the first (cold) call covers all nine Figure-4 serving
+stages, from sandbox/enclave start through result encryption.
+
+The older surface (static :meth:`SeSeMIEnvironment.infer`, five-argument
+:meth:`SeSeMIEnvironment.authorize`, manual ``launch_semirt`` /
+``expected_semirt`` pairing) is kept as thin deprecated shims so
+existing examples and tests migrate incrementally.
+
 This is the object the examples and integration tests build on.  It is
 fully functional (real crypto, real models); the *performance* twin lives
 in :mod:`repro.core.simbridge`.
@@ -17,7 +34,8 @@ in :mod:`repro.core.simbridge`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import warnings
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -29,8 +47,10 @@ from repro.core.semirt import (
     default_semirt_config,
     expected_semirt_measurement,
 )
+from repro.core.stages import Stage
 from repro.errors import SeSeMIError
 from repro.mlrt.model import Model
+from repro.obs.tracer import Tracer, maybe_span
 from repro.serverless.storage import BlobStore
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveBuildConfig
@@ -38,10 +58,191 @@ from repro.sgx.measurement import EnclaveMeasurement
 from repro.sgx.platform import SGX2, HardwareProfile, SgxPlatform
 
 
+class ModelHandle:
+    """A deployed model, returned by :meth:`SeSeMIEnvironment.deploy`.
+
+    Bundles the model id, the owning client, and the expected SeMIRT
+    measurement ``E_S`` the deployment targets, so granting access is a
+    single call instead of the grant/release/measure triple dance.
+    """
+
+    def __init__(
+        self,
+        env: "SeSeMIEnvironment",
+        model: Model,
+        model_id: str,
+        owner: OwnerClient,
+        framework: str = "tvm",
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> None:
+        self._env = env
+        self.model = model
+        self.model_id = model_id
+        self.owner = owner
+        self.framework = framework
+        self.config = config
+        self.isolation = isolation
+        #: the enclave identity ``E_S`` grants are issued against
+        self.measurement: EnclaveMeasurement = env.expected_semirt(
+            framework, config, isolation
+        )
+
+    def grant(self, user: Union[UserClient, str]) -> "ModelHandle":
+        """Authorise ``user`` for this model on the target enclave.
+
+        Performs the owner's GRANT_ACCESS and the user's ADD_REQ_KEY in
+        one step; returns ``self`` so grants chain fluently.
+        """
+        client = self._env.user(user)
+        if client.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        self.owner.grant_access(self.model_id, self.measurement, client.principal_id)
+        client.add_request_key(self.model_id, self.measurement)
+        return self
+
+    def revoke(self, user: Union[UserClient, str]) -> "ModelHandle":
+        """Withdraw a previous grant (extension: REVOKE_ACCESS)."""
+        client = self._env.user(user)
+        if client.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        self.owner.revoke_access(self.model_id, self.measurement, client.principal_id)
+        return self
+
+    def session(
+        self, user: Union[UserClient, str], node_id: str = "worker-node"
+    ) -> "UserSession":
+        """A serving session for ``user`` against this deployment."""
+        return self._env.session(
+            user,
+            self.model_id,
+            framework=self.framework,
+            node_id=node_id,
+            config=self.config,
+            isolation=self.isolation,
+        )
+
+
+class UserSession:
+    """One user's serving session against a deployed model.
+
+    The session lazily launches a SeMIRT instance on first
+    :meth:`infer` (the cold start -- sandbox + enclave creation happen
+    *inside* the traced request, so the cold span tree covers all nine
+    Figure-4 stages) and reuses it afterwards (warm/hot paths).
+    """
+
+    def __init__(
+        self,
+        env: "SeSeMIEnvironment",
+        user: UserClient,
+        model_id: str,
+        framework: str = "tvm",
+        node_id: str = "worker-node",
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> None:
+        if user.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        self._env = env
+        self.user = user
+        self.model_id = model_id
+        self.framework = framework
+        self.node_id = node_id
+        self.config = config
+        self.isolation = isolation
+        #: the enclave identity requests are encrypted for
+        self.measurement: EnclaveMeasurement = env.expected_semirt(
+            framework, config, isolation
+        )
+        self._semirt: Optional[SemirtHost] = None
+
+    @property
+    def semirt(self) -> Optional[SemirtHost]:
+        """The live SeMIRT instance, or ``None`` before the first request."""
+        return self._semirt
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Encrypt ``x``, serve it, decrypt the result.
+
+        The whole round trip runs under one ``request`` root span on
+        ``env.tracer``; the first call additionally traces the sandbox
+        and enclave start it triggers.
+        """
+        tracer = self._env.tracer
+        with maybe_span(
+            tracer,
+            "request",
+            model_id=self.model_id,
+            user_id=self.user.principal_id,
+            node_id=self.node_id,
+        ) as root:
+            cold = self._semirt is None
+            if cold:
+                self._launch(tracer)
+            enc_request = self.user.encrypt_request(
+                self.model_id, self.measurement, x
+            )
+            enc_response = self._semirt.infer(
+                enc_request, self.user.principal_id, self.model_id
+            )
+            result = self.user.decrypt_response(
+                self.model_id, self.measurement, enc_response
+            )
+            if root is not None:
+                plan = self._semirt.code.last_plan
+                flavor = "cold" if cold else (plan.kind.value if plan else "warm")
+                root.set_attributes(
+                    flavor=flavor, enclave_id=self.measurement.value
+                )
+        return result
+
+    def _launch(self, tracer: Optional[Tracer]) -> None:
+        """Cold start: bring up the sandbox (platform) and the enclave."""
+        with maybe_span(
+            tracer,
+            f"stage:{Stage.SANDBOX_INIT.value}",
+            stage=Stage.SANDBOX_INIT.value,
+            node_id=self.node_id,
+        ):
+            platform = self._env.worker_platform(self.node_id)
+        # SemirtHost opens its own stage:enclave_init span
+        self._semirt = SemirtHost(
+            platform=platform,
+            storage=self._env.storage,
+            keyservice_host=self._env.keyservice,
+            framework=self.framework,
+            attestation=self._env.attestation,
+            config=self.config or default_semirt_config(),
+            isolation=self.isolation,
+            tracer=tracer,
+        )
+
+    def close(self) -> None:
+        """Tear down the SeMIRT instance (sandbox reclaim)."""
+        if self._semirt is not None:
+            self._semirt.destroy()
+            self._semirt = None
+
+    def __enter__(self) -> "UserSession":
+        """Context-manager entry: the session itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: release the enclave."""
+        self.close()
+
+
 class SeSeMIEnvironment:
     """A complete functional SeSeMI deployment on one logical cluster."""
 
-    def __init__(self, hardware: HardwareProfile = SGX2) -> None:
+    def __init__(
+        self,
+        hardware: HardwareProfile = SGX2,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        #: wall-clock tracer shared by every component in the environment
+        self.tracer = Tracer(service="sesemi") if tracer is None else tracer
         self.attestation = AttestationService()
         self.keyservice_platform = SgxPlatform(
             hardware, attestation_service=self.attestation,
@@ -49,26 +250,97 @@ class SeSeMIEnvironment:
         )
         self.storage = BlobStore()
         self.keyservice = KeyServiceHost(
-            self.keyservice_platform, self.attestation, KEYSERVICE_CONFIG
+            self.keyservice_platform,
+            self.attestation,
+            KEYSERVICE_CONFIG,
+            tracer=self.tracer,
         )
         self.hardware = hardware
         self._worker_platforms: Dict[str, SgxPlatform] = {}
+        self._owners: Dict[str, OwnerClient] = {}
+        self._users: Dict[str, UserClient] = {}
 
     # -- principals ------------------------------------------------------------
 
     def connect_owner(self, name: str = "owner") -> OwnerClient:
         """Create an owner, attest KeyService, and register."""
-        owner = OwnerClient(name)
+        owner = OwnerClient(name, tracer=self.tracer)
         owner.connect(self.keyservice, self.attestation, self.keyservice.measurement)
         owner.register()
+        self._owners[name] = owner
         return owner
 
     def connect_user(self, name: str = "user") -> UserClient:
         """Create a user, attest KeyService, and register."""
-        user = UserClient(name)
+        user = UserClient(name, tracer=self.tracer)
         user.connect(self.keyservice, self.attestation, self.keyservice.measurement)
         user.register()
+        self._users[name] = user
         return user
+
+    def owner(self, owner: Union[OwnerClient, str, None] = None) -> OwnerClient:
+        """Resolve an owner: a client passes through, a name is cached.
+
+        Unknown names are connected and registered on first use, so
+        ``env.deploy(model, "m", owner="hospital")`` works in one line.
+        """
+        if isinstance(owner, OwnerClient):
+            return owner
+        name = owner or "owner"
+        client = self._owners.get(name)
+        return client if client is not None else self.connect_owner(name)
+
+    def user(self, user: Union[UserClient, str, None] = None) -> UserClient:
+        """Resolve a user like :meth:`owner` resolves owners."""
+        if isinstance(user, UserClient):
+            return user
+        name = user or "user"
+        client = self._users.get(name)
+        return client if client is not None else self.connect_user(name)
+
+    # -- session API (preferred) -------------------------------------------------
+
+    def deploy(
+        self,
+        model: Model,
+        model_id: str,
+        owner: Union[OwnerClient, str, None] = None,
+        framework: str = "tvm",
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> ModelHandle:
+        """Encrypt + upload ``model`` and hand its key to KeyService.
+
+        Returns a :class:`ModelHandle` whose :meth:`~ModelHandle.grant`
+        authorises users and whose measurement pins the target enclave.
+        """
+        client = self.owner(owner)
+        client.deploy_model(model, model_id, self.storage)
+        client.add_model_key(model_id)
+        return ModelHandle(
+            self, model, model_id, client,
+            framework=framework, config=config, isolation=isolation,
+        )
+
+    def session(
+        self,
+        user: Union[UserClient, str],
+        model_id: str,
+        framework: str = "tvm",
+        node_id: str = "worker-node",
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: IsolationSettings = IsolationSettings(),
+    ) -> UserSession:
+        """A serving session for ``user`` against ``model_id``."""
+        return UserSession(
+            self,
+            self.user(user),
+            model_id,
+            framework=framework,
+            node_id=node_id,
+            config=config,
+            isolation=isolation,
+        )
 
     # -- worker instances --------------------------------------------------------
 
@@ -105,7 +377,11 @@ class SeSeMIEnvironment:
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
     ) -> SemirtHost:
-        """Start a SeMIRT instance (what a cold sandbox start does)."""
+        """Start a SeMIRT instance (what a cold sandbox start does).
+
+        .. deprecated:: prefer :meth:`session`, which launches lazily
+           inside the traced request and pairs the measurement for you.
+        """
         return SemirtHost(
             platform=self.worker_platform(node_id),
             storage=self.storage,
@@ -114,9 +390,10 @@ class SeSeMIEnvironment:
             attestation=self.attestation,
             config=config or default_semirt_config(),
             isolation=isolation,
+            tracer=self.tracer,
         )
 
-    # -- one-call convenience ------------------------------------------------------
+    # -- deprecated one-call convenience ------------------------------------------
 
     def authorize(
         self,
@@ -126,7 +403,16 @@ class SeSeMIEnvironment:
         model_id: str,
         semirt_measurement: EnclaveMeasurement,
     ) -> None:
-        """Full key-setup + deployment for one (model, user, enclave) triple."""
+        """Full key-setup + deployment for one (model, user, enclave) triple.
+
+        .. deprecated:: use ``env.deploy(...).grant(user)``.
+        """
+        warnings.warn(
+            "SeSeMIEnvironment.authorize is deprecated; "
+            "use env.deploy(model, model_id, owner=...).grant(user)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if user.principal_id is None:
             raise SeSeMIError("user must be registered first")
         owner.deploy_model(model, model_id, self.storage)
@@ -141,7 +427,16 @@ class SeSeMIEnvironment:
         model_id: str,
         x: np.ndarray,
     ) -> np.ndarray:
-        """Encrypt, invoke, decrypt -- the user-visible request path."""
+        """Encrypt, invoke, decrypt -- the user-visible request path.
+
+        .. deprecated:: use ``env.session(user, model_id).infer(x)``.
+        """
+        warnings.warn(
+            "SeSeMIEnvironment.infer is deprecated; "
+            "use env.session(user, model_id).infer(x)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if user.principal_id is None:
             raise SeSeMIError("user must be registered first")
         enclave = semirt.measurement

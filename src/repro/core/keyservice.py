@@ -30,6 +30,7 @@ from repro.core import wire
 from repro.crypto.gcm import AESGCM
 from repro.crypto.hashes import sha256
 from repro.errors import AccessDenied, EnclaveError, UnknownIdentity
+from repro.obs.tracer import maybe_span
 from repro.sgx.attestation import AttestationService, QuotePolicy, Report
 from repro.sgx.enclave import (
     Enclave,
@@ -238,9 +239,11 @@ class KeyServiceHost:
         platform: SgxPlatform,
         attestation: AttestationService,
         config: EnclaveBuildConfig = KEYSERVICE_CONFIG,
+        tracer=None,
     ) -> None:
         self.platform = platform
         self.attestation = attestation
+        self.tracer = tracer
         code = KeyServiceEnclaveCode(attestation)
         self.enclave: Enclave = platform.create_enclave(code, config)
         self.enclave.register_ocall("OC_GET_QUOTE", platform.quote)
@@ -255,8 +258,15 @@ class KeyServiceHost:
 
     def handshake(self, offer_wire: dict) -> dict:
         """Relay a handshake offer into the enclave (untrusted pass-through)."""
-        return self.enclave.ecall("EC_HANDSHAKE", offer_wire)
+        with maybe_span(self.tracer, "keyservice.handshake"):
+            return self.enclave.ecall("EC_HANDSHAKE", offer_wire)
 
     def request(self, channel_id: int, ciphertext: bytes) -> bytes:
-        """Relay an encrypted operation into the enclave (untrusted pass-through)."""
-        return self.enclave.ecall("EC_REQUEST", channel_id, ciphertext)
+        """Relay an encrypted operation into the enclave (untrusted pass-through).
+
+        Only the channel id is recorded on the span: the operation name
+        travels inside the ciphertext, so even the host's own telemetry
+        cannot see which KeyService operation a client performed.
+        """
+        with maybe_span(self.tracer, "keyservice.request", channel_id=channel_id):
+            return self.enclave.ecall("EC_REQUEST", channel_id, ciphertext)

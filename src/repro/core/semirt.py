@@ -27,12 +27,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.stages import InvocationPlan, SemirtCacheState, plan_invocation
+from repro.core.stages import InvocationPlan, SemirtCacheState, Stage, plan_invocation
 from repro.core import wire
 from repro.crypto.gcm import AESGCM
 from repro.errors import AccessDenied, EnclaveError, InvocationError
 from repro.mlrt.framework import get_framework
 from repro.mlrt.model import Model
+from repro.obs.tracer import maybe_span
 from repro.sgx.attestation import AttestationService, QuotePolicy
 from repro.sgx.enclave import Enclave, EnclaveBuildConfig, EnclaveCode, ecall
 from repro.sgx.measurement import EnclaveMeasurement, code_identity_of, measure
@@ -125,6 +126,7 @@ class SemirtEnclaveCode(EnclaveCode):
         attestation: AttestationService,
         keyservice_measurement: EnclaveMeasurement,
         isolation: IsolationSettings = IsolationSettings(),
+        tracer=None,
     ) -> None:
         super().__init__()
         self._framework = get_framework(framework)
@@ -132,6 +134,9 @@ class SemirtEnclaveCode(EnclaveCode):
         self._attestation = attestation
         self._expected_keyservice = keyservice_measurement
         self._isolation = isolation
+        # observability only -- deliberately NOT part of settings(), so
+        # tracing never perturbs the enclave measurement E_S
+        self.tracer = tracer
         # global (heap) state shared by all TCS threads
         self._model: Optional[Model] = None
         self._model_id: Optional[str] = None
@@ -180,7 +185,8 @@ class SemirtEnclaveCode(EnclaveCode):
         ):
             model_key, request_key = cached[2], cached[3]
         else:
-            model_key, request_key = self._fetch_keys(uid, model_id)
+            with self._stage_span(Stage.KEY_RETRIEVAL, model_id=model_id):
+                model_key, request_key = self._fetch_keys(uid, model_id)
             self._kc = (model_id, uid, model_key, request_key) if isolation.key_cache else None
         # lines 11-13: switch the shared model if needed (under the lock)
         with self._model_lock:
@@ -196,27 +202,37 @@ class SemirtEnclaveCode(EnclaveCode):
             or runtime_model != model_id
             or not isolation.reuse_runtime
         ):
-            runtime = self._framework.create_runtime(model)
+            with self._stage_span(
+                Stage.RUNTIME_INIT, model_id=model_id, component="mlrt"
+            ):
+                runtime = self._framework.create_runtime(model)
             self._tls.runtime = runtime
             self._tls.runtime_model = model_id
         # lines 16-19: decrypt input, execute, encrypt output
         request_cipher = AESGCM(request_key)
-        try:
-            payload = wire.decode(
-                request_cipher.open(enc_request, aad=REQUEST_AAD + model_id.encode())
+        with self._stage_span(Stage.REQUEST_DECRYPT, model_id=model_id):
+            try:
+                payload = wire.decode(
+                    request_cipher.open(
+                        enc_request, aad=REQUEST_AAD + model_id.encode()
+                    )
+                )
+            except Exception as exc:
+                raise InvocationError(
+                    "request does not authenticate under the user's request key"
+                ) from exc
+            x = np.frombuffer(payload["input"], dtype=np.float32).reshape(
+                model.input_spec.shape
             )
-        except Exception as exc:
-            raise InvocationError(
-                "request does not authenticate under the user's request key"
-            ) from exc
-        x = np.frombuffer(payload["input"], dtype=np.float32).reshape(
-            model.input_spec.shape
-        )
-        runtime.execute(x)
-        result = runtime.prepare_output()
-        self._tls.output = request_cipher.seal(
-            wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
-        )
+        with self._stage_span(
+            Stage.MODEL_INFERENCE, model_id=model_id, component="mlrt"
+        ):
+            runtime.execute(x)
+            result = runtime.prepare_output()
+        with self._stage_span(Stage.RESULT_ENCRYPT, model_id=model_id):
+            self._tls.output = request_cipher.seal(
+                wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
+            )
         if isolation.clear_context:
             runtime.clear()
             self._tls.runtime = None
@@ -240,6 +256,12 @@ class SemirtEnclaveCode(EnclaveCode):
 
     # -- internals (trusted) -------------------------------------------------------------
 
+    def _stage_span(self, stage: Stage, **attributes):
+        """A Figure-4 stage span (no-op context when tracing is off)."""
+        return maybe_span(
+            self.tracer, f"stage:{stage.value}", stage=stage.value, **attributes
+        )
+
     def _observable_state(self) -> SemirtCacheState:
         """Current cache state in the shared planning representation."""
         runtime_for = getattr(self._tls, "runtime_model", None)
@@ -253,21 +275,30 @@ class SemirtEnclaveCode(EnclaveCode):
 
     def _model_load(self, model_id: str, model_key: bytes) -> Model:
         """MODEL_LOAD: pull ciphertext via OCALL, decrypt + deserialise inside."""
-        encrypted = self.ocall("OC_LOAD_MODEL", model_id)
-        try:
-            plaintext = AESGCM(model_key).open(encrypted, aad=model_id.encode())
-        except Exception as exc:
-            raise InvocationError(
-                f"model {model_id!r} failed authentication (tampered or wrong key)"
-            ) from exc
-        finally:
-            self.ocall("OC_FREE_LOADED", model_id)
-        return self._framework.load_model(plaintext)
+        with self._stage_span(Stage.MODEL_LOADING, model_id=model_id):
+            encrypted = self.ocall("OC_LOAD_MODEL", model_id)
+        with self._stage_span(Stage.MODEL_DECRYPT, model_id=model_id):
+            try:
+                plaintext = AESGCM(model_key).open(encrypted, aad=model_id.encode())
+            except Exception as exc:
+                raise InvocationError(
+                    f"model {model_id!r} failed authentication (tampered or wrong key)"
+                ) from exc
+            finally:
+                self.ocall("OC_FREE_LOADED", model_id)
+            return self._framework.load_model(plaintext)
 
     def _ensure_keyservice_session(self) -> Tuple[int, SecureChannel]:
         """Mutual RA-TLS with KeyService, reused across invocations."""
         if self._ks_session is not None:
             return self._ks_session
+        with maybe_span(
+            self.tracer, "ratls_handshake", client="semirt", peer="keyservice"
+        ):
+            return self._establish_keyservice_session()
+
+    def _establish_keyservice_session(self) -> Tuple[int, SecureChannel]:
+        """One mutual RA-TLS handshake with KeyService (always fresh)."""
         peer = RatlsPeer(
             "semirt",
             enclave=self.enclave,
@@ -332,6 +363,7 @@ class SemirtHost:
         attestation: AttestationService,
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
+        tracer=None,
     ) -> None:
         if isolation.sequential:
             config = config or default_semirt_config(tcs_count=1)
@@ -340,13 +372,21 @@ class SemirtHost:
         config = config or default_semirt_config()
         self.platform = platform
         self.storage = storage
+        self.tracer = tracer
         code = SemirtEnclaveCode(
             framework=framework,
             attestation=attestation,
             keyservice_measurement=keyservice_host.measurement,
             isolation=isolation,
+            tracer=tracer,
         )
-        self.enclave: Enclave = platform.create_enclave(code, config)
+        with maybe_span(
+            tracer,
+            f"stage:{Stage.ENCLAVE_INIT.value}",
+            stage=Stage.ENCLAVE_INIT.value,
+            framework=framework,
+        ):
+            self.enclave: Enclave = platform.create_enclave(code, config)
         self.code = code
         self._loaded_blobs: dict = {}
         self.enclave.register_ocall("OC_GET_QUOTE", platform.quote)
@@ -371,9 +411,12 @@ class SemirtHost:
 
     def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
         """Serve one request: EC_MODEL_INF then EC_GET_OUTPUT."""
-        self.enclave.ecall("EC_MODEL_INF", enc_request, uid, model_id)
-        output = self.enclave.ecall("EC_GET_OUTPUT")
-        self.enclave.ecall("EC_CLEAR_EXEC_CTX")
+        with maybe_span(self.tracer, "ecall:EC_MODEL_INF", model_id=model_id):
+            self.enclave.ecall("EC_MODEL_INF", enc_request, uid, model_id)
+        with maybe_span(self.tracer, "ecall:EC_GET_OUTPUT"):
+            output = self.enclave.ecall("EC_GET_OUTPUT")
+        with maybe_span(self.tracer, "ecall:EC_CLEAR_EXEC_CTX"):
+            self.enclave.ecall("EC_CLEAR_EXEC_CTX")
         return output
 
     def destroy(self) -> None:

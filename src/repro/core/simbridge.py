@@ -96,6 +96,34 @@ class _SgxActorBase(ActionRuntime):
                 f"{self.actor_id} cannot serve model {model_id!r}"
             ) from None
 
+    # -- tracing ----------------------------------------------------------------
+
+    def _traced_stage(self, ctx: ContainerContext, stage: Stage, gen, **attrs):
+        """Run a stage generator under a span (no-op when untraced).
+
+        The span reads the simulation clock, so its duration equals the
+        virtual-time seconds the stage helper reports -- the span trees
+        and the ``stage_seconds`` accounting can never drift apart.
+        """
+        if ctx.tracer is None or ctx.span is None:
+            result = yield from gen
+            return result
+        span = ctx.tracer.start_span(
+            f"stage:{stage.value}",
+            parent=ctx.span,
+            stage=stage.value,
+            actor=self.actor_id,
+            epc_slowdown=ctx.node.sgx.epc.access_slowdown(),
+            **attrs,
+        )
+        try:
+            result = yield from gen
+        except BaseException:
+            span.end(status="error")
+            raise
+        span.end()
+        return result
+
     # -- stage generators (each yields sim events, returns seconds spent) ---------
 
     def _stage_enclave_init(self, ctx: ContainerContext, nbytes: int,
@@ -222,7 +250,11 @@ class SemirtSimActor(_SgxActorBase):
             from repro.sim.resources import Resource
 
             self._switch_lock = Resource(ctx.sim, 1, name=f"{self.actor_id}.switch")
-        yield from self._stage_enclave_init(ctx, self.enclave_total_bytes())
+        yield from self._traced_stage(
+            ctx,
+            Stage.ENCLAVE_INIT,
+            self._stage_enclave_init(ctx, self.enclave_total_bytes()),
+        )
         self.state.enclave_ready = True
 
     def handle(self, ctx: ContainerContext, request: Request):
@@ -237,8 +269,11 @@ class SemirtSimActor(_SgxActorBase):
         )
         stages: Dict[str, float] = {}
         if plan.needs(Stage.KEY_RETRIEVAL):
-            stages[Stage.KEY_RETRIEVAL.value] = yield from self._stage_key_retrieval(
-                ctx, session_reused=self._ks_session_live
+            stages[Stage.KEY_RETRIEVAL.value] = yield from self._traced_stage(
+                ctx,
+                Stage.KEY_RETRIEVAL,
+                self._stage_key_retrieval(ctx, session_reused=self._ks_session_live),
+                session_reused=self._ks_session_live,
             )
             self._ks_session_live = True
             if self.key_cache:
@@ -248,11 +283,11 @@ class SemirtSimActor(_SgxActorBase):
         yield claim
         try:
             if self.state.loaded_model != request.model_id:
-                stages[Stage.MODEL_LOADING.value] = yield from self._stage_model_load(
-                    ctx, servable
+                stages[Stage.MODEL_LOADING.value] = yield from self._traced_stage(
+                    ctx, Stage.MODEL_LOADING, self._stage_model_load(ctx, servable)
                 )
-                stages[Stage.MODEL_DECRYPT.value] = yield from self._stage_model_decrypt(
-                    ctx, servable
+                stages[Stage.MODEL_DECRYPT.value] = yield from self._traced_stage(
+                    ctx, Stage.MODEL_DECRYPT, self._stage_model_decrypt(ctx, servable)
                 )
                 self.state.loaded_model = request.model_id
                 self._idle_runtimes.clear()
@@ -265,16 +300,22 @@ class SemirtSimActor(_SgxActorBase):
         if have_runtime:
             self._idle_runtimes[request.model_id] -= 1
         else:
-            stages[Stage.RUNTIME_INIT.value] = yield from self._stage_runtime_init(
-                ctx, servable
+            stages[Stage.RUNTIME_INIT.value] = yield from self._traced_stage(
+                ctx, Stage.RUNTIME_INIT, self._stage_runtime_init(ctx, servable)
             )
         self.state.runtime_for = request.model_id
-        stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
-            ctx, self.cost.request_decrypt_s
+        stages[Stage.REQUEST_DECRYPT.value] = yield from self._traced_stage(
+            ctx,
+            Stage.REQUEST_DECRYPT,
+            self._stage_fixed(ctx, self.cost.request_decrypt_s),
         )
-        stages[Stage.MODEL_INFERENCE.value] = yield from self._stage_exec(ctx, servable)
-        stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
-            ctx, self.cost.result_encrypt_s
+        stages[Stage.MODEL_INFERENCE.value] = yield from self._traced_stage(
+            ctx, Stage.MODEL_INFERENCE, self._stage_exec(ctx, servable)
+        )
+        stages[Stage.RESULT_ENCRYPT.value] = yield from self._traced_stage(
+            ctx,
+            Stage.RESULT_ENCRYPT,
+            self._stage_fixed(ctx, self.cost.result_encrypt_s),
         )
         if self.reuse_runtime:
             self._idle_runtimes[request.model_id] = (
@@ -305,7 +346,11 @@ class IsoReuseSimActor(_SgxActorBase):
 
     def startup(self, ctx: ContainerContext):
         """Sandbox start plus a one-time enclave launch (reused afterwards)."""
-        yield from self._stage_enclave_init(ctx, self.enclave_total_bytes())
+        yield from self._traced_stage(
+            ctx,
+            Stage.ENCLAVE_INIT,
+            self._stage_enclave_init(ctx, self.enclave_total_bytes()),
+        )
         self._enclave_ready = True
 
     def handle(self, ctx: ContainerContext, request: Request):
@@ -315,26 +360,36 @@ class IsoReuseSimActor(_SgxActorBase):
         pair = (request.model_id, request.user_id)
         kind = InvocationKind.WARM
         if self._keys_cached_for != pair:
-            stages[Stage.KEY_RETRIEVAL.value] = yield from self._stage_key_retrieval(
-                ctx, session_reused=self._keys_cached_for is not None
+            stages[Stage.KEY_RETRIEVAL.value] = yield from self._traced_stage(
+                ctx,
+                Stage.KEY_RETRIEVAL,
+                self._stage_key_retrieval(
+                    ctx, session_reused=self._keys_cached_for is not None
+                ),
             )
             self._keys_cached_for = pair
         # No model/runtime reuse: loaded and initialised from scratch.
-        stages[Stage.MODEL_LOADING.value] = yield from self._stage_model_load(
-            ctx, servable
+        stages[Stage.MODEL_LOADING.value] = yield from self._traced_stage(
+            ctx, Stage.MODEL_LOADING, self._stage_model_load(ctx, servable)
         )
-        stages[Stage.MODEL_DECRYPT.value] = yield from self._stage_model_decrypt(
-            ctx, servable
+        stages[Stage.MODEL_DECRYPT.value] = yield from self._traced_stage(
+            ctx, Stage.MODEL_DECRYPT, self._stage_model_decrypt(ctx, servable)
         )
-        stages[Stage.RUNTIME_INIT.value] = yield from self._stage_runtime_init(
-            ctx, servable
+        stages[Stage.RUNTIME_INIT.value] = yield from self._traced_stage(
+            ctx, Stage.RUNTIME_INIT, self._stage_runtime_init(ctx, servable)
         )
-        stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
-            ctx, self.cost.request_decrypt_s
+        stages[Stage.REQUEST_DECRYPT.value] = yield from self._traced_stage(
+            ctx,
+            Stage.REQUEST_DECRYPT,
+            self._stage_fixed(ctx, self.cost.request_decrypt_s),
         )
-        stages[Stage.MODEL_INFERENCE.value] = yield from self._stage_exec(ctx, servable)
-        stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
-            ctx, self.cost.result_encrypt_s
+        stages[Stage.MODEL_INFERENCE.value] = yield from self._traced_stage(
+            ctx, Stage.MODEL_INFERENCE, self._stage_exec(ctx, servable)
+        )
+        stages[Stage.RESULT_ENCRYPT.value] = yield from self._traced_stage(
+            ctx,
+            Stage.RESULT_ENCRYPT,
+            self._stage_fixed(ctx, self.cost.result_encrypt_s),
         )
         return {"model": request.model_id}, kind.value, stages
 
@@ -362,28 +417,34 @@ class NativeSimActor(_SgxActorBase):
         nbytes = servable.enclave_bytes
         epc_key = f"{self.actor_id}.r{next(self._request_counter)}"
         node = ctx.node
-        stages[Stage.ENCLAVE_INIT.value] = yield from self._stage_enclave_init(
-            ctx, nbytes, epc_key=epc_key
+        stages[Stage.ENCLAVE_INIT.value] = yield from self._traced_stage(
+            ctx, Stage.ENCLAVE_INIT, self._stage_enclave_init(ctx, nbytes, epc_key=epc_key)
         )
         try:
-            stages[Stage.KEY_RETRIEVAL.value] = yield from self._stage_key_retrieval(ctx)
-            stages[Stage.MODEL_LOADING.value] = yield from self._stage_model_load(
-                ctx, servable
+            stages[Stage.KEY_RETRIEVAL.value] = yield from self._traced_stage(
+                ctx, Stage.KEY_RETRIEVAL, self._stage_key_retrieval(ctx)
             )
-            stages[Stage.MODEL_DECRYPT.value] = yield from self._stage_model_decrypt(
-                ctx, servable
+            stages[Stage.MODEL_LOADING.value] = yield from self._traced_stage(
+                ctx, Stage.MODEL_LOADING, self._stage_model_load(ctx, servable)
             )
-            stages[Stage.RUNTIME_INIT.value] = yield from self._stage_runtime_init(
-                ctx, servable
+            stages[Stage.MODEL_DECRYPT.value] = yield from self._traced_stage(
+                ctx, Stage.MODEL_DECRYPT, self._stage_model_decrypt(ctx, servable)
             )
-            stages[Stage.REQUEST_DECRYPT.value] = yield from self._stage_fixed(
-                ctx, self.cost.request_decrypt_s
+            stages[Stage.RUNTIME_INIT.value] = yield from self._traced_stage(
+                ctx, Stage.RUNTIME_INIT, self._stage_runtime_init(ctx, servable)
             )
-            stages[Stage.MODEL_INFERENCE.value] = yield from self._stage_exec(
-                ctx, servable
+            stages[Stage.REQUEST_DECRYPT.value] = yield from self._traced_stage(
+                ctx,
+                Stage.REQUEST_DECRYPT,
+                self._stage_fixed(ctx, self.cost.request_decrypt_s),
             )
-            stages[Stage.RESULT_ENCRYPT.value] = yield from self._stage_fixed(
-                ctx, self.cost.result_encrypt_s
+            stages[Stage.MODEL_INFERENCE.value] = yield from self._traced_stage(
+                ctx, Stage.MODEL_INFERENCE, self._stage_exec(ctx, servable)
+            )
+            stages[Stage.RESULT_ENCRYPT.value] = yield from self._traced_stage(
+                ctx,
+                Stage.RESULT_ENCRYPT,
+                self._stage_fixed(ctx, self.cost.result_encrypt_s),
             )
         finally:
             node.sgx.epc.free(epc_key)
@@ -408,21 +469,12 @@ class UntrustedSimActor(_SgxActorBase):
         return
         yield  # pragma: no cover - makes this a generator
 
-    def handle(self, ctx: ContainerContext, request: Request):
-        """Serve one request without any TEE protection (the plain baseline)."""
-        servable = self._servable(request.model_id)
-        stages: Dict[str, float] = {}
-        was_cached = self.cache_model and self._loaded == request.model_id
-        if not was_cached:
-            duration = self.cost.untrusted_model_load_s(servable.profile.model_bytes)
-            yield ctx.sim.timeout(duration)
-            stages[Stage.MODEL_LOADING.value] = duration
-            stages[Stage.RUNTIME_INIT.value] = yield from self._stage_fixed(
-                ctx, self.cost.untrusted_runtime_init_s(
-                    servable.profile, servable.framework
-                )
-            )
-            self._loaded = request.model_id
+    def _untrusted_load(self, ctx: ContainerContext, servable: ServableModel):
+        duration = self.cost.untrusted_model_load_s(servable.profile.model_bytes)
+        yield ctx.sim.timeout(duration)
+        return duration
+
+    def _untrusted_exec(self, ctx: ContainerContext, servable: ServableModel):
         claim = ctx.node.cores.request()
         yield claim
         try:
@@ -430,7 +482,31 @@ class UntrustedSimActor(_SgxActorBase):
             yield ctx.sim.timeout(duration)
         finally:
             ctx.node.cores.release(claim)
-        stages[Stage.MODEL_INFERENCE.value] = duration
+        return duration
+
+    def handle(self, ctx: ContainerContext, request: Request):
+        """Serve one request without any TEE protection (the plain baseline)."""
+        servable = self._servable(request.model_id)
+        stages: Dict[str, float] = {}
+        was_cached = self.cache_model and self._loaded == request.model_id
+        if not was_cached:
+            stages[Stage.MODEL_LOADING.value] = yield from self._traced_stage(
+                ctx, Stage.MODEL_LOADING, self._untrusted_load(ctx, servable)
+            )
+            stages[Stage.RUNTIME_INIT.value] = yield from self._traced_stage(
+                ctx,
+                Stage.RUNTIME_INIT,
+                self._stage_fixed(
+                    ctx,
+                    self.cost.untrusted_runtime_init_s(
+                        servable.profile, servable.framework
+                    ),
+                ),
+            )
+            self._loaded = request.model_id
+        stages[Stage.MODEL_INFERENCE.value] = yield from self._traced_stage(
+            ctx, Stage.MODEL_INFERENCE, self._untrusted_exec(ctx, servable)
+        )
         kind = InvocationKind.HOT if was_cached else InvocationKind.WARM
         return {"model": request.model_id}, kind.value, stages
 

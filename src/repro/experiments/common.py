@@ -16,6 +16,8 @@ from repro.core.simbridge import (
     untrusted_factory,
 )
 from repro.mlrt.zoo import profile
+from repro.obs.span import SimClock
+from repro.obs.tracer import Tracer
 from repro.serverless.action import ActionSpec, round_memory_budget
 from repro.serverless.controller import PlatformConfig
 from repro.serverless.platform import ServerlessPlatform
@@ -35,6 +37,7 @@ class Testbed:
     sim: Simulation
     platform: ServerlessPlatform
     cost: CostModel
+    tracer: Optional[Tracer] = None
 
     @property
     def controller(self):
@@ -48,9 +51,16 @@ def make_testbed(
     hardware: HardwareProfile = SGX2,
     storage: StorageProfile = NFS,
     config: PlatformConfig = PlatformConfig(),
+    traced: bool = False,
 ) -> Testbed:
-    """A cluster mirroring the paper's testbed defaults."""
+    """A cluster mirroring the paper's testbed defaults.
+
+    With ``traced=True`` a :class:`~repro.obs.tracer.Tracer` on the
+    simulation clock is attached to the controller, so every request
+    produces a span tree in virtual time (``bed.tracer``).
+    """
     sim = Simulation()
+    tracer = Tracer(clock=SimClock(sim)) if traced else None
     platform = ServerlessPlatform(
         sim,
         num_nodes=num_nodes,
@@ -59,9 +69,10 @@ def make_testbed(
         hardware=hardware,
         storage_profile=storage,
         config=config,
+        tracer=tracer,
     )
     cost = CostModel(hardware=hardware, storage=storage)
-    return Testbed(sim=sim, platform=platform, cost=cost)
+    return Testbed(sim=sim, platform=platform, cost=cost, tracer=tracer)
 
 
 def sgx1_testbed(

@@ -6,6 +6,10 @@ The paper's observation: the overhead of TEE protection comes almost
 entirely from enclave initialisation and attestation; the stages the two
 paths share (loading, runtime init, inference) barely differ because the
 64 GB EPC removes memory pressure.
+
+Both breakdowns are read from the request span trees produced by a
+virtual-time :class:`~repro.obs.tracer.Tracer` (see
+:mod:`repro.obs.analysis`), not from the invocation results.
 """
 
 from __future__ import annotations
@@ -13,14 +17,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.stages import Stage
-from repro.experiments.common import (
-    deploy_single_model,
-    format_table,
-    make_driver,
-    make_testbed,
-)
+from repro.experiments.common import format_table
+from repro.experiments.fig8 import traced_cold_request
 from repro.mlrt.zoo import FRAMEWORKS, PROFILES
-from repro.workloads.arrival import Arrival
+from repro.obs import analysis
 
 SHARED_STAGES = (
     Stage.MODEL_LOADING.value,
@@ -37,13 +37,10 @@ SGX_ONLY_STAGES = (
 
 
 def _cold_stages(system: str, model_name: str, framework: str) -> Dict[str, float]:
-    bed = make_testbed(num_nodes=1)
-    deploy_single_model(bed, system, model_name, framework)
-    driver = make_driver(bed)
-    driver.submit_arrivals([Arrival(time=0.0, model_id="m", user_id="u")])
-    report = driver.run(until=400)
-    (result,) = report.results
-    return dict(result.stage_seconds)
+    """One traced cold request; stage seconds from the span tree."""
+    spans, _ = traced_cold_request(model_name, framework, system=system)
+    (root,) = analysis.request_roots(spans)
+    return analysis.stage_seconds(spans, root)
 
 
 def run() -> dict:

@@ -5,6 +5,13 @@ serve one request, and break its latency into the SeMIRT-managed stages
 (sandbox initialisation excluded, as in the paper's figure).  The paper's
 headline observation -- enclave initialisation + key fetching contribute
 over 60 % of cold latency for TVM models -- is the property to check.
+
+The breakdown is derived **from the request's span tree** via
+:mod:`repro.obs.analysis`: the testbed runs with a virtual-time tracer
+attached, and per-stage seconds are read off the stage spans (following
+the cold-start adoption link into the container-startup trace) rather
+than off the invocation result.  The result's own ``stage_seconds`` is
+kept as a cross-check only.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.stages import Stage
+from repro.errors import SeSeMIError
 from repro.experiments.common import (
     deploy_single_model,
     format_table,
@@ -19,6 +27,7 @@ from repro.experiments.common import (
     make_testbed,
 )
 from repro.mlrt.zoo import FRAMEWORKS, PROFILES
+from repro.obs import analysis
 from repro.workloads.arrival import Arrival
 
 #: the stage order of the figure's stacked bars
@@ -34,15 +43,45 @@ STAGE_ORDER = (
 )
 
 
-def cold_stage_seconds(model_name: str, framework: str) -> Dict[str, float]:
-    """Stage durations of one cold SeSeMI invocation."""
-    bed = make_testbed(num_nodes=1)
-    deploy_single_model(bed, "SeSeMI", model_name, framework)
+def traced_cold_request(model_name: str, framework: str, system: str = "SeSeMI"):
+    """Serve one cold request on a traced testbed.
+
+    Returns ``(spans, result)``: the full virtual-time span dump and the
+    invocation result.  Shared by Figure 8, Figures 17/18, and the
+    ``python -m repro trace`` subcommand.
+    """
+    bed = make_testbed(num_nodes=1, traced=True)
+    deploy_single_model(bed, system, model_name, framework)
     driver = make_driver(bed)
     driver.submit_arrivals([Arrival(time=0.0, model_id="m", user_id="u")])
     report = driver.run(until=400)
     (result,) = report.results
-    return {k: v for k, v in result.stage_seconds.items() if k != "sandbox_init"}
+    return bed.tracer.finished_spans(), result
+
+
+def cold_stage_seconds(model_name: str, framework: str) -> Dict[str, float]:
+    """Stage durations of one cold SeSeMI invocation, read from spans."""
+    spans, result = traced_cold_request(model_name, framework)
+    (root,) = analysis.request_roots(spans)
+    stages = analysis.stage_seconds(spans, root)
+    stages.pop(Stage.SANDBOX_INIT.value, None)
+    _check_against_result(stages, result.stage_seconds)
+    return stages
+
+
+def _check_against_result(stages: Dict[str, float], recorded: Dict[str, float]) -> None:
+    """Cross-check span-derived stage times against the result record.
+
+    The span tree is the source of truth for the figure; the invocation
+    result's ``stage_seconds`` (the pre-tracing bookkeeping) must agree
+    to float noise, or the trace instrumentation has drifted.
+    """
+    for stage, seconds in stages.items():
+        if abs(recorded.get(stage, 0.0) - seconds) > 1e-6:
+            raise SeSeMIError(
+                f"span-derived {stage} = {seconds} disagrees with "
+                f"recorded {recorded.get(stage, 0.0)}"
+            )
 
 
 def run() -> dict:

@@ -1,0 +1,56 @@
+"""repro.obs: end-to-end request tracing for both SeSeMI twins.
+
+The paper's evaluation is built out of per-stage latency breakdowns
+(Figures 8, 17, 18; the Prometheus deployment of Appendix F).  This
+package makes that visibility first-class instead of ad hoc:
+
+- :mod:`repro.obs.span` -- spans, span contexts, wall/virtual clocks;
+- :mod:`repro.obs.tracer` -- the :class:`Tracer` (ambient nesting for
+  the functional path, explicit parents for the simulation) plus the
+  automatic bridge into :class:`~repro.serverless.telemetry.MetricsRegistry`;
+- :mod:`repro.obs.export` -- JSON span dumps and ``chrome://tracing``
+  files;
+- :mod:`repro.obs.analysis` -- the critical-path analyzer that
+  reproduces the paper's breakdown figures directly from span trees.
+"""
+
+from repro.obs.analysis import (
+    breakdown_table,
+    children_index,
+    critical_path,
+    find_root,
+    request_roots,
+    stage_ratios,
+    stage_seconds,
+    subtree,
+)
+from repro.obs.export import (
+    spans_from_json,
+    spans_to_json,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.span import Clock, SimClock, Span, SpanContext, WallClock
+from repro.obs.tracer import Tracer, maybe_span
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "WallClock",
+    "breakdown_table",
+    "children_index",
+    "critical_path",
+    "find_root",
+    "maybe_span",
+    "request_roots",
+    "spans_from_json",
+    "spans_to_json",
+    "stage_ratios",
+    "stage_seconds",
+    "subtree",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,175 @@
+"""Critical-path analysis over span trees.
+
+This is where the paper's latency-breakdown figures fall out of the
+tracing layer instead of ad-hoc accounting:
+
+- :func:`stage_seconds` walks a request's span tree and returns per-stage
+  durations -- including the sandbox/enclave startup a cold request
+  adopted (the controller links the two trees with an
+  ``adopted_startup`` attribute);
+- :func:`stage_ratios` turns those into the stacked-bar fractions of
+  Figure 8;
+- :func:`critical_path` extracts the chain of spans that actually bounds
+  a request's latency (Figures 17/18's with/without-SGX comparison reads
+  shared vs SGX-only stages off this);
+- :func:`breakdown_table` aggregates many requests into the
+  mean-per-stage rows the experiment reports print.
+
+All functions operate on plain span lists (live from a
+:class:`~repro.obs.tracer.Tracer` or rebuilt from a JSON dump), so
+breakdowns can be recomputed offline from an exported trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SeSeMIError
+from repro.obs.span import Span
+
+#: tolerance when comparing virtual/wall timestamps
+_EPS = 1e-9
+
+#: attribute a stage span carries (set by every instrumentation site)
+STAGE_ATTR = "stage"
+
+#: attribute linking a cold request's serve span to its container startup
+ADOPTED_STARTUP_ATTR = "adopted_startup"
+
+
+def children_index(spans: Iterable[Span]) -> Dict[Optional[str], List[Span]]:
+    """Map each parent span id to its children, in start order."""
+    index: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        index.setdefault(span.parent_id, []).append(span)
+    for siblings in index.values():
+        siblings.sort(key=lambda s: s.start)
+    return index
+
+
+def subtree(spans: Iterable[Span], root: Span) -> List[Span]:
+    """``root`` and all its descendants, in start order."""
+    index = children_index(spans)
+    out: List[Span] = []
+    frontier = [root]
+    while frontier:
+        span = frontier.pop(0)
+        out.append(span)
+        frontier.extend(index.get(span.span_id, []))
+    out.sort(key=lambda s: s.start)
+    return out
+
+
+def find_root(spans: Iterable[Span], name: Optional[str] = None, **attrs) -> Span:
+    """The first root span matching ``name`` and attribute filters."""
+    for span in spans:
+        if span.parent_id is not None:
+            continue
+        if name is not None and span.name != name:
+            continue
+        if all(span.attributes.get(k) == v for k, v in attrs.items()):
+            return span
+    raise SeSeMIError(f"no root span matching name={name!r} {attrs!r}")
+
+
+def critical_path(spans: Iterable[Span], root: Span) -> List[Span]:
+    """The chain of spans bounding ``root``'s latency, outermost first.
+
+    Standard backward walk: starting from the root's end, repeatedly pick
+    the child that finishes last at or before the cursor, recurse into
+    it, and move the cursor to that child's start.  Gaps (the parent's
+    own work) simply advance past children that do not reach the cursor.
+    """
+    index = children_index(spans)
+
+    def walk(span: Span) -> List[Span]:
+        path = [span]
+        chain: List[Span] = []
+        cursor = span.end_time if span.ended else span.start
+        children = [c for c in index.get(span.span_id, []) if c.ended]
+        remaining = sorted(children, key=lambda c: c.end_time, reverse=True)
+        while remaining:
+            pick = None
+            for child in remaining:
+                if child.end_time <= cursor + _EPS:
+                    pick = child
+                    break
+            if pick is None:
+                break
+            chain.append(pick)
+            cursor = pick.start
+            remaining = [c for c in remaining if c.end_time <= pick.start + _EPS]
+        for child in reversed(chain):  # restore chronological order
+            path.extend(walk(child))
+        return path
+
+    return walk(root)
+
+
+def stage_seconds(
+    spans: Iterable[Span],
+    root: Span,
+    follow_adopted_startup: bool = True,
+) -> Dict[str, float]:
+    """Per-stage durations for one request's span tree.
+
+    Every span carrying a ``stage`` attribute under ``root`` contributes
+    its duration.  When the request adopted a container cold start (the
+    controller marks the serve span with ``adopted_startup``), the linked
+    ``container.startup`` trace's stage spans -- sandbox and enclave
+    initialisation -- are folded in, mirroring how the platform accounts
+    cold requests.
+    """
+    spans = list(spans)
+    stages: Dict[str, float] = {}
+    adopted: List[str] = []
+    for span in subtree(spans, root):
+        stage = span.attributes.get(STAGE_ATTR)
+        if stage is not None and span.ended:
+            stages[stage] = stages.get(stage, 0.0) + span.duration
+        link = span.attributes.get(ADOPTED_STARTUP_ATTR)
+        if link is not None:
+            adopted.append(link)
+    if follow_adopted_startup:
+        for container_id in adopted:
+            startup_root = find_root(
+                spans, name="container.startup", container_id=container_id
+            )
+            for span in subtree(spans, startup_root):
+                stage = span.attributes.get(STAGE_ATTR)
+                if stage is not None and span.ended:
+                    stages[stage] = stages.get(stage, 0.0) + span.duration
+    return stages
+
+
+def stage_ratios(
+    stages: Dict[str, float], exclude: Sequence[str] = ("sandbox_init",)
+) -> Dict[str, float]:
+    """Stage fractions of the total (Figure 8's stacked bars).
+
+    ``exclude`` drops stages before normalising -- the paper's figure
+    excludes sandbox initialisation, which the platform (not SeMIRT)
+    owns.
+    """
+    kept = {k: v for k, v in stages.items() if k not in exclude}
+    total = sum(kept.values())
+    if total <= 0:
+        return {k: 0.0 for k in kept}
+    return {k: v / total for k, v in kept.items()}
+
+
+def request_roots(spans: Iterable[Span]) -> List[Span]:
+    """All request root spans, in start order."""
+    return [s for s in spans if s.parent_id is None and s.name == "request"]
+
+
+def breakdown_table(
+    spans: Iterable[Span], stage_order: Sequence[str]
+) -> List[Dict[str, float]]:
+    """One per-stage row per request, in ``stage_order`` (missing -> 0)."""
+    spans = list(spans)
+    rows = []
+    for root in request_roots(spans):
+        stages = stage_seconds(spans, root)
+        rows.append({stage: stages.get(stage, 0.0) for stage in stage_order})
+    return rows

@@ -1,0 +1,104 @@
+"""Trace exporters: plain JSON span dumps and Chrome ``chrome://tracing``.
+
+Two formats cover the two consumers:
+
+- :func:`spans_to_json` / :func:`spans_from_json` -- a lossless dump used
+  for archiving runs and for the exporter round-trip tests;
+- :func:`to_chrome_trace` -- the Trace Event Format understood by
+  ``chrome://tracing`` and Perfetto: one *complete* (``"ph": "X"``) event
+  per finished span, one row (``tid``) per trace, timestamps in
+  microseconds.  ``python -m repro trace <experiment>`` writes this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.span import Span
+
+
+def spans_to_json(spans: Iterable[Span], indent: Optional[int] = None) -> str:
+    """Serialise spans (finished or open) to a JSON array."""
+    return json.dumps([s.to_mapping() for s in spans], indent=indent, default=str)
+
+
+def spans_from_json(payload: str) -> List[Span]:
+    """Rebuild detached spans from a :func:`spans_to_json` dump."""
+    return [Span.from_mapping(item) for item in json.loads(payload)]
+
+
+def to_chrome_trace(
+    spans: Iterable[Span], service: str = "sesemi"
+) -> Dict[str, list]:
+    """Convert finished spans to a Chrome Trace Event Format object.
+
+    Each trace becomes one thread row named after its root span; span
+    attributes surface in the event ``args`` so they show in the
+    inspector's detail pane.  Open spans are skipped (Chrome requires a
+    duration for complete events).
+    """
+    spans = list(spans)
+    tid_of: Dict[str, int] = {}
+    root_name: Dict[str, str] = {}
+    for span in spans:
+        if span.trace_id not in tid_of:
+            tid_of[span.trace_id] = len(tid_of) + 1
+        if span.parent_id is None:
+            root_name.setdefault(span.trace_id, span.name)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": service},
+        }
+    ]
+    for trace_id, tid in tid_of.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "name": f"{root_name.get(trace_id, 'trace')} [{trace_id}]"
+                },
+            }
+        )
+    for span in spans:
+        if not span.ended:
+            continue
+        events.append(
+            {
+                "name": span.name,
+                "cat": str(span.attributes.get("stage", "span")),
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.end_time - span.start) * 1e6,
+                "pid": 1,
+                "tid": tid_of[span.trace_id],
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    **{k: _jsonable(v) for k, v in span.attributes.items()},
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Iterable[Span], path: str, service: str = "sesemi"
+) -> str:
+    """Write a ``chrome://tracing``-loadable JSON file; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(spans, service=service), handle)
+    return path
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,150 @@
+"""Spans, span contexts, and the clocks they read.
+
+A *span* is one timed operation in the serving path -- an RA-TLS
+handshake, one Figure-4 stage, a whole request.  Spans nest into trees
+(each span knows its parent), carry free-form attributes (model id,
+invocation flavour, enclave id, EPC pressure), and read their timestamps
+from a :class:`Clock` so the same machinery serves both twins:
+
+- the functional deployment uses :class:`WallClock` (monotonic seconds);
+- the simulated twin uses :class:`SimClock`, which reads the discrete-
+  event simulation's virtual ``now`` -- span durations then equal the
+  virtual-time stage costs to the last bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Optional
+
+from repro.errors import SeSeMIError
+
+
+class Clock:
+    """Source of timestamps for spans (seconds as a float)."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Monotonic wall-clock time (the functional twin)."""
+
+    def now(self) -> float:
+        """Monotonic seconds from :func:`time.perf_counter`."""
+        return perf_counter()
+
+
+class SimClock(Clock):
+    """Virtual time of a discrete-event simulation (the simulated twin)."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        """The simulation's current virtual time."""
+        return self._sim.now
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: which trace, which span."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> dict:
+        """JSON-friendly form for crossing process/enclave boundaries."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "SpanContext":
+        """Rebuild a context received from a remote hop."""
+        return cls(trace_id=str(data["trace_id"]), span_id=str(data["span_id"]))
+
+
+@dataclass
+class Span:
+    """One timed, attributed operation; part of a trace tree."""
+
+    name: str
+    context: SpanContext
+    parent_id: Optional[str]
+    start: float
+    end_time: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    _tracer: Any = field(default=None, repr=False, compare=False)
+
+    @property
+    def trace_id(self) -> str:
+        """The trace this span belongs to."""
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        """This span's unique id within the tracer."""
+        return self.context.span_id
+
+    @property
+    def ended(self) -> bool:
+        """True once :meth:`end` has been called."""
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from start to end, or ``None`` while still open."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns the span for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def set_attributes(self, **attributes: Any) -> "Span":
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+        return self
+
+    def end(self, end_time: Optional[float] = None, status: str = "ok") -> "Span":
+        """Close the span (idempotent calls are an error)."""
+        if self.end_time is not None:
+            raise SeSeMIError(f"span {self.name!r} already ended")
+        if self._tracer is not None:
+            self.end_time = self._tracer._finish(self, end_time)
+        else:  # detached span (e.g. rebuilt from JSON)
+            self.end_time = end_time if end_time is not None else self.start
+        self.status = status
+        return self
+
+    def to_mapping(self) -> dict:
+        """JSON-friendly form (used by the exporters)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end_time,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_mapping(cls, data: dict) -> "Span":
+        """Rebuild a span from its :meth:`to_mapping` form."""
+        return cls(
+            name=data["name"],
+            context=SpanContext(
+                trace_id=data["trace_id"], span_id=data["span_id"]
+            ),
+            parent_id=data.get("parent_id"),
+            start=data["start"],
+            end_time=data.get("end"),
+            status=data.get("status", "ok"),
+            attributes=dict(data.get("attributes", {})),
+        )

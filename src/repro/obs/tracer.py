@@ -1,0 +1,146 @@
+"""The tracer: span factory, ambient context, and metrics bridge.
+
+One :class:`Tracer` instance observes one deployment (functional or
+simulated).  It hands out spans two ways:
+
+- :meth:`Tracer.span` -- a context manager using an *ambient* per-thread
+  span stack, the natural fit for the synchronous functional path
+  (``UserSession.infer`` -> ECALL -> stages nest automatically);
+- :meth:`Tracer.start_span` with an explicit ``parent`` -- required in
+  the simulation, where many interleaved generator processes share one
+  Python thread and an ambient stack would cross-contaminate traces.
+
+Every finished span is retained for export/analysis, and -- when the
+tracer is constructed with a
+:class:`~repro.serverless.telemetry.MetricsRegistry` -- its duration is
+automatically observed into a ``span.<name>.seconds`` histogram, so the
+Prometheus-style scrape surface and the trace trees stay consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager, nullcontext
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.span import Clock, Span, SpanContext, WallClock
+
+
+class Tracer:
+    """Creates, collects, and finishes spans for one deployment."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        metrics=None,
+        service: str = "sesemi",
+    ) -> None:
+        self.clock = clock or WallClock()
+        self.metrics = metrics
+        self.service = service
+        self.spans: List[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._ambient = threading.local()
+
+    # -- span creation -------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span explicitly; ``parent=None`` starts a new trace."""
+        if parent is None:
+            trace_id = f"trace-{next(self._trace_ids)}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            name=name,
+            context=SpanContext(trace_id=trace_id, span_id=f"span-{next(self._span_ids)}"),
+            parent_id=parent_id,
+            start=self.clock.now(),
+            attributes=dict(attributes),
+            _tracer=self,
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span under the ambient current span (per-thread stack)."""
+        span = self.start_span(name, parent=self.current_span(), **attributes)
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        except BaseException:
+            stack.pop()
+            span.end(status="error")
+            raise
+        else:
+            stack.pop()
+            span.end()
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost ambient span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._ambient, "stack", None)
+        if stack is None:
+            stack = []
+            self._ambient.stack = stack
+        return stack
+
+    # -- finishing ------------------------------------------------------------
+
+    def _finish(self, span: Span, end_time: Optional[float]) -> float:
+        """Stamp the end time and feed the metrics bridge (internal)."""
+        end = end_time if end_time is not None else self.clock.now()
+        if self.metrics is not None:
+            self.metrics.histogram(f"span.{span.name}.seconds").observe(
+                end - span.start
+            )
+        return end
+
+    # -- retrieval -------------------------------------------------------------
+
+    def finished_spans(self) -> List[Span]:
+        """All spans that have ended, in start order."""
+        return [s for s in self.spans if s.ended]
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """All spans belonging to one trace, in start order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def roots(self) -> List[Span]:
+        """The root span of every trace, in start order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def clear(self) -> None:
+        """Drop all collected spans (between experiment repetitions)."""
+        self.spans.clear()
+
+
+def maybe_span(tracer: Optional[Tracer], name: str, **attributes: Any):
+    """A ``tracer.span(...)`` context manager, or a no-op when untraced.
+
+    Instrumentation sites call this so components stay tracer-optional:
+    constructing a SeMIRT host or client without a tracer costs nothing.
+    """
+    if tracer is None:
+        return nullcontext(None)
+    return tracer.span(name, **attributes)

@@ -54,6 +54,9 @@ class Request:
     payload: Any = None
     request_id: int = field(default_factory=lambda: next(_invocation_ids))
     submitted_at: float = 0.0
+    #: root :class:`~repro.obs.span.Span` of this request's trace; set by
+    #: the driver (to cover routing) or the controller, ``None`` untraced
+    span: Any = None
 
 
 @dataclass

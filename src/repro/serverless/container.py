@@ -31,6 +31,10 @@ class ContainerContext:
     sim: "Simulation"
     node: "Invoker"
     container: "Container"
+    #: tracer observing this platform (``None`` when tracing is off)
+    tracer: Any = None
+    #: parent span for work done in this context (startup or serve)
+    span: Any = None
 
 
 class ActionRuntime(ABC):

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
     from repro.serverless.telemetry import MetricsRegistry
 
 from repro.errors import PlatformError
@@ -61,12 +62,14 @@ class Controller:
         nodes: List[Invoker],
         config: PlatformConfig = PlatformConfig(),
         metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if not nodes:
             raise PlatformError("a platform needs at least one invoker node")
         self.sim = sim
         self.nodes = nodes
         self.config = config
+        self.tracer = tracer
         self._deployments: Dict[str, _Deployment] = {}
         self._overhead = Resource(sim, capacity=1, name="controller")
         #: (time, reserved_bytes) samples; one per reservation change
@@ -98,6 +101,13 @@ class Controller:
         """Submit ``request`` to ``action_name``; returns the completion event."""
         deployment = self.deployment(action_name)
         request.submitted_at = self.sim.now
+        if self.tracer is not None and request.span is None:
+            request.span = self.tracer.start_span(
+                "request",
+                request_id=request.request_id,
+                model_id=request.model_id,
+                user_id=request.user_id,
+            )
         done = self.sim.event()
         self.sim.process(
             self._admission(deployment, request, done),
@@ -106,12 +116,17 @@ class Controller:
         return done
 
     def _admission(self, deployment: _Deployment, request: Request, done: Event):
+        span = None
+        if self.tracer is not None and request.span is not None:
+            span = self.tracer.start_span("controller_admission", parent=request.span)
         claim = self._overhead.request()
         yield claim
         try:
             yield self.sim.timeout(self.config.controller_overhead_s)
         finally:
             self._overhead.release(claim)
+            if span is not None:
+                span.end()
         self._dispatch(deployment, request, done)
 
     # -- scheduling -----------------------------------------------------------------
@@ -175,9 +190,30 @@ class Controller:
         return container
 
     def _startup(self, container: Container):
+        root = None
+        if self.tracer is not None:
+            root = self.tracer.start_span(
+                "container.startup",
+                container_id=container.container_id,
+                node_id=container.node.node_id,
+                action=container.spec.name,
+            )
+            sandbox = self.tracer.start_span(
+                "stage:sandbox_init", parent=root, stage="sandbox_init"
+            )
         yield self.sim.timeout(self.config.sandbox_init_s)
-        ctx = ContainerContext(sim=self.sim, node=container.node, container=container)
+        if root is not None:
+            sandbox.end()
+        ctx = ContainerContext(
+            sim=self.sim,
+            node=container.node,
+            container=container,
+            tracer=self.tracer,
+            span=root,
+        )
         yield from container.runtime.startup(ctx)
+        if root is not None:
+            root.end()
         container.ready = True
         container.ready_event.succeed()
         # Arm keep-alive even if the container never serves a request
@@ -211,7 +247,26 @@ class Controller:
         if waited_for_startup:
             yield container.ready_event
         started = self.sim.now
-        ctx = ContainerContext(sim=self.sim, node=container.node, container=container)
+        serve_span = None
+        if self.tracer is not None and request.span is not None:
+            serve_span = self.tracer.start_span(
+                "serve",
+                parent=request.span,
+                container_id=container.container_id,
+                node_id=container.node.node_id,
+            )
+            if waited_for_startup:
+                # Link the trace of the cold start this request adopted.
+                serve_span.set_attribute(
+                    "adopted_startup", container.container_id
+                )
+        ctx = ContainerContext(
+            sim=self.sim,
+            node=container.node,
+            container=container,
+            tracer=self.tracer,
+            span=serve_span,
+        )
         response, kind, stages = yield from container.runtime.handle(ctx, request)
         if waited_for_startup:
             # The sandbox (and, for SeMIRT, its enclave) was created for
@@ -226,6 +281,11 @@ class Controller:
         container.in_flight -= 1
         container.last_used = self.sim.now
         self.completed += 1
+        if serve_span is not None:
+            serve_span.set_attribute("flavor", kind)
+            serve_span.end()
+            request.span.set_attribute("flavor", kind)
+            request.span.end()
         if self.metrics is not None:
             self.metrics.counter("requests.completed").inc()
             self.metrics.counter(f"invocations.{kind}").inc()

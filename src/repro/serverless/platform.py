@@ -32,6 +32,7 @@ class ServerlessPlatform:
         storage_profile: StorageProfile = NFS,
         config: PlatformConfig = PlatformConfig(),
         metrics=None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.attestation = AttestationService()
@@ -51,7 +52,9 @@ class ServerlessPlatform:
             )
             for _ in range(num_nodes)
         ]
-        self.controller = Controller(sim, self.nodes, config, metrics=metrics)
+        self.controller = Controller(
+            sim, self.nodes, config, metrics=metrics, tracer=tracer
+        )
         self.storage = BlobStore(storage_profile)
         self.hardware = hardware
 

@@ -71,6 +71,8 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # +inf overflow bucket
         self._sum = 0.0
         self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
 
     def observe(self, value: float) -> None:
         """Record one observation into its bucket."""
@@ -78,6 +80,8 @@ class Histogram:
         self._counts[index] += 1
         self._sum += value
         self._count += 1
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
 
     @property
     def count(self) -> int:
@@ -96,12 +100,30 @@ class Histogram:
         labels = [f"le={b}" for b in self.buckets] + ["le=+inf"]
         return dict(zip(labels, self._counts))
 
+    @property
+    def min(self) -> float:
+        """Smallest observation so far (0.0 when empty)."""
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation so far (0.0 when empty)."""
+        return self._max if self._max is not None else 0.0
+
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the q-quantile from bucket counts."""
+        """Upper-bound estimate of the q-quantile from bucket counts.
+
+        ``q=0`` returns the exact minimum observation (the naive bucket
+        scan would return the first bucket bound regardless of where the
+        data sits); other quantiles return the upper bound of the bucket
+        containing the target rank, ``+inf`` past the last bound.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigError("quantile must be in [0, 1]")
         if self._count == 0:
             return 0.0
+        if q == 0.0:
+            return self.min
         target = q * self._count
         cumulative = 0
         for bound, count in zip(self.buckets, self._counts):
@@ -185,6 +207,9 @@ class MetricsRegistry:
         for name, histogram in self.histograms.items():
             out[f"{name}.mean"] = histogram.mean
             out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.p50"] = histogram.quantile(0.50)
+            out[f"{name}.p95"] = histogram.quantile(0.95)
+            out[f"{name}.p99"] = histogram.quantile(0.99)
         for name, series in self.series.items():
             out[f"{name}.last"] = series.last
         return out

@@ -31,11 +31,37 @@ class DriverReport:
 class WorkloadDriver:
     """Issues requests and observes completions."""
 
-    def __init__(self, sim: Simulation, controller: Controller, router: Router) -> None:
+    def __init__(
+        self,
+        sim: Simulation,
+        controller: Controller,
+        router: Router,
+        tracer=None,
+    ) -> None:
         self.sim = sim
         self.controller = controller
         self.router = router
         self.report = DriverReport()
+        #: tracer for request root spans (falls back to the controller's)
+        self.tracer = tracer if tracer is not None else controller.tracer
+
+    def _start_request(self, model_id: str, user_id: str, endpoint: str) -> Request:
+        """Build a request, opening its root span when tracing is on.
+
+        The driver owns the root span (rather than the controller) so the
+        trace also covers routing: the chosen endpoint is recorded as an
+        attribute before the request enters the platform.
+        """
+        request = Request(model_id=model_id, user_id=user_id)
+        if self.tracer is not None:
+            request.span = self.tracer.start_span(
+                "request",
+                request_id=request.request_id,
+                model_id=model_id,
+                user_id=user_id,
+                endpoint=endpoint,
+            )
+        return request
 
     # -- open-loop arrivals -------------------------------------------------------
 
@@ -54,7 +80,7 @@ class WorkloadDriver:
     def _fire(self, model_id: str, user_id: str, sink: Optional[dict] = None,
               sink_key=None):
         endpoint = self.router.route(model_id, self.sim.now)
-        request = Request(model_id=model_id, user_id=user_id)
+        request = self._start_request(model_id, user_id, endpoint)
         done = self.controller.invoke(endpoint, request)
         self.router.on_dispatch(endpoint, model_id, self.sim.now)
         self.sim.process(
@@ -83,7 +109,7 @@ class WorkloadDriver:
             yield self.sim.timeout(session.start_time - self.sim.now)
         for model_id in session.models:
             endpoint = self.router.route(model_id, self.sim.now)
-            request = Request(model_id=model_id, user_id=session.user_id)
+            request = self._start_request(model_id, session.user_id, endpoint)
             done = self.controller.invoke(endpoint, request)
             self.router.on_dispatch(endpoint, model_id, self.sim.now)
             result = yield done

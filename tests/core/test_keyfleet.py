@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.client import OwnerClient, UserClient
+from repro.core.client import OwnerClient
 from repro.core.deployment import SeSeMIEnvironment
 from repro.core.keyfleet import KeyServiceFleet
 from repro.core.stages import Stage
-from repro.errors import AccessDenied, ConfigError, InvocationError
+from repro.errors import ConfigError
 from repro.sgx.attestation import AttestationService
 
 

@@ -11,7 +11,7 @@ from repro.core.keyservice import (
 )
 from repro.crypto.gcm import AESGCM
 from repro.crypto.keys import SymmetricKey
-from repro.errors import AccessDenied, EnclaveError
+from repro.errors import EnclaveError
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveBuildConfig
 from repro.sgx.platform import SGX2, SgxPlatform

@@ -12,7 +12,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import wire
 from repro.core.deployment import SeSeMIEnvironment
 from repro.errors import ReproError
 from repro.mlrt.zoo import build_mobilenet

@@ -10,9 +10,7 @@ import numpy as np
 import pytest
 
 from repro.core.deployment import SeSeMIEnvironment
-from repro.core.semirt import SemirtHost, default_semirt_config
 from repro.errors import AccessDenied, InvocationError, ReproError
-from repro.mlrt.model import Model
 
 
 @pytest.fixture(scope="module")

@@ -16,7 +16,7 @@ from repro.errors import (
     InvocationError,
     ReproError,
 )
-from repro.mlrt.zoo import build_densenet, build_mobilenet
+from repro.mlrt.zoo import build_densenet
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,131 @@
+"""The session API: deploy/grant/session plus the deprecated shims."""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import ModelHandle, SeSeMIEnvironment, UserSession
+from repro.core.stages import InvocationKind, Stage
+from repro.errors import AccessDenied, SeSeMIError
+from repro.obs import analysis
+
+
+@pytest.fixture(scope="module")
+def fresh_env() -> SeSeMIEnvironment:
+    """A private environment so span assertions see only this module."""
+    return SeSeMIEnvironment()
+
+
+@pytest.fixture(scope="module")
+def handle(fresh_env, tiny_model) -> ModelHandle:
+    return fresh_env.deploy(tiny_model, "sess-model", owner="sess-owner")
+
+
+def test_deploy_uploads_and_returns_handle(fresh_env, handle):
+    assert isinstance(handle, ModelHandle)
+    assert handle.measurement == fresh_env.expected_semirt("tvm")
+    assert fresh_env.storage.get("models/sess-model")  # ciphertext landed
+
+
+def test_owner_and_user_names_are_cached(fresh_env):
+    owner = fresh_env.owner("sess-owner")
+    assert owner is fresh_env.owner("sess-owner")
+    user = fresh_env.user("cache-check")
+    assert user is fresh_env.user("cache-check")
+    assert fresh_env.user(user) is user
+
+
+def test_grant_then_infer_round_trip(fresh_env, handle, tiny_model, tiny_input):
+    handle.grant("alice")
+    with fresh_env.session("alice", "sess-model") as session:
+        assert session.semirt is None  # launched lazily
+        out = session.infer(tiny_input)
+        assert session.semirt is not None
+        reference = tiny_model.run_reference(tiny_input).ravel()
+        assert np.allclose(out, reference, atol=1e-5)
+    assert session.semirt is None  # context exit reclaimed the enclave
+
+
+def test_ungranted_user_is_refused(fresh_env, handle, tiny_input):
+    fresh_env.connect_user("mallory")
+    with fresh_env.session("mallory", "sess-model") as session:
+        with pytest.raises(AccessDenied):
+            session.infer(tiny_input)
+
+
+def test_revoke_blocks_future_sessions(fresh_env, handle, tiny_input):
+    handle.grant("bob")
+    with fresh_env.session("bob", "sess-model") as session:
+        session.infer(tiny_input)
+    handle.revoke("bob")
+    with fresh_env.session("bob", "sess-model") as session:
+        with pytest.raises(AccessDenied):
+            session.infer(tiny_input)
+
+
+def test_session_requires_registered_user(fresh_env):
+    from repro.core.client import UserClient
+
+    with pytest.raises(SeSeMIError):
+        UserSession(fresh_env, UserClient("ghost"), "sess-model")
+
+
+def test_cold_trace_covers_all_nine_stages(tiny_model, tiny_input):
+    """Acceptance: one functional inference -> one nine-stage span tree."""
+    env = SeSeMIEnvironment()
+    env.deploy(tiny_model, "m", owner="o").grant("u")
+    with env.session("u", "m") as session:
+        session.infer(tiny_input)
+        session.infer(tiny_input)
+    spans = env.tracer.finished_spans()
+    cold, hot = analysis.request_roots(spans)
+    tree_stages = analysis.stage_seconds(spans, cold)
+    assert set(tree_stages) == {stage.value for stage in Stage}
+    assert len({s.trace_id for s in analysis.subtree(spans, cold)}) == 1
+    assert cold.attributes["flavor"] == "cold"
+    assert hot.attributes["flavor"] == "hot"
+    hot_stages = analysis.stage_seconds(spans, hot)
+    assert Stage.ENCLAVE_INIT.value not in hot_stages
+    assert Stage.MODEL_INFERENCE.value in hot_stages
+
+
+def test_handle_session_shortcut(fresh_env, handle, tiny_input):
+    handle.grant("carol")
+    with handle.session("carol") as session:
+        out = session.infer(tiny_input)
+    assert out is not None
+
+
+def test_warm_path_after_runtime_reset(fresh_env, handle, tiny_input):
+    handle.grant("dave")
+    with fresh_env.session("dave", "sess-model") as session:
+        session.infer(tiny_input)
+        session.infer(tiny_input)
+        assert session.semirt.code.last_plan.kind == InvocationKind.HOT
+
+
+# -- deprecated shims ----------------------------------------------------------
+
+
+def test_authorize_shim_warns_and_still_works(fresh_env, tiny_model, tiny_input):
+    owner = fresh_env.connect_owner("legacy-owner")
+    user = fresh_env.connect_user("legacy-user")
+    semirt = fresh_env.launch_semirt("tvm")
+    with pytest.deprecated_call():
+        fresh_env.authorize(owner, user, tiny_model, "legacy-model", semirt.measurement)
+    with pytest.deprecated_call():
+        out = fresh_env.infer(user, semirt, "legacy-model", tiny_input)
+    reference = tiny_model.run_reference(tiny_input).ravel()
+    assert np.allclose(out, reference, atol=1e-5)
+    semirt.destroy()
+
+
+def test_old_and_new_paths_share_keyservice_state(fresh_env, handle, tiny_input):
+    """A legacy launch_semirt instance serves a session-API grant."""
+    handle.grant("erin")
+    user = fresh_env.user("erin")
+    semirt = fresh_env.launch_semirt("tvm")
+    assert semirt.measurement == handle.measurement
+    with pytest.deprecated_call():
+        out = fresh_env.infer(user, semirt, "sess-model", tiny_input)
+    assert out is not None
+    semirt.destroy()

@@ -7,7 +7,6 @@ from repro.core.simbridge import (
     IsoReuseSimActor,
     NativeSimActor,
     SemirtSimActor,
-    ServableModel,
     UntrustedSimActor,
     servable_map,
 )

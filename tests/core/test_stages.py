@@ -1,6 +1,5 @@
 """Invocation-path planning: Algorithm 2's cold/warm/hot semantics."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,8 +5,7 @@ import pytest
 from repro.errors import PlatformError
 from repro.serverless.invoker import Invoker
 from repro.sgx.epc import GB, MB
-from repro.sgx.platform import SGX1, SGX2
-from repro.sim.core import Simulation
+from repro.sgx.platform import SGX1
 
 
 @pytest.fixture()

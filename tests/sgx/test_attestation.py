@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.crypto.signature import Signature, SigningKey
+from repro.crypto.signature import SigningKey
 from repro.errors import AttestationError
 from repro.sgx.attestation import (
     AttestationKind,
