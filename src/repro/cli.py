@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    chaos,
     fig8,
     fig9,
     fig10,
@@ -142,6 +143,15 @@ experiment(
 )(fig17.run)
 
 
+@experiment(
+    "chaos", "Chaos sweep: fault rate vs availability/p99 (quick grid)",
+    chaos.format_report,
+)
+def _run_chaos() -> dict:
+    """The chaos sweep on the quick grid (CI-friendly)."""
+    return chaos.run(quick=True)
+
+
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
 def _trace_fig8() -> list:
     """Span dump of one virtual-time cold request (MBNET on TVM)."""
@@ -154,6 +164,12 @@ def _trace_fig17() -> list:
     """Span dump of the non-SGX comparison path of Figures 17/18."""
     spans, _ = fig8.traced_cold_request("MBNET", "tvm", system="Untrusted")
     return spans
+
+
+@trace_source("chaos", "one resilient chaos run with an injected shard outage")
+def _trace_chaos() -> list:
+    """Span dump of one deterministic chaos run (logical-clock time)."""
+    return chaos.collect_trace()
 
 
 @trace_source("session", "a functional cold+hot inference via the session API")
@@ -245,6 +261,16 @@ def _cmd_trace(name: str, out: Optional[str]) -> int:
     return 0
 
 
+def _cmd_chaos(seed: int, requests: int, quick: bool, as_json: bool) -> int:
+    """Run the chaos sweep with explicit knobs (``repro chaos``)."""
+    result = chaos.run(seed=seed, requests=requests, quick=quick)
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(chaos.format_report(result))
+    return 0
+
+
 def _cmd_report(path: str) -> int:
     from repro.experiments.report import build_report
 
@@ -280,6 +306,24 @@ def main(argv=None) -> int:
     trace_parser.add_argument(
         "--out", default=None, help="output path (default: trace-<name>.json)"
     )
+    chaos_parser = sub.add_parser(
+        "chaos", help="run the deterministic fault-injection sweep"
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=2025,
+        help="fault-plan seed (same seed => identical schedule and numbers)",
+    )
+    chaos_parser.add_argument(
+        "--requests", type=int, default=40, help="requests per run"
+    )
+    chaos_parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep grid and request count (CI smoke)",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result as sorted JSON (byte-stable per seed)",
+    )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
@@ -289,6 +333,8 @@ def main(argv=None) -> int:
         return _cmd_run(args.names, args.json, args.seed)
     if args.command == "trace":
         return _cmd_trace(args.name, args.out)
+    if args.command == "chaos":
+        return _cmd_chaos(args.seed, args.requests, args.quick, args.json)
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -18,6 +18,7 @@ from repro.core.semirt import REQUEST_AAD, RESPONSE_AAD
 from repro.crypto.gcm import AESGCM
 from repro.crypto.keys import SymmetricKey
 from repro.errors import AccessDenied, InvocationError, SeSeMIError
+from repro.faults.injector import maybe_wire
 from repro.mlrt.model import Model
 from repro.obs.tracer import maybe_span
 from repro.sgx.attestation import AttestationService, QuotePolicy
@@ -39,8 +40,11 @@ class KeyServiceConnection:
         expected_measurement: EnclaveMeasurement,
         name: str = "client",
         tracer=None,
+        injector=None,
     ) -> None:
         self._tracer = tracer
+        #: optional repro.faults.FaultInjector wrapping this connection's wire
+        self._injector = injector
         with maybe_span(
             tracer, "ratls_handshake", client=name, peer="keyservice"
         ):
@@ -59,9 +63,11 @@ class KeyServiceConnection:
         self._host = host
 
     def call(self, message: dict) -> dict:
-        """One encrypted request/response round trip."""
+        """One encrypted request/response round trip (over a faulty wire)."""
         ciphertext = self._channel.send(wire.encode(message))
+        ciphertext = maybe_wire(self._injector, "client->keyservice", ciphertext)
         reply_cipher = self._host.request(self._channel_id, ciphertext)
+        reply_cipher = maybe_wire(self._injector, "keyservice->client", reply_cipher)
         return wire.decode(self._channel.recv(reply_cipher))
 
     def call_checked(self, message: dict) -> dict:
@@ -73,11 +79,22 @@ class KeyServiceConnection:
 
 
 class _Principal:
-    """Shared owner/user behaviour: identity key + registration."""
+    """Shared owner/user behaviour: identity key + registration.
 
-    def __init__(self, name: str, tracer=None) -> None:
+    ``identity_key`` defaults to a fresh random key; deterministic
+    harnesses (chaos runs gated on byte-identical numbers) pass a fixed
+    one so the principal's id -- and hence its KeyService shard
+    placement -- is stable across runs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tracer=None,
+        identity_key: Optional[SymmetricKey] = None,
+    ) -> None:
         self.name = name
-        self.identity_key = SymmetricKey.generate()
+        self.identity_key = identity_key or SymmetricKey.generate()
         self._connection: Optional[KeyServiceConnection] = None
         self.principal_id: Optional[str] = None
         #: optional :class:`~repro.obs.tracer.Tracer` for client-side spans
@@ -94,6 +111,7 @@ class _Principal:
         keyservice_host,
         attestation: AttestationService,
         expected_measurement: EnclaveMeasurement,
+        injector=None,
     ) -> None:
         """Attest KeyService and open a secure channel."""
         self._connection = KeyServiceConnection(
@@ -102,6 +120,7 @@ class _Principal:
             expected_measurement,
             name=self.name,
             tracer=self.tracer,
+            injector=injector,
         )
 
     def register(self) -> str:
@@ -125,8 +144,13 @@ class _Principal:
 class OwnerClient(_Principal):
     """The model owner: trains, encrypts, deploys, and grants access."""
 
-    def __init__(self, name: str = "owner", tracer=None) -> None:
-        super().__init__(name, tracer=tracer)
+    def __init__(
+        self,
+        name: str = "owner",
+        tracer=None,
+        identity_key: Optional[SymmetricKey] = None,
+    ) -> None:
+        super().__init__(name, tracer=tracer, identity_key=identity_key)
         self._model_keys: Dict[str, SymmetricKey] = {}
 
     def model_key(self, model_id: str) -> SymmetricKey:
@@ -196,8 +220,13 @@ class OwnerClient(_Principal):
 class UserClient(_Principal):
     """The model user: releases request keys and runs encrypted inference."""
 
-    def __init__(self, name: str = "user", tracer=None) -> None:
-        super().__init__(name, tracer=tracer)
+    def __init__(
+        self,
+        name: str = "user",
+        tracer=None,
+        identity_key: Optional[SymmetricKey] = None,
+    ) -> None:
+        super().__init__(name, tracer=tracer, identity_key=identity_key)
         self._request_keys: Dict[Tuple[str, str], SymmetricKey] = {}
 
     def request_key(self, model_id: str, enclave: EnclaveMeasurement) -> SymmetricKey:

@@ -49,6 +49,12 @@ from repro.core.semirt import (
 )
 from repro.core.stages import Stage
 from repro.errors import SeSeMIError
+from repro.faults.injector import maybe_wire
+from repro.faults.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilientCaller,
+)
 from repro.mlrt.model import Model
 from repro.obs.tracer import Tracer, maybe_span
 from repro.serverless.storage import BlobStore
@@ -156,20 +162,32 @@ class UserSession:
             framework, config, isolation
         )
         self._semirt: Optional[SemirtHost] = None
+        self._caller: Optional[ResilientCaller] = None
 
     @property
     def semirt(self) -> Optional[SemirtHost]:
         """The live SeMIRT instance, or ``None`` before the first request."""
         return self._semirt
 
-    def infer(self, x: np.ndarray) -> np.ndarray:
+    def infer(
+        self, x: np.ndarray, deadline_s: Optional[float] = None
+    ) -> np.ndarray:
         """Encrypt ``x``, serve it, decrypt the result.
 
         The whole round trip runs under one ``request`` root span on
         ``env.tracer``; the first call additionally traces the sandbox
         and enclave start it triggers.
+
+        When the environment carries an enabled
+        :class:`~repro.faults.resilience.ResiliencePolicy`, transport
+        failures are retried with backoff under a per-request deadline
+        (``deadline_s`` overrides the policy default), guarded by the
+        per-``(model, node)`` circuit breaker; a crashed SeMIRT enclave
+        is relaunched cold on the next attempt.  Retries appear as
+        ``retry`` events on the request's root span.
         """
         tracer = self._env.tracer
+        policy = self._env.resilience
         with maybe_span(
             tracer,
             "request",
@@ -177,25 +195,74 @@ class UserSession:
             user_id=self.user.principal_id,
             node_id=self.node_id,
         ) as root:
-            cold = self._semirt is None
-            if cold:
-                self._launch(tracer)
-            enc_request = self.user.encrypt_request(
-                self.model_id, self.measurement, x
-            )
-            enc_response = self._semirt.infer(
-                enc_request, self.user.principal_id, self.model_id
-            )
-            result = self.user.decrypt_response(
-                self.model_id, self.measurement, enc_response
-            )
-            if root is not None:
-                plan = self._semirt.code.last_plan
-                flavor = "cold" if cold else (plan.kind.value if plan else "warm")
-                root.set_attributes(
-                    flavor=flavor, enclave_id=self.measurement.value
+            if policy is None or not policy.enabled:
+                result = self._attempt(x, root)
+            else:
+                caller = self._resilient_caller()
+                deadline = Deadline(
+                    caller.clock,
+                    policy.deadline_s if deadline_s is None else deadline_s,
+                )
+
+                def record_retry(attempt, exc, delay):
+                    if root is not None:
+                        root.add_event(
+                            "retry",
+                            attempt=attempt,
+                            error=type(exc).__name__,
+                            backoff_s=delay,
+                        )
+
+                result = caller.call(
+                    f"infer:{self.model_id}@{self.node_id}",
+                    lambda attempt: self._attempt(x, root),
+                    deadline=deadline,
+                    on_retry=record_retry,
                 )
         return result
+
+    def _attempt(self, x: np.ndarray, root) -> np.ndarray:
+        """One serving attempt: (re)launch if needed, encrypt/serve/decrypt."""
+        tracer = self._env.tracer
+        injector = self._env.fault_injector
+        if self._semirt is not None and not self._semirt.enclave.alive:
+            # the instance crashed under us: relaunch cold on this attempt
+            self._semirt = None
+        cold = self._semirt is None
+        if cold:
+            self._launch(tracer)
+        enc_request = maybe_wire(
+            injector,
+            "user->semirt",
+            self.user.encrypt_request(self.model_id, self.measurement, x),
+        )
+        enc_response = maybe_wire(
+            injector,
+            "semirt->user",
+            self._semirt.infer(
+                enc_request, self.user.principal_id, self.model_id
+            ),
+        )
+        result = self.user.decrypt_response(
+            self.model_id, self.measurement, enc_response
+        )
+        if root is not None:
+            plan = self._semirt.code.last_plan
+            flavor = "cold" if cold else (plan.kind.value if plan else "warm")
+            root.set_attributes(flavor=flavor, enclave_id=self.measurement.value)
+        return result
+
+    def _resilient_caller(self) -> ResilientCaller:
+        """The session's retry driver, sharing the env-wide breaker."""
+        if self._caller is None:
+            self._caller = ResilientCaller(
+                self._env.resilience,
+                clock=self._env.tracer.clock,
+                breaker=self._env.breaker_for(
+                    f"{self.model_id}@{self.node_id}"
+                ),
+            )
+        return self._caller
 
     def _launch(self, tracer: Optional[Tracer]) -> None:
         """Cold start: bring up the sandbox (platform) and the enclave."""
@@ -216,6 +283,7 @@ class UserSession:
             config=self.config or default_semirt_config(),
             isolation=self.isolation,
             tracer=tracer,
+            injector=self._env.fault_injector,
         )
 
     def close(self) -> None:
@@ -234,38 +302,80 @@ class UserSession:
 
 
 class SeSeMIEnvironment:
-    """A complete functional SeSeMI deployment on one logical cluster."""
+    """A complete functional SeSeMI deployment on one logical cluster.
+
+    By default the environment builds its own single KeyService host; a
+    pre-built endpoint (e.g. a
+    :class:`~repro.core.keyfleet.FailoverEndpoint` over a
+    :class:`~repro.core.keyfleet.KeyServiceFleet`) can be passed as
+    ``keyservice`` instead, together with the ``attestation`` service it
+    was provisioned against.  A
+    :class:`~repro.faults.FaultInjector` threads into every wire and
+    crash site on the serving path, and an enabled
+    :class:`~repro.faults.resilience.ResiliencePolicy` turns on
+    deadline/retry/breaker handling in :meth:`UserSession.infer`.
+    """
 
     def __init__(
         self,
         hardware: HardwareProfile = SGX2,
         tracer: Optional[Tracer] = None,
+        attestation: Optional[AttestationService] = None,
+        keyservice=None,
+        fault_injector=None,
+        resilience=None,
     ) -> None:
         #: wall-clock tracer shared by every component in the environment
         self.tracer = Tracer(service="sesemi") if tracer is None else tracer
-        self.attestation = AttestationService()
-        self.keyservice_platform = SgxPlatform(
-            hardware, attestation_service=self.attestation,
-            platform_id="keyservice-node",
-        )
+        self.attestation = attestation or AttestationService()
         self.storage = BlobStore()
-        self.keyservice = KeyServiceHost(
-            self.keyservice_platform,
-            self.attestation,
-            KEYSERVICE_CONFIG,
-            tracer=self.tracer,
-        )
+        if keyservice is None:
+            self.keyservice_platform: Optional[SgxPlatform] = SgxPlatform(
+                hardware, attestation_service=self.attestation,
+                platform_id="keyservice-node",
+            )
+            self.keyservice = KeyServiceHost(
+                self.keyservice_platform,
+                self.attestation,
+                KEYSERVICE_CONFIG,
+                tracer=self.tracer,
+            )
+        else:
+            self.keyservice_platform = getattr(keyservice, "platform", None)
+            self.keyservice = keyservice
+        #: optional :class:`repro.faults.FaultInjector` shared by all sites
+        self.fault_injector = fault_injector
+        #: optional :class:`repro.faults.resilience.ResiliencePolicy`
+        self.resilience = resilience
         self.hardware = hardware
         self._worker_platforms: Dict[str, SgxPlatform] = {}
         self._owners: Dict[str, OwnerClient] = {}
         self._users: Dict[str, UserClient] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, endpoint: str) -> CircuitBreaker:
+        """The shared circuit breaker guarding ``endpoint``.
+
+        Sessions targeting the same ``model@node`` share one breaker, so
+        a persistently failing instance trips for all of them at once.
+        """
+        if self.resilience is None:
+            raise SeSeMIError("no resilience policy configured")
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(self.resilience.breaker, self.tracer.clock)
+            self._breakers[endpoint] = breaker
+        return breaker
 
     # -- principals ------------------------------------------------------------
 
     def connect_owner(self, name: str = "owner") -> OwnerClient:
         """Create an owner, attest KeyService, and register."""
         owner = OwnerClient(name, tracer=self.tracer)
-        owner.connect(self.keyservice, self.attestation, self.keyservice.measurement)
+        owner.connect(
+            self.keyservice, self.attestation, self.keyservice.measurement,
+            injector=self.fault_injector,
+        )
         owner.register()
         self._owners[name] = owner
         return owner
@@ -273,9 +383,25 @@ class SeSeMIEnvironment:
     def connect_user(self, name: str = "user") -> UserClient:
         """Create a user, attest KeyService, and register."""
         user = UserClient(name, tracer=self.tracer)
-        user.connect(self.keyservice, self.attestation, self.keyservice.measurement)
+        user.connect(
+            self.keyservice, self.attestation, self.keyservice.measurement,
+            injector=self.fault_injector,
+        )
         user.register()
         self._users[name] = user
+        return user
+
+    def adopt_user(self, user: UserClient) -> UserClient:
+        """Register an externally connected user with the environment.
+
+        Used when the client performed its own (possibly replicated)
+        registration -- e.g. against every home shard of a
+        :class:`~repro.core.keyfleet.KeyServiceFleet` -- and only needs
+        sessions from here.
+        """
+        if user.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        self._users[user.name] = user
         return user
 
     def owner(self, owner: Union[OwnerClient, str, None] = None) -> OwnerClient:

@@ -56,6 +56,7 @@ class EndpointState:
     exclusive_for: Optional[str] = None    # model this endpoint is pinned to
     current_model: Optional[str] = None    # last model dispatched here
     last_request_at: float = float("-inf")
+    healthy: bool = True                   # dead invokers receive no traffic
 
 
 class Router:
@@ -74,6 +75,12 @@ class Router:
 
     def on_complete(self, endpoint: str, model_id: str, now: float) -> None:
         """Observe a response coming back."""
+
+    def mark_endpoint_down(self, endpoint: str) -> None:
+        """Stop routing to ``endpoint`` (its invoker died)."""
+
+    def mark_endpoint_up(self, endpoint: str) -> None:
+        """Resume routing to a recovered ``endpoint``."""
 
 
 class FnPackerRouter(Router):
@@ -100,6 +107,8 @@ class FnPackerRouter(Router):
     # -- scheduling ---------------------------------------------------------------
 
     def _is_not_busy(self, ep: EndpointState, model_id: str, now: float) -> bool:
+        if not ep.healthy:
+            return False
         if ep.pending == 0 and ep.exclusive_for in (None, model_id):
             return True
         if (
@@ -114,10 +123,12 @@ class FnPackerRouter(Router):
         """Pick the endpoint for a request per the Section IV-C policy."""
         if model_id not in self._model_pending:
             raise RoutingError(f"model {model_id!r} is not in pool {self.pool.name!r}")
-        # Rule 1: pending responses pin the model to its endpoint.
+        # Rule 1: pending responses pin the model to its endpoint --
+        # unless that endpoint's invoker died, in which case the pin is
+        # void and the request reroutes like any other.
         if self._model_pending[model_id] > 0:
             endpoint = self._model_endpoint.get(model_id)
-            if endpoint is not None:
+            if endpoint is not None and self._endpoints[endpoint].healthy:
                 self._endpoints[endpoint].exclusive_for = model_id
                 return endpoint
         # Prefer the endpoint that served this model last (warm caches).
@@ -130,8 +141,13 @@ class FnPackerRouter(Router):
         for ep in self._endpoints.values():
             if self._is_not_busy(ep, model_id, now):
                 return ep.name
-        # Fallback: least pending work.
-        return min(self._endpoints.values(), key=lambda e: e.pending).name
+        # Fallback: least pending work among the healthy endpoints.
+        candidates = [ep for ep in self._endpoints.values() if ep.healthy]
+        if not candidates:
+            raise RoutingError(
+                f"every endpoint of pool {self.pool.name!r} is down"
+            )
+        return min(candidates, key=lambda e: e.pending).name
 
     def on_dispatch(self, endpoint: str, model_id: str, now: float) -> None:
         """Record a forwarded request (updates pending counts and pins)."""
@@ -149,6 +165,31 @@ class FnPackerRouter(Router):
             raise RoutingError("completion observed without a matching dispatch")
         ep.pending -= 1
         self._model_pending[model_id] -= 1
+
+    # -- invoker health --------------------------------------------------------------
+
+    def mark_endpoint_down(self, endpoint: str) -> None:
+        """Take a dead invoker out of rotation.
+
+        Its exclusivity pin and pending counters are cleared -- the
+        in-flight requests died with the invoker and their retries must
+        be free to land elsewhere.
+        """
+        ep = self._endpoints[endpoint]
+        ep.healthy = False
+        ep.exclusive_for = None
+        if ep.pending:
+            for model_id, pinned in list(self._model_endpoint.items()):
+                if pinned == endpoint:
+                    self._model_pending[model_id] = 0
+                    del self._model_endpoint[model_id]
+            ep.pending = 0
+
+    def mark_endpoint_up(self, endpoint: str) -> None:
+        """Return a recovered invoker to rotation (cold, unpinned)."""
+        ep = self._endpoints[endpoint]
+        ep.healthy = True
+        ep.current_model = None
 
     # -- introspection ---------------------------------------------------------------
 

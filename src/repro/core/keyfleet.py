@@ -10,14 +10,24 @@ clients derive) and assigns principals to shards by identity hash.
 Isolation is real: a shard only holds the keys of the principals mapped
 to it, so compromising the access lists of one shard says nothing about
 the others.
+
+For availability the fleet additionally supports *replicated homes*:
+:meth:`KeyServiceFleet.homes_for` maps a principal to its primary shard
+plus the next shard as replica.  Replication is necessarily client-side
+-- RA-TLS traffic terminates inside the enclave, so an untrusted proxy
+cannot mirror writes -- clients simply perform registration and key
+release against every home.  :class:`FailoverEndpoint` then gives
+SeMIRT instances a single KeyService address that routes to the first
+healthy home, so a shard crash surfaces only as one failed call followed
+by re-attestation against the replica.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.keyservice import KEYSERVICE_CONFIG, KeyServiceHost
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransportError
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveBuildConfig
 from repro.sgx.platform import SGX2, HardwareProfile, SgxPlatform
@@ -44,6 +54,7 @@ class KeyServiceFleet:
                 platform_id=f"keyservice-shard-{index}",
             )
             self.shards.append(KeyServiceHost(platform, attestation, config))
+        self._checkpoints: Dict[int, bytes] = {}
 
     def __len__(self) -> int:
         return len(self.shards)
@@ -61,6 +72,113 @@ class KeyServiceFleet:
         """The KeyService host a principal must register and fetch from."""
         return self.shards[self.shard_index_for(principal_id)]
 
+    def homes_for(self, principal_id: str) -> List[int]:
+        """The shard indices holding this principal's records.
+
+        Primary (hash placement) first, then the next shard as replica.
+        With a single-shard fleet there is nowhere to replicate to, so
+        the list degenerates to the primary alone.
+        """
+        primary = self.shard_index_for(principal_id)
+        if len(self.shards) == 1:
+            return [primary]
+        return [primary, (primary + 1) % len(self.shards)]
+
+    def healthy_home_for(self, principal_id: str) -> KeyServiceHost:
+        """The first live home shard; raises when every home is down."""
+        for index in self.homes_for(principal_id):
+            if self.shards[index].alive:
+                return self.shards[index]
+        raise TransportError(
+            f"all home shards of {principal_id[:12]}... are down"
+        )
+
     def identical_identities(self) -> bool:
         """True when every shard attests to the same ``E_K``."""
         return len({shard.measurement for shard in self.shards}) == 1
+
+    # -- availability (chaos) lifecycle -----------------------------------------
+
+    def checkpoint(self, index: int) -> bytes:
+        """Take and remember a sealed checkpoint of one shard."""
+        sealed = self.shards[index].snapshot()
+        self._checkpoints[index] = sealed
+        return sealed
+
+    def kill_shard(self, index: int) -> None:
+        """Crash-stop one shard, checkpointing it first if still alive.
+
+        The checkpoint models the shard's periodic sealed-state persistence:
+        a real deployment writes sealed snapshots to disk ahead of time, it
+        does not get to seal at the moment of the crash.
+        """
+        shard = self.shards[index]
+        if shard.alive and index not in self._checkpoints:
+            self._checkpoints[index] = shard.snapshot()
+        shard.stop()
+
+    def restart_shard(self, index: int) -> None:
+        """Relaunch one shard, recovering the last sealed checkpoint."""
+        self.shards[index].restart(self._checkpoints.get(index))
+
+
+class FailoverEndpoint:
+    """One KeyService address that routes around dead home shards.
+
+    Presents the :class:`KeyServiceHost` surface (``measurement``,
+    ``handshake``, ``request``) for a fixed principal, but dispatches
+    each *handshake* to the first healthy home shard.  Because every
+    shard numbers its channels independently (they would collide), the
+    endpoint keeps its own channel-id namespace and maps each issued id
+    to ``(shard, shard_channel_id)``.
+
+    Failover is attestation-shaped: when the shard owning a channel
+    dies, :meth:`request` raises :class:`~repro.errors.TransportError`;
+    the caller's one-shot re-attestation path (e.g.
+    ``SemirtEnclaveCode._fetch_keys``) then re-handshakes, and the new
+    handshake lands on the replica.  No channel state migrates -- it
+    cannot, since RA-TLS sessions live inside the dead enclave.
+    """
+
+    def __init__(self, fleet: KeyServiceFleet, principal_id: str, tracer=None) -> None:
+        self.fleet = fleet
+        self.principal_id = principal_id
+        self.tracer = tracer
+        self.failovers = 0
+        self._next_channel_id = 1
+        self._routes: Dict[int, Tuple[KeyServiceHost, int]] = {}
+        self._last_shard: Optional[KeyServiceHost] = None
+
+    @property
+    def measurement(self):
+        """The fleet-wide ``E_K`` (identical on every shard)."""
+        return self.fleet.measurement
+
+    def handshake(self, offer_wire: dict) -> dict:
+        """Open an RA-TLS channel on the first healthy home shard."""
+        shard = self.fleet.healthy_home_for(self.principal_id)
+        if self._last_shard is not None and shard is not self._last_shard:
+            self.failovers += 1
+            if self.tracer is not None:
+                span = self.tracer.current_span()
+                if span is not None:
+                    span.add_event(
+                        "keyservice_failover",
+                        to=shard.platform.platform_id,
+                    )
+        self._last_shard = shard
+        reply = shard.handshake(offer_wire)
+        channel_id = self._next_channel_id
+        self._next_channel_id += 1
+        self._routes[channel_id] = (shard, reply["channel_id"])
+        routed = dict(reply)
+        routed["channel_id"] = channel_id
+        return routed
+
+    def request(self, channel_id: int, ciphertext: bytes) -> bytes:
+        """Relay one encrypted operation to the shard owning the channel."""
+        route = self._routes.get(channel_id)
+        if route is None:
+            raise TransportError(f"unknown endpoint channel {channel_id}")
+        shard, shard_channel_id = route
+        return shard.request(shard_channel_id, ciphertext)

@@ -29,7 +29,13 @@ from typing import Dict, Optional, Set, Tuple
 from repro.core import wire
 from repro.crypto.gcm import AESGCM
 from repro.crypto.hashes import sha256
-from repro.errors import AccessDenied, EnclaveError, UnknownIdentity
+from repro.errors import (
+    AccessDenied,
+    EnclaveError,
+    SealingError,
+    TransportError,
+    UnknownIdentity,
+)
 from repro.obs.tracer import maybe_span
 from repro.sgx.attestation import AttestationService, QuotePolicy, Report
 from repro.sgx.enclave import (
@@ -73,9 +79,13 @@ class KeyServiceEnclaveCode(EnclaveCode):
 
     SETTINGS = {"service": "keyservice", "protocol": 1}
 
-    def __init__(self, attestation: AttestationService) -> None:
+    def __init__(self, attestation: AttestationService, sealing=None) -> None:
         super().__init__()
         self._attestation = attestation
+        # the platform's sealing-key derivation (None => no sealed
+        # checkpoints); deliberately NOT part of settings(): sealing
+        # availability is a platform property, not a code identity
+        self._sealing = sealing
         self._ks_i: Dict[str, bytes] = {}
         self._ks_m: Dict[str, bytes] = {}
         self._ks_r: Dict[Tuple[str, str, str], bytes] = {}
@@ -118,6 +128,42 @@ class KeyServiceEnclaveCode(EnclaveCode):
         message = wire.decode(channel.recv(ciphertext))
         response = self._dispatch(channel_id, message)
         return channel.send(wire.encode(response))
+
+    @ecall
+    def EC_SEAL_STATE(self) -> bytes:
+        """Checkpoint the four key stores, sealed to this enclave identity.
+
+        RA-TLS channels are deliberately *not* checkpointed: sessions
+        die with the enclave, and clients re-attest on reconnect -- the
+        recovery path :meth:`SemirtEnclaveCode._fetch_keys` already
+        implements.
+        """
+        if self._sealing is None:
+            raise SealingError("this platform provides no sealing service")
+        state = {
+            "ks_i": dict(self._ks_i),
+            "ks_m": dict(self._ks_m),
+            "ks_r": [[m, e, u, key] for (m, e, u), key in self._ks_r.items()],
+            "ac_m": [[m, e, u] for (m, e, u) in sorted(self._ac_m)],
+        }
+        return self._sealing.seal(self.enclave, wire.encode(state))
+
+    @ecall
+    def EC_RESTORE_STATE(self, sealed: bytes) -> int:
+        """Load a sealed checkpoint produced by :meth:`EC_SEAL_STATE`.
+
+        Unsealing enforces the identity binding: a blob sealed by a
+        different enclave code, build, or platform fails authentication.
+        Returns the number of recovered principals.
+        """
+        if self._sealing is None:
+            raise SealingError("this platform provides no sealing service")
+        state = wire.decode(self._sealing.unseal(self.enclave, sealed))
+        self._ks_i = dict(state["ks_i"])
+        self._ks_m = dict(state["ks_m"])
+        self._ks_r = {(m, e, u): key for m, e, u, key in state["ks_r"]}
+        self._ac_m = {(m, e, u) for m, e, u in state["ac_m"]}
+        return len(self._ks_i)
 
     # -- operation dispatch ---------------------------------------------------------
 
@@ -243,10 +289,17 @@ class KeyServiceHost:
     ) -> None:
         self.platform = platform
         self.attestation = attestation
+        self.config = config
         self.tracer = tracer
-        code = KeyServiceEnclaveCode(attestation)
-        self.enclave: Enclave = platform.create_enclave(code, config)
-        self.enclave.register_ocall("OC_GET_QUOTE", platform.quote)
+        self._down = False
+        self._launch()
+
+    def _launch(self) -> None:
+        code = KeyServiceEnclaveCode(
+            self.attestation, sealing=self.platform.sealing
+        )
+        self.enclave: Enclave = self.platform.create_enclave(code, self.config)
+        self.enclave.register_ocall("OC_GET_QUOTE", self.platform.quote)
         self.code = code
 
     @property
@@ -254,10 +307,57 @@ class KeyServiceHost:
         """The deployed ``E_K`` (clients must verify it independently)."""
         return self.enclave.measurement
 
+    # -- lifecycle (availability model) -------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """True while the host answers; False after :meth:`stop`."""
+        return not self._down and self.enclave.alive
+
+    def snapshot(self) -> bytes:
+        """A sealed checkpoint of the enclave's key stores.
+
+        The host only ever holds ciphertext: the blob is sealed inside
+        the enclave to its own identity on this platform.
+        """
+        return self.enclave.ecall("EC_SEAL_STATE")
+
+    def stop(self) -> None:
+        """Crash-stop the shard: the enclave dies, requests get refused.
+
+        All in-enclave state -- key stores *and* live RA-TLS channels --
+        is gone; only a sealed :meth:`snapshot` taken earlier survives.
+        """
+        self._down = True
+        self.enclave.destroy()
+
+    def restart(self, sealed: Optional[bytes] = None) -> None:
+        """Bring a stopped shard back, optionally from a sealed checkpoint.
+
+        A fresh enclave (same code, same build, hence the same ``E_K``)
+        is launched; with ``sealed`` it recovers the checkpointed key
+        stores through the platform's sealing service.  Clients and
+        SeMIRT instances must re-attest: their old channels are invalid,
+        which the one-shot re-attestation path handles transparently.
+        """
+        if self.enclave.alive:
+            self.enclave.destroy()
+        self._launch()
+        self._down = False
+        if sealed is not None:
+            self.enclave.ecall("EC_RESTORE_STATE", sealed)
+
+    def _refuse_if_down(self) -> None:
+        if not self.alive:
+            raise TransportError(
+                f"keyservice on {self.platform.platform_id} is down"
+            )
+
     # network-facing endpoints (untrusted relay) ---------------------------------
 
     def handshake(self, offer_wire: dict) -> dict:
         """Relay a handshake offer into the enclave (untrusted pass-through)."""
+        self._refuse_if_down()
         with maybe_span(self.tracer, "keyservice.handshake"):
             return self.enclave.ecall("EC_HANDSHAKE", offer_wire)
 
@@ -268,5 +368,6 @@ class KeyServiceHost:
         travels inside the ciphertext, so even the host's own telemetry
         cannot see which KeyService operation a client performed.
         """
+        self._refuse_if_down()
         with maybe_span(self.tracer, "keyservice.request", channel_id=channel_id):
             return self.enclave.ecall("EC_REQUEST", channel_id, ciphertext)

@@ -29,8 +29,17 @@ import numpy as np
 
 from repro.core.stages import InvocationPlan, SemirtCacheState, Stage, plan_invocation
 from repro.core import wire
+from repro.core.wire import WireError
 from repro.crypto.gcm import AESGCM
-from repro.errors import AccessDenied, EnclaveError, InvocationError
+from repro.errors import (
+    AccessDenied,
+    CryptoError,
+    EnclaveError,
+    FaultInjected,
+    InvocationError,
+    TransportError,
+)
+from repro.faults.injector import maybe_wire
 from repro.mlrt.framework import get_framework
 from repro.mlrt.model import Model
 from repro.obs.tracer import maybe_span
@@ -322,16 +331,23 @@ class SemirtEnclaveCode(EnclaveCode):
 
         If the cached session is stale -- KeyService restarted, so the
         channel id or keys no longer match -- the session is dropped and
-        re-established once with a fresh mutual attestation.
+        re-established once with a fresh mutual attestation.  Only
+        transport-shaped failures trigger that path; protocol verdicts
+        (:class:`AccessDenied`) propagate untouched.
         """
         try:
             reply = self._provision_over_session(uid, model_id)
-        except (AccessDenied, InvocationError):
-            raise
-        except Exception:
+        except (CryptoError, EnclaveError, TransportError, WireError) as exc:
             # transport/crypto failure: stale session after a KeyService
-            # restart.  Re-attest and retry exactly once.
+            # restart, or a mangled message.  Re-attest and retry exactly
+            # once -- a second failure means KeyService is really gone.
             self._ks_session = None
+            if self.tracer is not None:
+                span = self.tracer.current_span()
+                if span is not None:
+                    span.add_event(
+                        "keyservice_reattest", error=type(exc).__name__
+                    )
             reply = self._provision_over_session(uid, model_id)
         if not reply.get("ok"):
             raise AccessDenied(reply.get("error", "key provisioning refused"))
@@ -364,6 +380,7 @@ class SemirtHost:
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
         tracer=None,
+        injector=None,
     ) -> None:
         if isolation.sequential:
             config = config or default_semirt_config(tcs_count=1)
@@ -373,6 +390,10 @@ class SemirtHost:
         self.platform = platform
         self.storage = storage
         self.tracer = tracer
+        self._keyservice = keyservice_host
+        #: optional repro.faults.FaultInjector; wire sites wrap the
+        #: KeyService OCALLs, the crash site fires per EC_MODEL_INF
+        self._injector = injector
         code = SemirtEnclaveCode(
             framework=framework,
             attestation=attestation,
@@ -392,8 +413,8 @@ class SemirtHost:
         self.enclave.register_ocall("OC_GET_QUOTE", platform.quote)
         self.enclave.register_ocall("OC_LOAD_MODEL", self._oc_load_model)
         self.enclave.register_ocall("OC_FREE_LOADED", self._oc_free_loaded)
-        self.enclave.register_ocall("OC_KS_HANDSHAKE", keyservice_host.handshake)
-        self.enclave.register_ocall("OC_KS_REQUEST", keyservice_host.request)
+        self.enclave.register_ocall("OC_KS_HANDSHAKE", self._oc_ks_handshake)
+        self.enclave.register_ocall("OC_KS_REQUEST", self._oc_ks_request)
 
     @property
     def measurement(self) -> EnclaveMeasurement:
@@ -407,10 +428,32 @@ class SemirtHost:
     def _oc_free_loaded(self, model_id: str) -> None:
         self._loaded_blobs.pop(model_id, None)
 
+    def _oc_ks_handshake(self, offer_wire: dict) -> dict:
+        """Relay a handshake offer to KeyService across a faulty link.
+
+        The offer crosses the wire in encoded form so drop/corrupt faults
+        apply to real bytes; a corrupted offer fails to decode (or fails
+        attestation), which the enclave's re-attestation path absorbs.
+        """
+        raw = maybe_wire(self._injector, "semirt->keyservice", wire.encode(offer_wire))
+        return self._keyservice.handshake(wire.decode(raw))
+
+    def _oc_ks_request(self, channel_id: int, ciphertext: bytes) -> bytes:
+        """Relay one encrypted KeyService operation across faulty links."""
+        ciphertext = maybe_wire(self._injector, "semirt->keyservice", ciphertext)
+        reply = self._keyservice.request(channel_id, ciphertext)
+        return maybe_wire(self._injector, "keyservice->semirt", reply)
+
     # -- the action interface ------------------------------------------------------
 
     def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
         """Serve one request: EC_MODEL_INF then EC_GET_OUTPUT."""
+        if self._injector is not None and self._injector.crash_enclave("semirt"):
+            # the instance dies mid-ECALL: all warm/hot state (model,
+            # key cache, runtimes, KeyService channels) is gone and the
+            # next request must take the cold path on a fresh enclave
+            self.enclave.destroy()
+            raise FaultInjected("semirt enclave crashed mid-ECALL")
         with maybe_span(self.tracer, "ecall:EC_MODEL_INF", model_id=model_id):
             self.enclave.ecall("EC_MODEL_INF", enc_request, uid, model_id)
         with maybe_span(self.tracer, "ecall:EC_GET_OUTPUT"):

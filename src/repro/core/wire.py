@@ -53,6 +53,22 @@ def encode(message: dict) -> bytes:
     return json.dumps(_encode_value(message), sort_keys=True).encode()
 
 
+def corrupt(raw: bytes, bit_index: int = 0) -> bytes:
+    """Flip one bit of a wire message (fault-injection helper).
+
+    Used by :mod:`repro.faults` to model in-flight corruption.  All
+    protocol payloads are AEAD-protected, so a single flipped bit must
+    surface as an authentication failure at the receiver, never as a
+    silently different message.
+    """
+    if not raw:
+        return raw
+    index = (bit_index // 8) % len(raw)
+    mutated = bytearray(raw)
+    mutated[index] ^= 1 << (bit_index % 8)
+    return bytes(mutated)
+
+
 def decode(raw: bytes) -> dict:
     """Inverse of :func:`encode`."""
     try:

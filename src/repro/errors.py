@@ -3,7 +3,9 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class at API boundaries.  Sub-hierarchies
 mirror the package layout: crypto, SGX, simulation, serverless platform,
-model runtime, and the SeSeMI core.
+model runtime, transport, and the SeSeMI core (which includes the
+resilience-layer errors :class:`DeadlineExceeded` and
+:class:`CircuitOpen`).
 """
 
 from __future__ import annotations
@@ -88,6 +90,25 @@ class RoutingError(SeSeMIError):
     """FnPacker could not route a request (unknown model, no endpoint)."""
 
 
+class DeadlineExceeded(SeSeMIError):
+    """A request ran out of its per-request time budget.
+
+    Raised by the resilience layer (:mod:`repro.faults.resilience`) when
+    retries and failovers could not produce a response before the
+    deadline.  Catching :class:`SeSeMIError` (or :class:`ReproError`)
+    at an API boundary therefore also covers deadline expiry.
+    """
+
+
+class CircuitOpen(SeSeMIError):
+    """A circuit breaker is open: the endpoint is failing, fail fast.
+
+    Raised instead of attempting a call while an endpoint's breaker is
+    in the *open* state; after the cooldown one probe request is let
+    through (*half-open*) and success closes the circuit again.
+    """
+
+
 # --------------------------------------------------------------------------
 # substrates
 # --------------------------------------------------------------------------
@@ -103,6 +124,24 @@ class PlatformError(ReproError):
 
 class StorageError(PlatformError):
     """Cloud storage object missing or unreadable."""
+
+
+class TransportError(ReproError):
+    """A network-level failure: dead host, dropped connection, lost message.
+
+    This is the error the resilience layer treats as *retryable*: the
+    operation may never have reached the peer, so retrying (possibly
+    against a replica) is safe for the idempotent SeSeMI protocol ops.
+    """
+
+
+class FaultInjected(TransportError):
+    """A fault deliberately injected by :mod:`repro.faults`.
+
+    Subclasses :class:`TransportError` so injected faults exercise
+    exactly the production recovery paths; the distinct type lets tests
+    assert that a failure was scheduled rather than accidental.
+    """
 
 
 class ModelError(ReproError):

@@ -1,0 +1,185 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan` into
+actual breakage at well-known interception *sites*.
+
+Components on the serving path consult the injector at their natural
+fault points:
+
+- :meth:`FaultInjector.on_wire` wraps every message crossing a channel
+  (client->KeyService, user->SeMIRT, SeMIRT->KeyService): it may drop
+  the message (raising :class:`~repro.errors.FaultInjected`), corrupt
+  one bit (the AEAD layer then rejects it at the receiver), or record a
+  delay;
+- :meth:`FaultInjector.crash_enclave` is consulted per ECALL and tells
+  the SeMIRT host to die mid-call, losing all warm/hot state;
+- :meth:`FaultInjector.step` advances the global request index and fires
+  any *scheduled* faults (shard crash/restart) through registered
+  handlers.
+
+Every injected fault is recorded (and, when a tracer is attached, added
+as an event on the current span) so chaos traces show exactly what broke
+and how the system recovered.  The injector starts *disarmed*: setup
+traffic (registration, key release, deployment) runs fault-free, and the
+workload arms it before the first request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core import wire
+from repro.errors import FaultInjected
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, WIRE_KINDS
+from repro.sim.rand import RandomStreams
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault: what, where, and at which request index."""
+
+    kind: FaultKind
+    site: str
+    request_index: int
+
+    def to_mapping(self) -> dict:
+        """JSON-friendly form for reports."""
+        return {
+            "kind": self.kind.value,
+            "site": self.site,
+            "request_index": self.request_index,
+        }
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically against live sites."""
+
+    def __init__(self, plan: FaultPlan, tracer=None) -> None:
+        self.plan = plan
+        self.tracer = tracer
+        self.records: List[FaultRecord] = []
+        self.armed = False
+        self._rand = RandomStreams(plan.seed)
+        self._request_index = 0
+        self._handlers: Dict[FaultKind, Callable[[FaultEvent], None]] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def arm(self) -> "FaultInjector":
+        """Start injecting (call after fault-free setup); chains."""
+        self.armed = True
+        return self
+
+    def disarm(self) -> "FaultInjector":
+        """Stop injecting (e.g. for a verification epilogue); chains."""
+        self.armed = False
+        return self
+
+    def on(self, kind: FaultKind, handler: Callable[[FaultEvent], None]) -> None:
+        """Register the handler that executes scheduled faults of ``kind``."""
+        self._handlers[kind] = handler
+
+    def step(self) -> List[FaultEvent]:
+        """Advance to the next request; fire its scheduled faults.
+
+        The workload driver calls this once per request.  Returns the
+        events fired so harnesses can log them.
+        """
+        fired: List[FaultEvent] = []
+        if self.armed:
+            for event in self.plan.events_at(self._request_index):
+                handler = self._handlers.get(event.kind)
+                if handler is not None:
+                    handler(event)
+                    self._record(
+                        event.kind,
+                        f"scheduled:{dict(event.params)}",
+                        index=event.at,
+                    )
+                    fired.append(event)
+        self._request_index += 1
+        return fired
+
+    @property
+    def request_index(self) -> int:
+        """The index of the request currently being served."""
+        return max(0, self._request_index - 1)
+
+    # -- probabilistic sites ------------------------------------------------------
+
+    def on_wire(self, site: str, payload: bytes) -> bytes:
+        """Pass ``payload`` across a faulty link at ``site``.
+
+        May raise :class:`FaultInjected` (drop), return a bit-flipped
+        copy (corrupt), or record a delay; usually returns the payload
+        untouched.  Draws come from per-``(site, kind)`` named streams,
+        so adding a new site never perturbs the schedule of existing
+        ones.
+        """
+        if not self.armed:
+            return payload
+        for kind in WIRE_KINDS:
+            rate = self.plan.rate(kind)
+            if rate <= 0.0:
+                continue
+            if self._rand.uniform(f"{site}:{kind.value}") >= rate:
+                continue
+            self._record(kind, site)
+            if kind is FaultKind.WIRE_DROP:
+                raise FaultInjected(f"injected {kind.value} at {site}")
+            if kind is FaultKind.WIRE_CORRUPT:
+                bit = int(self._rand.uniform(f"{site}:corrupt_bit", 0, 8 * 64))
+                return wire.corrupt(payload, bit)
+            # WIRE_DELAY: recorded (and visible in the trace); the
+            # functional twin has no wall-clock to stretch.
+        return payload
+
+    def crash_enclave(self, site: str) -> bool:
+        """True when the enclave at ``site`` must die mid-ECALL now."""
+        if not self.armed:
+            return False
+        rate = self.plan.rate(FaultKind.ENCLAVE_CRASH)
+        if rate <= 0.0:
+            return False
+        if self._rand.uniform(f"{site}:{FaultKind.ENCLAVE_CRASH.value}") >= rate:
+            return False
+        self._record(FaultKind.ENCLAVE_CRASH, site)
+        return True
+
+    # -- accounting ---------------------------------------------------------------
+
+    def _record(
+        self, kind: FaultKind, site: str, index: Optional[int] = None
+    ) -> None:
+        at = index if index is not None else self.request_index
+        self.records.append(FaultRecord(kind, site, at))
+        if self.tracer is not None:
+            span = self.tracer.current_span()
+            if span is not None:
+                span.add_event(f"fault:{kind.value}", site=site)
+            else:
+                # scheduled faults fire between requests: give them a
+                # standalone marker span so the trace still shows them
+                with self.tracer.span(
+                    "fault", kind=kind.value, site=site, request_index=at
+                ) as marker:
+                    marker.add_event(f"fault:{kind.value}", site=site)
+
+    def counts(self) -> Dict[str, int]:
+        """Injected-fault totals by kind (for reports)."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            totals[record.kind.value] = totals.get(record.kind.value, 0) + 1
+        return totals
+
+
+def maybe_wire(
+    injector: Optional[FaultInjector], site: str, payload: bytes
+) -> bytes:
+    """``injector.on_wire`` when an injector is present, else a pass-through.
+
+    Interception sites call this so components stay injector-optional,
+    mirroring :func:`repro.obs.tracer.maybe_span`.
+    """
+    if injector is None:
+        return payload
+    return injector.on_wire(site, payload)

@@ -1,0 +1,147 @@
+"""Deterministic fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is the *complete* description of the failures one
+chaos run will inject: per-site probabilistic wire faults and enclave
+crashes (drawn from seeded named streams, so the schedule is a pure
+function of the seed and the visit order) plus explicitly *scheduled*
+faults -- "kill KeyService shard 1 at request 12, restart it at request
+22" -- keyed by a global request index.  Same seed + same plan therefore
+means the identical fault schedule on every run, which is what makes
+chaos results reproducible enough to gate in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.errors import ConfigError
+from repro.sim.rand import RandomStreams
+
+
+class FaultKind(Enum):
+    """The failure modes the injector knows how to produce."""
+
+    #: abrupt enclave death mid-ECALL: warm/hot SeMIRT state is lost
+    ENCLAVE_CRASH = "enclave_crash"
+    #: a KeyService shard stops answering (host down, enclave gone)
+    SHARD_CRASH = "shard_crash"
+    #: a killed shard comes back, recovering sealed state
+    SHARD_RESTART = "shard_restart"
+    #: a wire message is lost in transit
+    WIRE_DROP = "wire_drop"
+    #: a wire message arrives late (recorded; latency-neutral in wall time)
+    WIRE_DELAY = "wire_delay"
+    #: a wire message arrives with a flipped bit (AEAD must catch it)
+    WIRE_CORRUPT = "wire_corrupt"
+
+
+#: fault kinds that apply probabilistically at wire interception sites
+WIRE_KINDS = (FaultKind.WIRE_DROP, FaultKind.WIRE_DELAY, FaultKind.WIRE_CORRUPT)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` fires just before request ``at``."""
+
+    kind: FaultKind
+    at: int
+    #: kind-specific parameters (e.g. ``{"shard": 1}``)
+    params: Mapping[str, int] = field(default_factory=dict)
+
+    def to_mapping(self) -> dict:
+        """JSON-friendly form (used by reports and the CLI)."""
+        return {"kind": self.kind.value, "at": self.at, "params": dict(self.params)}
+
+
+class FaultPlan:
+    """A seeded, fully deterministic schedule of faults.
+
+    ``rates`` maps a :class:`FaultKind` to its per-opportunity
+    probability (a wire fault is one *opportunity* per message per site;
+    an enclave crash is one opportunity per ECALL).  ``schedule`` lists
+    faults pinned to absolute request indices.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2025,
+        rates: Mapping[FaultKind, float] | None = None,
+        schedule: Iterable[FaultEvent] = (),
+    ) -> None:
+        self.seed = seed
+        self.rates: Dict[FaultKind, float] = dict(rates or {})
+        for kind, rate in self.rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"fault rate for {kind.value} must be in [0,1]")
+        self.schedule: Tuple[FaultEvent, ...] = tuple(
+            sorted(schedule, key=lambda event: (event.at, event.kind.value))
+        )
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        requests: int,
+        wire_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        shard_outages: int = 0,
+        num_shards: int = 0,
+        outage_duration: int = 8,
+        warmup: int = 2,
+        target_shard: int | None = None,
+    ) -> "FaultPlan":
+        """Derive a complete plan from one seed.
+
+        Wire faults split ``wire_rate`` evenly across drop/delay/corrupt;
+        ``shard_outages`` crash/restart cycles are placed uniformly over
+        the request range (after ``warmup`` requests, so key setup and
+        the first cold start are never starved), each shard drawn
+        uniformly from ``num_shards`` -- or pinned to ``target_shard``
+        when the harness wants the outage to hit a specific shard (e.g.
+        the user's primary, so failover is actually on the critical
+        path).
+        """
+        if shard_outages and num_shards < 1:
+            raise ConfigError("shard outages need num_shards >= 1")
+        rates: Dict[FaultKind, float] = {}
+        if wire_rate:
+            for kind in WIRE_KINDS:
+                rates[kind] = wire_rate / len(WIRE_KINDS)
+        if crash_rate:
+            rates[FaultKind.ENCLAVE_CRASH] = crash_rate
+        schedule: List[FaultEvent] = []
+        rand = RandomStreams(seed)
+        horizon = max(requests - outage_duration, warmup + 1)
+        for _ in range(shard_outages):
+            at = int(rand.uniform("outage_at", warmup, horizon))
+            if target_shard is not None:
+                shard = target_shard
+            else:
+                shard = int(rand.uniform("outage_shard", 0, num_shards))
+            schedule.append(
+                FaultEvent(FaultKind.SHARD_CRASH, at, {"shard": shard})
+            )
+            schedule.append(
+                FaultEvent(
+                    FaultKind.SHARD_RESTART, at + outage_duration, {"shard": shard}
+                )
+            )
+        return cls(seed=seed, rates=rates, schedule=schedule)
+
+    def rate(self, kind: FaultKind) -> float:
+        """The per-opportunity probability of ``kind`` (0 when unset)."""
+        return self.rates.get(kind, 0.0)
+
+    def events_at(self, index: int) -> Tuple[FaultEvent, ...]:
+        """Scheduled faults that fire just before request ``index``."""
+        return tuple(event for event in self.schedule if event.at == index)
+
+    def to_mapping(self) -> dict:
+        """JSON-friendly form: seed, rates, and the full schedule."""
+        return {
+            "seed": self.seed,
+            "rates": {kind.value: rate for kind, rate in self.rates.items()},
+            "schedule": [event.to_mapping() for event in self.schedule],
+        }

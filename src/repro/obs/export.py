@@ -6,8 +6,10 @@ Two formats cover the two consumers:
   for archiving runs and for the exporter round-trip tests;
 - :func:`to_chrome_trace` -- the Trace Event Format understood by
   ``chrome://tracing`` and Perfetto: one *complete* (``"ph": "X"``) event
-  per finished span, one row (``tid``) per trace, timestamps in
-  microseconds.  ``python -m repro trace <experiment>`` writes this.
+  per finished span plus one *instant* (``"ph": "i"``) event per span
+  event (injected faults, retries, failovers), one row (``tid``) per
+  trace, timestamps in microseconds.  ``python -m repro trace
+  <experiment>`` writes this.
 """
 
 from __future__ import annotations
@@ -86,6 +88,25 @@ def to_chrome_trace(
                 },
             }
         )
+        for event in span.events:
+            events.append(
+                {
+                    "name": event["name"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event["at"] * 1e6,
+                    "pid": 1,
+                    "tid": tid_of[span.trace_id],
+                    "args": {
+                        "span_id": span.span_id,
+                        **{
+                            k: _jsonable(v)
+                            for k, v in event.get("attributes", {}).items()
+                        },
+                    },
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

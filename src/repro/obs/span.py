@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import SeSeMIError
 
@@ -48,6 +48,30 @@ class SimClock(Clock):
         return self._sim.now
 
 
+class LogicalClock(Clock):
+    """A deterministic logical clock: every read advances time one tick.
+
+    Used by the chaos experiments, where wall-clock durations would make
+    results non-reproducible: with a logical clock a span's duration is
+    the number of timed operations on its critical path, so retries,
+    re-attestations, and failovers *lengthen* requests deterministically
+    and the latency numbers are bit-identical across runs.
+    """
+
+    def __init__(self) -> None:
+        self._ticks = 0
+
+    def now(self) -> float:
+        """The next tick (reading the clock advances it)."""
+        self._ticks += 1
+        return float(self._ticks)
+
+    @property
+    def ticks(self) -> int:
+        """Ticks handed out so far (introspection; does not advance)."""
+        return self._ticks
+
+
 @dataclass(frozen=True)
 class SpanContext:
     """The propagatable identity of a span: which trace, which span."""
@@ -76,6 +100,8 @@ class Span:
     end_time: Optional[float] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
     status: str = "ok"
+    #: point-in-time occurrences within the span (retries, faults, ...)
+    events: List[Dict[str, Any]] = field(default_factory=list)
     _tracer: Any = field(default=None, repr=False, compare=False)
 
     @property
@@ -110,6 +136,19 @@ class Span:
         self.attributes.update(attributes)
         return self
 
+    def add_event(self, name: str, **attributes: Any) -> "Span":
+        """Record a point-in-time event inside the span.
+
+        Events mark occurrences that have no duration of their own --
+        an injected fault, a retry, a circuit opening, a failover to a
+        replica -- and surface as instant events in the Chrome trace.
+        The timestamp comes from the owning tracer's clock; detached
+        spans stamp the event at the span start.
+        """
+        at = self._tracer.clock.now() if self._tracer is not None else self.start
+        self.events.append({"name": name, "at": at, "attributes": dict(attributes)})
+        return self
+
     def end(self, end_time: Optional[float] = None, status: str = "ok") -> "Span":
         """Close the span (idempotent calls are an error)."""
         if self.end_time is not None:
@@ -132,6 +171,7 @@ class Span:
             "end": self.end_time,
             "status": self.status,
             "attributes": dict(self.attributes),
+            "events": [dict(event) for event in self.events],
         }
 
     @classmethod
@@ -147,4 +187,5 @@ class Span:
             end_time=data.get("end"),
             status=data.get("status", "ok"),
             attributes=dict(data.get("attributes", {})),
+            events=[dict(event) for event in data.get("events", [])],
         )

@@ -32,6 +32,7 @@ from repro.sgx.attestation import (
 )
 from repro.sgx.enclave import Enclave, EnclaveBuildConfig, EnclaveCode
 from repro.sgx.epc import GB, MB, EpcManager
+from repro.sgx.sealing import SealingService
 
 _platform_ids = itertools.count(1)
 
@@ -136,6 +137,10 @@ class SgxPlatform:
         self.platform_id = platform_id or f"{profile.name}-node-{next(_platform_ids)}"
         self.epc = EpcManager(profile.epc_bytes)
         attestation_key = SigningKey.generate()
+        #: the platform's sealing-key derivation (the fused CPU root):
+        #: enclaves on this machine seal state that only the same
+        #: enclave identity on the same machine can recover
+        self.sealing = SealingService()
         self._quoting_enclave = QuotingEnclave(profile.attestation, attestation_key)
         if attestation_service is not None:
             attestation_service.provision_platform(self.platform_id, attestation_key)

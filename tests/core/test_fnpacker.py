@@ -142,3 +142,33 @@ def test_dispatch_complete_conservation_property(events):
     for state in router._endpoints.values():
         assert state.pending == 0
     assert all(v == 0 for v in router._model_pending.values())
+
+
+def test_dead_endpoint_receives_no_traffic():
+    """Routing skips unhealthy invokers, even for pinned models."""
+    router = FnPackerRouter(make_pool())
+    first = router.route("m0", now=0.0)
+    router.on_dispatch(first, "m0", now=0.0)
+    router.mark_endpoint_down(first)
+    rerouted = router.route("m0", now=1.0)
+    assert rerouted != first
+    # the pin died with the invoker: pending/exclusivity were cleared
+    assert first not in router.exclusive_assignments()
+
+
+def test_recovered_endpoint_returns_to_rotation():
+    router = FnPackerRouter(make_pool(num_endpoints=1))
+    (only,) = [name for name, _ in router.endpoints()]
+    router.mark_endpoint_down(only)
+    with pytest.raises(RoutingError):
+        router.route("m0", now=0.0)
+    router.mark_endpoint_up(only)
+    assert router.route("m0", now=0.0) == only
+
+
+def test_all_endpoints_down_is_a_routing_error():
+    router = FnPackerRouter(make_pool())
+    for name, _ in router.endpoints():
+        router.mark_endpoint_down(name)
+    with pytest.raises(RoutingError):
+        router.route("m1", now=0.0)

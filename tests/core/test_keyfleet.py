@@ -93,3 +93,102 @@ def test_key_rotation_invalidates_stale_keys(tiny_model, tiny_input):
     reloaded = env.infer(user, semirt, "rotating", tiny_input)
     assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
     assert np.allclose(reloaded, before, atol=1e-5)
+
+
+def test_shard_assignment_stable_across_fleet_instances():
+    """Same fleet size => same placement, even on a different fleet."""
+    first = KeyServiceFleet(3, AttestationService())
+    second = KeyServiceFleet(3, AttestationService())
+    for pid in ("ab" * 32, "01" * 32, "fe" * 32):
+        assert first.shard_index_for(pid) == second.shard_index_for(pid)
+
+
+def test_homes_are_primary_plus_next_shard(fleet):
+    _, ks_fleet = fleet
+    pid = "ab" * 32
+    primary = ks_fleet.shard_index_for(pid)
+    assert ks_fleet.homes_for(pid) == [primary, (primary + 1) % 3]
+
+
+def test_single_shard_fleet_has_one_home():
+    lone = KeyServiceFleet(1, AttestationService())
+    assert lone.homes_for("ab" * 32) == [lone.shard_index_for("ab" * 32)]
+
+
+def test_sealed_records_survive_shard_kill_and_restart():
+    """Kill/restart of a shard round-trips its stores through sealing."""
+    attestation = AttestationService()
+    ks_fleet = KeyServiceFleet(2, attestation)
+    owner = OwnerClient("sealed-owner")
+    home_index = ks_fleet.shard_index_for(owner.identity_key.fingerprint)
+    shard = ks_fleet.shards[home_index]
+    owner.connect(shard, attestation, ks_fleet.measurement)
+    owner.register()
+    assert shard.code.registered_principals == 1
+
+    ks_fleet.kill_shard(home_index)
+    assert not shard.alive
+    with pytest.raises(Exception):
+        owner.connection.call({"op": "register", "identity_key": b"x" * 16})
+
+    ks_fleet.restart_shard(home_index)
+    assert shard.alive
+    # the restarted enclave recovered the sealed stores...
+    assert shard.code.registered_principals == 1
+    # ...and the owner can re-attest and operate again (old channel died
+    # with the enclave, so a fresh connection is required)
+    owner.connect(shard, attestation, ks_fleet.measurement)
+    reply = owner.connection.call(
+        {"op": "register", "identity_key": bytes(owner.identity_key)}
+    )
+    assert reply["ok"] and reply["id"] == owner.identity_key.fingerprint
+
+
+def test_sealed_checkpoint_rejected_on_foreign_platform():
+    """A checkpoint sealed by shard A cannot restore into shard B."""
+    from repro.errors import SealingError
+
+    ks_fleet = KeyServiceFleet(2, AttestationService())
+    sealed = ks_fleet.shards[0].snapshot()
+    with pytest.raises(SealingError):
+        ks_fleet.shards[1].enclave.ecall("EC_RESTORE_STATE", sealed)
+
+
+def test_failover_endpoint_reroutes_after_primary_death(fleet):
+    """Handshakes land on the replica once the primary shard dies."""
+    from repro.core.keyfleet import FailoverEndpoint
+    from repro.errors import TransportError
+
+    attestation = AttestationService()
+    ks_fleet = KeyServiceFleet(2, attestation)
+    owner = OwnerClient("failover-owner")
+    pid = owner.identity_key.fingerprint
+    primary, replica = ks_fleet.homes_for(pid)
+    endpoint = FailoverEndpoint(ks_fleet, pid)
+
+    owner.connect(endpoint, attestation, ks_fleet.measurement)
+    owner.register()
+    assert ks_fleet.shards[primary].code.registered_principals == 1
+
+    ks_fleet.kill_shard(primary)
+    # the established channel lived inside the dead enclave
+    with pytest.raises(TransportError):
+        owner.connection.call({"op": "register", "identity_key": b"x" * 16})
+    # a fresh handshake transparently lands on the replica
+    owner.connect(endpoint, attestation, ks_fleet.measurement)
+    owner.register()
+    assert endpoint.failovers == 1
+    assert ks_fleet.shards[replica].code.registered_principals == 1
+
+
+def test_all_homes_down_is_a_transport_error():
+    from repro.core.keyfleet import FailoverEndpoint
+    from repro.errors import TransportError
+
+    ks_fleet = KeyServiceFleet(2, AttestationService())
+    pid = "ab" * 32
+    for index in ks_fleet.homes_for(pid):
+        ks_fleet.kill_shard(index)
+    endpoint = FailoverEndpoint(ks_fleet, pid)
+    with pytest.raises(TransportError):
+        endpoint.handshake({})

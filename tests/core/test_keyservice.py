@@ -152,6 +152,15 @@ def test_client_detects_wrong_keyservice_identity(ks):
 
 
 def test_keyservice_ecall_surface_is_minimal(ks):
-    """Only the two network-facing ECALLs are exported."""
+    """Only the network-facing pair plus the sealed-checkpoint pair export.
+
+    EC_SEAL_STATE/EC_RESTORE_STATE expose no secrets to the host: they
+    speak only sealed ciphertext bound to the enclave identity.
+    """
     _, host = ks
-    assert host.enclave.exported_ecalls == {"EC_HANDSHAKE", "EC_REQUEST"}
+    assert host.enclave.exported_ecalls == {
+        "EC_HANDSHAKE",
+        "EC_REQUEST",
+        "EC_SEAL_STATE",
+        "EC_RESTORE_STATE",
+    }

@@ -1,0 +1,90 @@
+"""FaultInjector: deterministic execution of a plan at live sites."""
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.faults.injector import FaultInjector, maybe_wire
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.obs.span import LogicalClock
+from repro.obs.tracer import Tracer
+
+
+def test_disarmed_injector_is_a_passthrough():
+    injector = FaultInjector(FaultPlan(rates={FaultKind.WIRE_DROP: 1.0}))
+    assert injector.on_wire("site", b"payload") == b"payload"
+    assert injector.crash_enclave("site") is False
+    assert injector.records == []
+
+
+def test_wire_drop_raises_fault_injected():
+    injector = FaultInjector(FaultPlan(rates={FaultKind.WIRE_DROP: 1.0})).arm()
+    with pytest.raises(FaultInjected):
+        injector.on_wire("a->b", b"payload")
+    assert injector.counts() == {"wire_drop": 1}
+
+
+def test_wire_corrupt_flips_exactly_one_bit():
+    injector = FaultInjector(FaultPlan(rates={FaultKind.WIRE_CORRUPT: 1.0})).arm()
+    payload = bytes(64)
+    mutated = injector.on_wire("a->b", payload)
+    assert mutated != payload
+    delta = [x ^ y for x, y in zip(payload, mutated)]
+    assert sum(bin(d).count("1") for d in delta) == 1
+
+
+def test_wire_faults_are_deterministic_per_site():
+    plan = FaultPlan(seed=3, rates={FaultKind.WIRE_DROP: 0.5})
+
+    def observe():
+        injector = FaultInjector(plan).arm()
+        outcomes = []
+        for _ in range(20):
+            try:
+                injector.on_wire("a->b", b"x")
+                outcomes.append("ok")
+            except FaultInjected:
+                outcomes.append("drop")
+        return outcomes
+
+    assert observe() == observe()
+    assert "drop" in observe() and "ok" in observe()
+
+
+def test_scheduled_events_fire_at_their_request_index():
+    fired = []
+    plan = FaultPlan(
+        schedule=[FaultEvent(FaultKind.SHARD_CRASH, 2, {"shard": 1})]
+    )
+    injector = FaultInjector(plan).arm()
+    injector.on(FaultKind.SHARD_CRASH, lambda event: fired.append(event.at))
+    for _ in range(4):
+        injector.step()
+    assert fired == [2]
+    (record,) = injector.records
+    assert record.request_index == 2
+
+
+def test_crash_enclave_records_site():
+    injector = FaultInjector(
+        FaultPlan(rates={FaultKind.ENCLAVE_CRASH: 1.0})
+    ).arm()
+    assert injector.crash_enclave("semirt") is True
+    (record,) = injector.records
+    assert record.kind is FaultKind.ENCLAVE_CRASH
+    assert record.site == "semirt"
+
+
+def test_injected_faults_become_span_events():
+    tracer = Tracer(service="t", clock=LogicalClock())
+    injector = FaultInjector(
+        FaultPlan(rates={FaultKind.WIRE_CORRUPT: 1.0}), tracer=tracer
+    ).arm()
+    with tracer.span("request"):
+        injector.on_wire("a->b", b"payload")
+    (span,) = tracer.finished_spans()
+    assert [event["name"] for event in span.events] == ["fault:wire_corrupt"]
+    assert span.events[0]["attributes"]["site"] == "a->b"
+
+
+def test_maybe_wire_without_injector_is_identity():
+    assert maybe_wire(None, "a->b", b"payload") == b"payload"

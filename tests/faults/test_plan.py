@@ -1,0 +1,74 @@
+"""FaultPlan: seeded schedules are validated, sorted, and reproducible."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, WIRE_KINDS
+
+
+def test_rates_validated():
+    with pytest.raises(ConfigError):
+        FaultPlan(rates={FaultKind.WIRE_DROP: 1.5})
+
+
+def test_schedule_sorted_by_index():
+    plan = FaultPlan(
+        schedule=[
+            FaultEvent(FaultKind.SHARD_RESTART, 9, {"shard": 0}),
+            FaultEvent(FaultKind.SHARD_CRASH, 3, {"shard": 0}),
+        ]
+    )
+    assert [event.at for event in plan.schedule] == [3, 9]
+
+
+def test_events_at_filters_by_index():
+    plan = FaultPlan(
+        schedule=[
+            FaultEvent(FaultKind.SHARD_CRASH, 3, {"shard": 1}),
+            FaultEvent(FaultKind.SHARD_RESTART, 9, {"shard": 1}),
+        ]
+    )
+    assert [e.kind for e in plan.events_at(3)] == [FaultKind.SHARD_CRASH]
+    assert plan.events_at(4) == ()
+
+
+def test_from_seed_is_deterministic():
+    kwargs = dict(
+        requests=40, wire_rate=0.1, crash_rate=0.02,
+        shard_outages=2, num_shards=3,
+    )
+    first = FaultPlan.from_seed(7, **kwargs)
+    second = FaultPlan.from_seed(7, **kwargs)
+    assert first.to_mapping() == second.to_mapping()
+    assert FaultPlan.from_seed(8, **kwargs).to_mapping() != first.to_mapping()
+
+
+def test_from_seed_splits_wire_rate():
+    plan = FaultPlan.from_seed(1, requests=10, wire_rate=0.3)
+    for kind in WIRE_KINDS:
+        assert plan.rate(kind) == pytest.approx(0.1)
+    assert plan.rate(FaultKind.ENCLAVE_CRASH) == 0.0
+
+
+def test_from_seed_outages_come_in_crash_restart_pairs():
+    plan = FaultPlan.from_seed(
+        5, requests=30, shard_outages=1, num_shards=2, outage_duration=6
+    )
+    kinds = [event.kind for event in plan.schedule]
+    assert kinds == [FaultKind.SHARD_CRASH, FaultKind.SHARD_RESTART]
+    crash, restart = plan.schedule
+    assert restart.at == crash.at + 6
+    assert crash.params["shard"] == restart.params["shard"]
+    assert crash.at >= 2  # warmup protected
+
+
+def test_from_seed_target_shard_pins_outage():
+    plan = FaultPlan.from_seed(
+        5, requests=30, shard_outages=1, num_shards=4, target_shard=3
+    )
+    assert all(event.params["shard"] == 3 for event in plan.schedule)
+
+
+def test_from_seed_requires_shards_for_outages():
+    with pytest.raises(ConfigError):
+        FaultPlan.from_seed(1, requests=10, shard_outages=1, num_shards=0)
