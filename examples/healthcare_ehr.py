@@ -30,36 +30,41 @@ def patient_record(seed: int, shape) -> np.ndarray:
 
 def main() -> None:
     env = SeSeMIEnvironment()
-    hospital = env.connect_owner("hospital")
 
     # The hospital deploys its diagnostic model, encrypted.
     model = build_densenet()
-    semirt = env.launch_semirt("tvm")
-    hospital.deploy_model(model, "diagnosis-v1", env.storage)
-    hospital.add_model_key("diagnosis-v1")
+    handle = env.deploy(model, "diagnosis-v1", owner="hospital")
     print("hospital deployed encrypted model 'diagnosis-v1'")
 
+    # One warm runtime instance serves every session below.
+    semirt = env.launch_semirt("tvm")
+
     # Three authorised principals, each with their own request key.
-    principals = {
-        name: env.connect_user(name) for name in ("patient-ana", "patient-bo", "dr-lee")
-    }
-    for name, principal in principals.items():
-        hospital.grant_access("diagnosis-v1", semirt.measurement, principal.principal_id)
-        principal.add_request_key("diagnosis-v1", semirt.measurement)
+    names = ("patient-ana", "patient-bo", "dr-lee")
+    for name in names:
+        handle.grant(name)
         print(f"  granted {name} access (request key released for E_S only)")
 
     # Each principal runs inference on their own confidential record.
-    for seed, (name, principal) in enumerate(principals.items()):
+    for seed, name in enumerate(names):
         record = patient_record(seed, model.input_spec.shape)
-        scores = env.infer(principal, semirt, "diagnosis-v1", record)
+        with env.session(name, "diagnosis-v1", semirt=semirt) as session:
+            scores = session.infer(record)
         print(f"{name}: diagnosis scores {np.round(scores[:3], 3)}...")
 
+    # The doctor reviews a whole batch in one session; the scheduler
+    # pipelines the requests across the enclave's TCS slots.
+    batch = [patient_record(10 + i, model.input_spec.shape) for i in range(4)]
+    with env.session("dr-lee", "diagnosis-v1", semirt=semirt) as session:
+        results = session.infer_many(batch)
+    print(f"dr-lee: reviewed a batch of {len(results)} studies")
+
     # --- threat 1: an unauthorised user ---
-    mallory = env.connect_user("mallory")
-    mallory.add_request_key("diagnosis-v1", semirt.measurement)
+    env.connect_user("mallory")
     record = patient_record(99, model.input_spec.shape)
     try:
-        env.infer(mallory, semirt, "diagnosis-v1", record)
+        with env.session("mallory", "diagnosis-v1", semirt=semirt) as session:
+            session.infer(record)
     except AccessDenied as exc:
         print(f"mallory denied: {exc}")
 
@@ -70,11 +75,10 @@ def main() -> None:
         isolation=IsolationSettings(key_cache=False),  # different build!
     )
     assert rogue.measurement != semirt.measurement
-    enc = principals["patient-ana"].encrypt_request(
-        "diagnosis-v1", semirt.measurement, record
-    )
+    ana = env.user("patient-ana")
+    enc = ana.encrypt_request("diagnosis-v1", semirt.measurement, record)
     try:
-        rogue.infer(enc, principals["patient-ana"].principal_id, "diagnosis-v1")
+        rogue.infer(enc, ana.principal_id, "diagnosis-v1")
     except AccessDenied as exc:
         print(f"rogue enclave build denied: {exc}")
 
@@ -85,13 +89,11 @@ def main() -> None:
     print("cloud-visible artifact and request are ciphertext only")
 
     # --- revocation ---
-    hospital.revoke_access(
-        "diagnosis-v1", semirt.measurement, principals["patient-bo"].principal_id
-    )
+    handle.revoke("patient-bo")
     fresh = env.launch_semirt("tvm", node_id="scale-out-node")
-    principals["patient-bo"].add_request_key("diagnosis-v1", fresh.measurement)
     try:
-        env.infer(principals["patient-bo"], fresh, "diagnosis-v1", record)
+        with env.session("patient-bo", "diagnosis-v1", semirt=fresh) as session:
+            session.infer(record)
     except AccessDenied:
         print("patient-bo's access revoked: new enclaves refuse to serve them")
 

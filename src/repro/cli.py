@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     chaos,
+    concurrency,
     fig8,
     fig9,
     fig10,
@@ -152,6 +153,16 @@ def _run_chaos() -> dict:
     return chaos.run(quick=True)
 
 
+@experiment(
+    "concurrency",
+    "TCS scheduler: 1- vs 4-TCS hot-path throughput + queue-depth sweep",
+    concurrency.format_report,
+)
+def _run_concurrency() -> dict:
+    """The wall-clock concurrency benchmark with its default knobs."""
+    return concurrency.run()
+
+
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
 def _trace_fig8() -> list:
     """Span dump of one virtual-time cold request (MBNET on TVM)."""
@@ -170,6 +181,12 @@ def _trace_fig17() -> list:
 def _trace_chaos() -> list:
     """Span dump of one deterministic chaos run (logical-clock time)."""
     return chaos.collect_trace()
+
+
+@trace_source("concurrency", "a paced 4-TCS batch with overlapping ECALL spans")
+def _trace_concurrency() -> list:
+    """Span dump of one small multi-TCS batch (wall time)."""
+    return concurrency.collect_trace()
 
 
 @trace_source("session", "a functional cold+hot inference via the session API")
@@ -271,6 +288,18 @@ def _cmd_chaos(seed: int, requests: int, quick: bool, as_json: bool) -> int:
     return 0
 
 
+def _cmd_concurrency(
+    requests: int, paced_ms: float, as_json: bool
+) -> int:
+    """Run the TCS-scheduler benchmark (``repro concurrency``)."""
+    result = concurrency.run(requests=requests, paced_ms=paced_ms)
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(concurrency.format_report(result))
+    return 0
+
+
 def _cmd_report(path: str) -> int:
     from repro.experiments.report import build_report
 
@@ -324,6 +353,20 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the raw result as sorted JSON (byte-stable per seed)",
     )
+    conc_parser = sub.add_parser(
+        "concurrency", help="run the TCS-scheduler throughput benchmark"
+    )
+    conc_parser.add_argument(
+        "--requests", type=int, default=24, help="batch size per throughput run"
+    )
+    conc_parser.add_argument(
+        "--paced-ms", type=float, default=50.0,
+        help="per-request service-time floor in ms (0 disables pacing)",
+    )
+    conc_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result dict as JSON",
+    )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
@@ -335,6 +378,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args.name, args.out)
     if args.command == "chaos":
         return _cmd_chaos(args.seed, args.requests, args.quick, args.json)
+    if args.command == "concurrency":
+        return _cmd_concurrency(args.requests, args.paced_ms, args.json)
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

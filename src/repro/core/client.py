@@ -39,6 +39,7 @@ class KeyServiceConnection:
         attestation: AttestationService,
         expected_measurement: EnclaveMeasurement,
         name: str = "client",
+        *,
         tracer=None,
         injector=None,
     ) -> None:
@@ -90,6 +91,7 @@ class _Principal:
     def __init__(
         self,
         name: str,
+        *,
         tracer=None,
         identity_key: Optional[SymmetricKey] = None,
     ) -> None:
@@ -111,6 +113,7 @@ class _Principal:
         keyservice_host,
         attestation: AttestationService,
         expected_measurement: EnclaveMeasurement,
+        *,
         injector=None,
     ) -> None:
         """Attest KeyService and open a secure channel."""
@@ -147,6 +150,7 @@ class OwnerClient(_Principal):
     def __init__(
         self,
         name: str = "owner",
+        *,
         tracer=None,
         identity_key: Optional[SymmetricKey] = None,
     ) -> None:
@@ -223,6 +227,7 @@ class UserClient(_Principal):
     def __init__(
         self,
         name: str = "user",
+        *,
         tracer=None,
         identity_key: Optional[SymmetricKey] = None,
     ) -> None:

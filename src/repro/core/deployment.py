@@ -10,22 +10,21 @@ walks the three workflow stages of Section III:
 3. *request serving*: users encrypt requests, SeMIRT enclaves fetch keys
    via mutual attestation and execute inference.
 
-The preferred surface is the **session API**::
+The surface is the **session API**::
 
     env = SeSeMIEnvironment()
     handle = env.deploy(model, "ehr-model", owner="hospital")
     handle.grant("alice")
     with env.session("alice", "ehr-model") as session:
         y = session.infer(x)
+        ys = session.infer_many(xs)   # keeps a multi-TCS enclave full
 
 Every ``session.infer`` call produces a full span tree on
 ``env.tracer`` -- the first (cold) call covers all nine Figure-4 serving
 stages, from sandbox/enclave start through result encryption.
-
-The older surface (static :meth:`SeSeMIEnvironment.infer`, five-argument
-:meth:`SeSeMIEnvironment.authorize`, manual ``launch_semirt`` /
-``expected_semirt`` pairing) is kept as thin deprecated shims so
-existing examples and tests migrate incrementally.
+:meth:`UserSession.infer_many` pipelines requests through the SeMIRT
+TCS-slot scheduler (``docs/concurrency.md``), keeping up to
+``tcs_count`` requests in flight.
 
 This is the object the examples and integration tests build on.  It is
 fully functional (real crypto, real models); the *performance* twin lives
@@ -34,8 +33,8 @@ in :mod:`repro.core.simbridge`.
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Optional, Union
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,12 +42,13 @@ from repro.core.client import OwnerClient, UserClient
 from repro.core.keyservice import KEYSERVICE_CONFIG, KeyServiceHost
 from repro.core.semirt import (
     IsolationSettings,
+    SchedulerConfig,
     SemirtHost,
     default_semirt_config,
     expected_semirt_measurement,
 )
 from repro.core.stages import Stage
-from repro.errors import SeSeMIError
+from repro.errors import QueueFull, SeSeMIError
 from repro.faults.injector import maybe_wire
 from repro.faults.resilience import (
     CircuitBreaker,
@@ -136,6 +136,14 @@ class UserSession:
     :meth:`infer` (the cold start -- sandbox + enclave creation happen
     *inside* the traced request, so the cold span tree covers all nine
     Figure-4 stages) and reuses it afterwards (warm/hot paths).
+
+    Passing a pre-launched ``semirt`` host instead *attaches* the
+    session to a shared instance -- how several users multiplex one
+    multi-TCS enclave.  The session still derives the expected enclave
+    identity from ``(framework, config, isolation)`` and encrypts for
+    that measurement: an attached host is never *trusted*, only used.
+    Attached hosts are not torn down by :meth:`close`; if one dies, the
+    session falls back to launching its own instance cold.
     """
 
     def __init__(
@@ -147,6 +155,8 @@ class UserSession:
         node_id: str = "worker-node",
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
+        scheduler: Optional[SchedulerConfig] = None,
+        semirt: Optional[SemirtHost] = None,
     ) -> None:
         if user.principal_id is None:
             raise SeSeMIError("user must be registered first")
@@ -157,11 +167,13 @@ class UserSession:
         self.node_id = node_id
         self.config = config
         self.isolation = isolation
+        self.scheduler = scheduler
         #: the enclave identity requests are encrypted for
         self.measurement: EnclaveMeasurement = env.expected_semirt(
             framework, config, isolation
         )
-        self._semirt: Optional[SemirtHost] = None
+        self._semirt: Optional[SemirtHost] = semirt
+        self._owns_semirt = semirt is None
         self._caller: Optional[ResilientCaller] = None
 
     @property
@@ -221,10 +233,89 @@ class UserSession:
                 )
         return result
 
+    def infer_many(
+        self, xs: Sequence[np.ndarray], window: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Serve a batch, keeping up to ``window`` requests in flight.
+
+        Each input is encrypted and :meth:`SemirtHost.submit`-ted to the
+        TCS-slot scheduler; results are collected oldest-first so at most
+        ``window`` tickets (default: the enclave's ``tcs_count``) are
+        outstanding.  On :class:`~repro.errors.QueueFull` the oldest
+        in-flight ticket is drained and the submit retried, so the batch
+        absorbs its own backpressure.  Outputs come back in input order.
+
+        The batch runs under one ``request_batch`` root span; the
+        per-request ECALL spans (carrying ``tcs_slot`` / ``queue_wait``)
+        parent under it from the scheduler workers.  Unlike
+        :meth:`infer`, the batch path does **not** run under the
+        resilience layer -- a mid-batch failure re-raises from the
+        failing ticket's :meth:`~repro.core.semirt.InferenceTicket.result`.
+        """
+        tracer = self._env.tracer
+        injector = self._env.injector
+        with maybe_span(
+            tracer,
+            "request_batch",
+            model_id=self.model_id,
+            user_id=self.user.principal_id,
+            node_id=self.node_id,
+            count=len(xs),
+        ) as root:
+            if self._semirt is not None and not self._semirt.enclave.alive:
+                self._semirt = None
+            cold = self._semirt is None
+            if cold:
+                self._launch(tracer)
+            semirt = self._semirt
+            if window is None:
+                window = semirt.enclave.config.tcs_count
+            window = max(1, window)
+            results: List[Optional[np.ndarray]] = [None] * len(xs)
+            in_flight: deque = deque()  # (input index, ticket)
+
+            def collect_oldest() -> None:
+                idx, ticket = in_flight.popleft()
+                enc_response = maybe_wire(
+                    injector, "semirt->user", ticket.result()
+                )
+                results[idx] = self.user.decrypt_response(
+                    self.model_id, self.measurement, enc_response
+                )
+
+            for idx, x in enumerate(xs):
+                enc_request = maybe_wire(
+                    injector,
+                    "user->semirt",
+                    self.user.encrypt_request(self.model_id, self.measurement, x),
+                )
+                while len(in_flight) >= window:
+                    collect_oldest()
+                while True:
+                    try:
+                        ticket = semirt.submit(
+                            enc_request, self.user.principal_id, self.model_id
+                        )
+                        break
+                    except QueueFull:
+                        if not in_flight:
+                            raise
+                        collect_oldest()
+                in_flight.append((idx, ticket))
+            while in_flight:
+                collect_oldest()
+            if root is not None:
+                root.set_attributes(
+                    flavor="cold" if cold else "batch",
+                    enclave_id=self.measurement.value,
+                    window=window,
+                )
+        return results
+
     def _attempt(self, x: np.ndarray, root) -> np.ndarray:
         """One serving attempt: (re)launch if needed, encrypt/serve/decrypt."""
         tracer = self._env.tracer
-        injector = self._env.fault_injector
+        injector = self._env.injector
         if self._semirt is not None and not self._semirt.enclave.alive:
             # the instance crashed under us: relaunch cold on this attempt
             self._semirt = None
@@ -282,15 +373,21 @@ class UserSession:
             attestation=self._env.attestation,
             config=self.config or default_semirt_config(),
             isolation=self.isolation,
+            scheduler=self.scheduler,
             tracer=tracer,
-            injector=self._env.fault_injector,
+            injector=self._env.injector,
         )
+        self._owns_semirt = True
 
     def close(self) -> None:
-        """Tear down the SeMIRT instance (sandbox reclaim)."""
-        if self._semirt is not None:
+        """Tear down an owned SeMIRT instance (sandbox reclaim).
+
+        Attached (shared) hosts are left running -- they belong to
+        whoever launched them.
+        """
+        if self._semirt is not None and self._owns_semirt:
             self._semirt.destroy()
-            self._semirt = None
+        self._semirt = None
 
     def __enter__(self) -> "UserSession":
         """Context-manager entry: the session itself."""
@@ -310,8 +407,8 @@ class SeSeMIEnvironment:
     :class:`~repro.core.keyfleet.KeyServiceFleet`) can be passed as
     ``keyservice`` instead, together with the ``attestation`` service it
     was provisioned against.  A
-    :class:`~repro.faults.FaultInjector` threads into every wire and
-    crash site on the serving path, and an enabled
+    :class:`~repro.faults.FaultInjector` passed as ``injector`` threads
+    into every wire and crash site on the serving path, and an enabled
     :class:`~repro.faults.resilience.ResiliencePolicy` turns on
     deadline/retry/breaker handling in :meth:`UserSession.infer`.
     """
@@ -319,10 +416,11 @@ class SeSeMIEnvironment:
     def __init__(
         self,
         hardware: HardwareProfile = SGX2,
+        *,
         tracer: Optional[Tracer] = None,
         attestation: Optional[AttestationService] = None,
         keyservice=None,
-        fault_injector=None,
+        injector=None,
         resilience=None,
     ) -> None:
         #: wall-clock tracer shared by every component in the environment
@@ -344,7 +442,7 @@ class SeSeMIEnvironment:
             self.keyservice_platform = getattr(keyservice, "platform", None)
             self.keyservice = keyservice
         #: optional :class:`repro.faults.FaultInjector` shared by all sites
-        self.fault_injector = fault_injector
+        self.injector = injector
         #: optional :class:`repro.faults.resilience.ResiliencePolicy`
         self.resilience = resilience
         self.hardware = hardware
@@ -374,7 +472,7 @@ class SeSeMIEnvironment:
         owner = OwnerClient(name, tracer=self.tracer)
         owner.connect(
             self.keyservice, self.attestation, self.keyservice.measurement,
-            injector=self.fault_injector,
+            injector=self.injector,
         )
         owner.register()
         self._owners[name] = owner
@@ -385,7 +483,7 @@ class SeSeMIEnvironment:
         user = UserClient(name, tracer=self.tracer)
         user.connect(
             self.keyservice, self.attestation, self.keyservice.measurement,
-            injector=self.fault_injector,
+            injector=self.injector,
         )
         user.register()
         self._users[name] = user
@@ -424,7 +522,7 @@ class SeSeMIEnvironment:
         client = self._users.get(name)
         return client if client is not None else self.connect_user(name)
 
-    # -- session API (preferred) -------------------------------------------------
+    # -- session API -------------------------------------------------------------
 
     def deploy(
         self,
@@ -456,8 +554,15 @@ class SeSeMIEnvironment:
         node_id: str = "worker-node",
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
+        scheduler: Optional[SchedulerConfig] = None,
+        semirt: Optional[SemirtHost] = None,
     ) -> UserSession:
-        """A serving session for ``user`` against ``model_id``."""
+        """A serving session for ``user`` against ``model_id``.
+
+        ``scheduler`` tunes the TCS-slot scheduler of the session's own
+        instance; ``semirt`` attaches the session to an already-running
+        (shared, possibly multi-TCS) host instead of launching one.
+        """
         return UserSession(
             self,
             self.user(user),
@@ -466,6 +571,8 @@ class SeSeMIEnvironment:
             node_id=node_id,
             config=config,
             isolation=isolation,
+            scheduler=scheduler,
+            semirt=semirt,
         )
 
     # -- worker instances --------------------------------------------------------
@@ -502,11 +609,15 @@ class SeSeMIEnvironment:
         node_id: str = "worker-node",
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
+        scheduler: Optional[SchedulerConfig] = None,
     ) -> SemirtHost:
-        """Start a SeMIRT instance (what a cold sandbox start does).
+        """Start a SeMIRT instance explicitly (what a cold sandbox does).
 
-        .. deprecated:: prefer :meth:`session`, which launches lazily
-           inside the traced request and pairs the measurement for you.
+        Prefer :meth:`session` for the single-user serving path -- it
+        launches lazily inside the traced request and pairs the
+        measurement for you.  ``launch_semirt`` is the entry point for
+        *shared* instances: launch one multi-TCS host here, then attach
+        several sessions to it with ``env.session(..., semirt=host)``.
         """
         return SemirtHost(
             platform=self.worker_platform(node_id),
@@ -516,56 +627,7 @@ class SeSeMIEnvironment:
             attestation=self.attestation,
             config=config or default_semirt_config(),
             isolation=isolation,
+            scheduler=scheduler,
             tracer=self.tracer,
+            injector=self.injector,
         )
-
-    # -- deprecated one-call convenience ------------------------------------------
-
-    def authorize(
-        self,
-        owner: OwnerClient,
-        user: UserClient,
-        model: Model,
-        model_id: str,
-        semirt_measurement: EnclaveMeasurement,
-    ) -> None:
-        """Full key-setup + deployment for one (model, user, enclave) triple.
-
-        .. deprecated:: use ``env.deploy(...).grant(user)``.
-        """
-        warnings.warn(
-            "SeSeMIEnvironment.authorize is deprecated; "
-            "use env.deploy(model, model_id, owner=...).grant(user)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if user.principal_id is None:
-            raise SeSeMIError("user must be registered first")
-        owner.deploy_model(model, model_id, self.storage)
-        owner.add_model_key(model_id)
-        owner.grant_access(model_id, semirt_measurement, user.principal_id)
-        user.add_request_key(model_id, semirt_measurement)
-
-    @staticmethod
-    def infer(
-        user: UserClient,
-        semirt: SemirtHost,
-        model_id: str,
-        x: np.ndarray,
-    ) -> np.ndarray:
-        """Encrypt, invoke, decrypt -- the user-visible request path.
-
-        .. deprecated:: use ``env.session(user, model_id).infer(x)``.
-        """
-        warnings.warn(
-            "SeSeMIEnvironment.infer is deprecated; "
-            "use env.session(user, model_id).infer(x)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if user.principal_id is None:
-            raise SeSeMIError("user must be registered first")
-        enclave = semirt.measurement
-        enc_request = user.encrypt_request(model_id, enclave, x)
-        enc_response = semirt.infer(enc_request, user.principal_id, model_id)
-        return user.decrypt_response(model_id, enclave, enc_response)

@@ -87,12 +87,25 @@ class FnPackerRouter(Router):
     """The adaptive packing scheduler of Section IV-C.
 
     ``idle_interval_s`` is how long an exclusive endpoint must be quiet
-    before other models may reuse it.
+    before other models may reuse it.  ``slots_per_endpoint`` is how
+    many requests one endpoint serves concurrently -- the ``tcs_count``
+    of its SeMIRT enclave.  With more than one slot an endpoint stays
+    schedulable (for the *same* model) until its in-flight count reaches
+    the slot count, so multi-TCS instances are actually kept full
+    instead of serialising at the router.
     """
 
-    def __init__(self, pool: FnPool, idle_interval_s: float = 10.0) -> None:
+    def __init__(
+        self,
+        pool: FnPool,
+        idle_interval_s: float = 10.0,
+        slots_per_endpoint: int = 1,
+    ) -> None:
+        if slots_per_endpoint < 1:
+            raise ConfigError("an endpoint needs at least one slot")
         self.pool = pool
         self.idle_interval_s = idle_interval_s
+        self.slots_per_endpoint = slots_per_endpoint
         self._endpoints: Dict[str, EndpointState] = {
             f"{pool.name}-ep{i}": EndpointState(name=f"{pool.name}-ep{i}")
             for i in range(pool.endpoint_count)
@@ -109,7 +122,13 @@ class FnPackerRouter(Router):
     def _is_not_busy(self, ep: EndpointState, model_id: str, now: float) -> bool:
         if not ep.healthy:
             return False
-        if ep.pending == 0 and ep.exclusive_for in (None, model_id):
+        if ep.exclusive_for in (None, model_id) and (
+            ep.pending == 0
+            or (
+                ep.pending < self.slots_per_endpoint
+                and ep.current_model == model_id
+            )
+        ):
             return True
         if (
             ep.pending == 0

@@ -36,10 +36,23 @@ from repro.sim.core import Event, Simulation
 STRATEGIES = ("fnpacker", "one-to-one", "all-in-one")
 
 
-def make_router(strategy: str, pool: FnPool, idle_interval_s: float = 10.0) -> Router:
-    """Build the router for a deployment strategy."""
+def make_router(
+    strategy: str,
+    pool: FnPool,
+    idle_interval_s: float = 10.0,
+    slots_per_endpoint: int = 1,
+) -> Router:
+    """Build the router for a deployment strategy.
+
+    ``slots_per_endpoint`` (the endpoints' ``tcs_count``) only matters to
+    the FnPacker strategy: the baselines have no in-flight accounting.
+    """
     if strategy == "fnpacker":
-        return FnPackerRouter(pool, idle_interval_s=idle_interval_s)
+        return FnPackerRouter(
+            pool,
+            idle_interval_s=idle_interval_s,
+            slots_per_endpoint=slots_per_endpoint,
+        )
     if strategy == "one-to-one":
         return OneToOneRouter(pool)
     if strategy == "all-in-one":
@@ -82,7 +95,9 @@ class FnPackerService:
         self.cost = cost
         self.tcs_count = tcs_count
         self.strategy = strategy
-        self.router = make_router(strategy, pool, idle_interval_s)
+        self.router = make_router(
+            strategy, pool, idle_interval_s, slots_per_endpoint=tcs_count
+        )
         self.stats: Dict[str, PoolStats] = {m: PoolStats() for m in pool.models}
         self._deploy_endpoints()
 

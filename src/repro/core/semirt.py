@@ -3,14 +3,27 @@
 The enclave exposes exactly the Figure 5 surface -- three ECALLs
 (``EC_MODEL_INF``, ``EC_GET_OUTPUT``, ``EC_CLEAR_EXEC_CTX``) and two
 OCALLs (``OC_LOAD_MODEL``, ``OC_FREE_LOADED``) plus the quote/network
-OCALLs every enclave needs.  Cached state drives the cold/warm/hot
-invocation paths:
+OCALLs every enclave needs.  ``EC_MODEL_INF`` returns a *ticket*; the
+host fetches and releases that request's output by ticket, so requests
+running concurrently on different TCSs never share an output slot.
+Cached state drives the cold/warm/hot invocation paths:
 
 - the decrypted **model** lives in the shared enclave heap (one per
-  enclave, switched under a lock);
-- the last ``<uid, M_oid>`` **key pair** is cached (one pair only, so
-  requests of different users never co-execute, Section IV-B);
-- the **model runtime** is per-thread (thread-local storage, one per TCS).
+  enclave, first thread decrypts under ``_model_lock``, later threads
+  reuse);
+- the last ``<uid, M_oid>`` **key pair** is cached (one pair only,
+  guarded by its own lock, Section IV-B);
+- the **model runtime** is per-thread (thread-local storage, one per
+  TCS -- the host binds one scheduler worker per TCS slot);
+- per-request **execution contexts** (the sealed outputs) live in a
+  bounded ticket table, at most one per TCS.
+
+The untrusted :class:`SemirtHost` drives the enclave through a TCS-slot
+scheduler: a bounded worker pool (one worker per ``tcs_count``) fed by
+an admission queue with configurable depth.  ``submit()`` returns an
+:class:`InferenceTicket` immediately (or raises
+:class:`~repro.errors.QueueFull` as backpressure); ``infer()`` is the
+blocking composition the serverless action path uses.
 
 Execution-restriction settings -- sequential processing, key-cache off,
 runtime cleared per request, pinned model -- are *build settings*: they
@@ -21,9 +34,13 @@ identity ``E_K`` is likewise compiled in (Appendix A).
 
 from __future__ import annotations
 
+import itertools
+import queue as queue_module
 import threading
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,9 +51,11 @@ from repro.crypto.gcm import AESGCM
 from repro.errors import (
     AccessDenied,
     CryptoError,
+    DeadlineExceeded,
     EnclaveError,
     FaultInjected,
     InvocationError,
+    QueueFull,
     TransportError,
 )
 from repro.faults.injector import maybe_wire
@@ -87,6 +106,31 @@ class IsolationSettings:
             "clear_context": self.clear_context,
             "pinned_model": self.pinned_model,
         }
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Host-side TCS scheduler knobs (NOT part of the enclave identity).
+
+    ``queue_depth`` bounds the admission queue; a :meth:`SemirtHost.submit`
+    beyond it raises :class:`~repro.errors.QueueFull`.  ``paced_service_s``,
+    when set, paces every ``EC_MODEL_INF`` cycle to a per-request
+    service-time floor: the worker sleeps out the remainder of the floor
+    inside the ECALL span.  It models the on-hardware execution time the
+    functional twin does not have (cf. ``docs/calibration.md``) -- the
+    sleep releases the GIL, so paced requests genuinely overlap across
+    TCS slots the way SGX threads do on real cores.  ``None`` (the
+    default) leaves requests entirely compute-bound.
+    """
+
+    queue_depth: int = 16
+    paced_service_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise EnclaveError("the admission queue needs a depth of at least 1")
+        if self.paced_service_s is not None and self.paced_service_s < 0:
+            raise EnclaveError("paced_service_s cannot be negative")
 
 
 def default_semirt_config(tcs_count: int = 1,
@@ -146,13 +190,26 @@ class SemirtEnclaveCode(EnclaveCode):
         # observability only -- deliberately NOT part of settings(), so
         # tracing never perturbs the enclave measurement E_S
         self.tracer = tracer
-        # global (heap) state shared by all TCS threads
+        # global (heap) state shared by all TCS threads.  The model is
+        # switched under _model_lock (first thread decrypts, later
+        # threads reuse); the single key-pair cache has its own lock;
+        # the KeyService channel is serialised by _ks_lock because the
+        # SecureChannel nonce counters are not thread-safe.
         self._model: Optional[Model] = None
         self._model_id: Optional[str] = None
         self._kc: Optional[Tuple[str, str, bytes, bytes]] = None  # (M_oid, uid, K_M, K_R)
         self._ks_session: Optional[Tuple[int, SecureChannel]] = None
         self._model_lock = threading.Lock()
-        # thread-local (TCS) state
+        self._kc_lock = threading.Lock()
+        self._ks_lock = threading.Lock()
+        # per-request execution contexts: ticket -> sealed output.  The
+        # table is bounded by the TCS count -- one pending context per
+        # slot -- so a host that never fetches outputs cannot grow the
+        # enclave heap.
+        self._contexts: Dict[int, bytes] = {}
+        self._context_lock = threading.Lock()
+        self._tickets = itertools.count(1)
+        # thread-local (TCS) state: the model runtime buffers
         self._tls = threading.local()
         #: observability for tests/benchmarks: the last plan taken
         self.last_plan: Optional[InvocationPlan] = None
@@ -163,20 +220,35 @@ class SemirtEnclaveCode(EnclaveCode):
             self._framework_name, self._expected_keyservice, self._isolation
         )
 
+    @property
+    def pending_outputs(self) -> int:
+        """Execution contexts awaiting ``EC_GET_OUTPUT``/``EC_CLEAR_EXEC_CTX``."""
+        with self._context_lock:
+            return len(self._contexts)
+
     # -- ECALLs (Figure 5) -----------------------------------------------------------
 
     @ecall
-    def EC_MODEL_INF(self, enc_request: bytes, uid: str, model_id: str) -> None:
+    def EC_MODEL_INF(self, enc_request: bytes, uid: str, model_id: str) -> int:
         """Run inference on ``uid``'s encrypted input with ``model_id``.
 
         Implements Algorithm 2: key lookup/fetch, model switch under the
-        lock, per-thread runtime init, decrypt-execute-encrypt.
+        lock, per-thread runtime init, decrypt-execute-encrypt.  Returns
+        the *ticket* identifying this request's execution context; the
+        sealed output is fetched with ``EC_GET_OUTPUT(ticket)`` and
+        released with ``EC_CLEAR_EXEC_CTX(ticket)``.
         """
         isolation = self._isolation
         if isolation.pinned_model is not None and model_id != isolation.pinned_model:
             raise InvocationError(
                 f"this enclave build is pinned to model {isolation.pinned_model!r}"
             )
+        with self._context_lock:
+            if len(self._contexts) >= self.enclave.config.tcs_count:
+                raise EnclaveError(
+                    "all execution contexts are in use; fetch or clear "
+                    "pending outputs before submitting more requests"
+                )
         self.last_plan = plan_invocation(
             self._observable_state(),
             model_id,
@@ -185,7 +257,8 @@ class SemirtEnclaveCode(EnclaveCode):
             reuse_runtime=isolation.reuse_runtime,
         )
         # lines 6-10: obtain keys (from the cache or from KeyService)
-        cached = self._kc
+        with self._kc_lock:
+            cached = self._kc
         if (
             isolation.key_cache
             and cached is not None
@@ -196,13 +269,21 @@ class SemirtEnclaveCode(EnclaveCode):
         else:
             with self._stage_span(Stage.KEY_RETRIEVAL, model_id=model_id):
                 model_key, request_key = self._fetch_keys(uid, model_id)
-            self._kc = (model_id, uid, model_key, request_key) if isolation.key_cache else None
-        # lines 11-13: switch the shared model if needed (under the lock)
-        with self._model_lock:
-            if self._model_id != model_id:
-                self._model = self._model_load(model_id, model_key)
-                self._model_id = model_id
-            model = self._model
+            with self._kc_lock:
+                self._kc = (
+                    (model_id, uid, model_key, request_key)
+                    if isolation.key_cache
+                    else None
+                )
+        # lines 11-13: switch the shared model if needed.  Double-checked
+        # under the lock: the first thread decrypts, later threads reuse
+        # the heap copy without serialising on the decrypt.
+        if self._model_id != model_id:
+            with self._model_lock:
+                if self._model_id != model_id:
+                    self._model = self._model_load(model_id, model_key)
+                    self._model_id = model_id
+        model = self._model
         # lines 14-15: per-thread runtime
         runtime = getattr(self._tls, "runtime", None)
         runtime_model = getattr(self._tls, "runtime_model", None)
@@ -239,26 +320,32 @@ class SemirtEnclaveCode(EnclaveCode):
             runtime.execute(x)
             result = runtime.prepare_output()
         with self._stage_span(Stage.RESULT_ENCRYPT, model_id=model_id):
-            self._tls.output = request_cipher.seal(
+            output = request_cipher.seal(
                 wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
             )
+        with self._context_lock:
+            ticket = next(self._tickets)
+            self._contexts[ticket] = output
         if isolation.clear_context:
             runtime.clear()
             self._tls.runtime = None
             self._tls.runtime_model = None
+        return ticket
 
     @ecall
-    def EC_GET_OUTPUT(self) -> bytes:
-        """Copy the encrypted output to the untrusted caller."""
-        output = getattr(self._tls, "output", None)
+    def EC_GET_OUTPUT(self, ticket: int) -> bytes:
+        """Copy ``ticket``'s encrypted output to the untrusted caller."""
+        with self._context_lock:
+            output = self._contexts.get(ticket)
         if output is None:
-            raise EnclaveError("no output pending on this thread")
+            raise EnclaveError(f"no output pending for ticket {ticket!r}")
         return output
 
     @ecall
-    def EC_CLEAR_EXEC_CTX(self) -> None:
-        """Let untrusted code release the per-thread execution context."""
-        self._tls.output = None
+    def EC_CLEAR_EXEC_CTX(self, ticket: int) -> None:
+        """Release ``ticket``'s execution context (idempotent)."""
+        with self._context_lock:
+            self._contexts.pop(ticket, None)
         if self._isolation.clear_context:
             self._tls.runtime = None
             self._tls.runtime_model = None
@@ -274,7 +361,9 @@ class SemirtEnclaveCode(EnclaveCode):
     def _observable_state(self) -> SemirtCacheState:
         """Current cache state in the shared planning representation."""
         runtime_for = getattr(self._tls, "runtime_model", None)
-        key_cache = (self._kc[0], self._kc[1]) if self._kc else None
+        with self._kc_lock:
+            kc = self._kc
+        key_cache = (kc[0], kc[1]) if kc else None
         return SemirtCacheState(
             enclave_ready=True,  # code running => enclave exists
             loaded_model=self._model_id,
@@ -329,26 +418,30 @@ class SemirtEnclaveCode(EnclaveCode):
     def _fetch_keys(self, uid: str, model_id: str) -> Tuple[bytes, bytes]:
         """KEY_PROVISIONING round trip over the attested channel.
 
-        If the cached session is stale -- KeyService restarted, so the
-        channel id or keys no longer match -- the session is dropped and
-        re-established once with a fresh mutual attestation.  Only
-        transport-shaped failures trigger that path; protocol verdicts
-        (:class:`AccessDenied`) propagate untouched.
+        Serialised under ``_ks_lock``: the secure channel's counter
+        nonces admit one in-flight operation, so concurrent TCS threads
+        that both miss the key cache queue here rather than corrupt the
+        channel.  If the cached session is stale -- KeyService restarted,
+        so the channel id or keys no longer match -- the session is
+        dropped and re-established once with a fresh mutual attestation.
+        Only transport-shaped failures trigger that path; protocol
+        verdicts (:class:`AccessDenied`) propagate untouched.
         """
-        try:
-            reply = self._provision_over_session(uid, model_id)
-        except (CryptoError, EnclaveError, TransportError, WireError) as exc:
-            # transport/crypto failure: stale session after a KeyService
-            # restart, or a mangled message.  Re-attest and retry exactly
-            # once -- a second failure means KeyService is really gone.
-            self._ks_session = None
-            if self.tracer is not None:
-                span = self.tracer.current_span()
-                if span is not None:
-                    span.add_event(
-                        "keyservice_reattest", error=type(exc).__name__
-                    )
-            reply = self._provision_over_session(uid, model_id)
+        with self._ks_lock:
+            try:
+                reply = self._provision_over_session(uid, model_id)
+            except (CryptoError, EnclaveError, TransportError, WireError) as exc:
+                # transport/crypto failure: stale session after a KeyService
+                # restart, or a mangled message.  Re-attest and retry exactly
+                # once -- a second failure means KeyService is really gone.
+                self._ks_session = None
+                if self.tracer is not None:
+                    span = self.tracer.current_span()
+                    if span is not None:
+                        span.add_event(
+                            "keyservice_reattest", error=type(exc).__name__
+                        )
+                reply = self._provision_over_session(uid, model_id)
         if not reply.get("ok"):
             raise AccessDenied(reply.get("error", "key provisioning refused"))
         return reply["model_key"], reply["request_key"]
@@ -362,12 +455,69 @@ class SemirtEnclaveCode(EnclaveCode):
         return wire.decode(channel.recv(reply_cipher))
 
 
+class InferenceTicket:
+    """A submitted request's handle: resolves to the sealed output.
+
+    Returned immediately by :meth:`SemirtHost.submit`; :meth:`result`
+    blocks until the TCS scheduler has served the request (or failed
+    it, in which case the worker's exception re-raises here).
+    """
+
+    def __init__(self, enc_request: bytes, uid: str, model_id: str) -> None:
+        self.uid = uid
+        self.model_id = model_id
+        self._enc_request = enc_request
+        self._done = threading.Event()
+        self._output: Optional[bytes] = None
+        self._error: Optional[BaseException] = None
+        #: ambient span at submit time; the worker re-parents under it
+        self._parent = None
+        self._enqueued_at = time.monotonic()
+        #: the TCS slot that served this request (set by the worker)
+        self.tcs_slot: Optional[int] = None
+        #: seconds spent in the admission queue (set by the worker)
+        self.queue_wait: Optional[float] = None
+
+    def done(self) -> bool:
+        """True once the request has completed (successfully or not)."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> bytes:
+        """Block for the sealed output; re-raises the worker's failure."""
+        if not self._done.wait(timeout):
+            raise DeadlineExceeded(
+                f"request for model {self.model_id!r} not served within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._output is not None
+        return self._output
+
+    def _complete(self, output: bytes) -> None:
+        self._output = output
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+#: queue sentinel telling a scheduler worker to exit
+_SHUTDOWN = object()
+
+
 class SemirtHost:
     """Untrusted host side of a SeMIRT instance.
 
     Owns the enclave, wires the OCALLs (model download, quote generation,
     KeyService networking), and exposes the action interface a serverless
     request hits.  Everything it relays is ciphertext.
+
+    Requests are served by the **TCS-slot scheduler**: one worker thread
+    per TCS, fed from a bounded admission queue.  :meth:`submit` /
+    :meth:`result` are the asynchronous entry points (how ``infer_many``
+    keeps a multi-TCS enclave full); :meth:`infer` is the blocking
+    composition.
     """
 
     def __init__(
@@ -377,8 +527,10 @@ class SemirtHost:
         keyservice_host,
         framework: str,
         attestation: AttestationService,
+        *,
         config: Optional[EnclaveBuildConfig] = None,
         isolation: IsolationSettings = IsolationSettings(),
+        scheduler: Optional[SchedulerConfig] = None,
         tracer=None,
         injector=None,
     ) -> None:
@@ -390,9 +542,10 @@ class SemirtHost:
         self.platform = platform
         self.storage = storage
         self.tracer = tracer
+        self.scheduler = scheduler or SchedulerConfig()
         self._keyservice = keyservice_host
         #: optional repro.faults.FaultInjector; wire sites wrap the
-        #: KeyService OCALLs, the crash site fires per EC_MODEL_INF
+        #: KeyService OCALLs, the crash site fires per submitted request
         self._injector = injector
         code = SemirtEnclaveCode(
             framework=framework,
@@ -415,6 +568,12 @@ class SemirtHost:
         self.enclave.register_ocall("OC_FREE_LOADED", self._oc_free_loaded)
         self.enclave.register_ocall("OC_KS_HANDSHAKE", self._oc_ks_handshake)
         self.enclave.register_ocall("OC_KS_REQUEST", self._oc_ks_request)
+        # the TCS-slot scheduler: workers start lazily on first submit
+        self._queue: "queue_module.Queue" = queue_module.Queue(
+            maxsize=self.scheduler.queue_depth
+        )
+        self._workers: List[threading.Thread] = []
+        self._workers_lock = threading.Lock()
 
     @property
     def measurement(self) -> EnclaveMeasurement:
@@ -444,24 +603,134 @@ class SemirtHost:
         reply = self._keyservice.request(channel_id, ciphertext)
         return maybe_wire(self._injector, "keyservice->semirt", reply)
 
+    # -- the TCS-slot scheduler -----------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        with self._workers_lock:
+            if self._workers:
+                return
+            for slot in range(self.enclave.config.tcs_count):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    args=(slot,),
+                    name=f"semirt-{self.enclave.enclave_id}-tcs{slot}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+
+    def _worker_loop(self, slot: int) -> None:
+        """One scheduler worker, bound to TCS slot ``slot`` for its lifetime."""
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            ticket: InferenceTicket = item
+            ticket.tcs_slot = slot
+            ticket.queue_wait = time.monotonic() - ticket._enqueued_at
+            try:
+                output = self._serve(ticket, slot)
+            except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
+                ticket._fail(exc)
+            else:
+                ticket._complete(output)
+
+    def _serve(self, ticket: InferenceTicket, slot: int) -> bytes:
+        """Drive the three-ECALL cycle for one ticket on one TCS slot."""
+        attach = (
+            self.tracer.attach(ticket._parent)
+            if self.tracer is not None and ticket._parent is not None
+            else nullcontext()
+        )
+        with attach:
+            started = time.monotonic()
+            with maybe_span(
+                self.tracer,
+                "ecall:EC_MODEL_INF",
+                model_id=ticket.model_id,
+                tcs_slot=slot,
+                queue_wait=ticket.queue_wait,
+            ):
+                handle = self.enclave.ecall(
+                    "EC_MODEL_INF", ticket._enc_request, ticket.uid, ticket.model_id
+                )
+                self._pace(started)
+            with maybe_span(self.tracer, "ecall:EC_GET_OUTPUT", tcs_slot=slot):
+                output = self.enclave.ecall("EC_GET_OUTPUT", handle)
+            with maybe_span(self.tracer, "ecall:EC_CLEAR_EXEC_CTX", tcs_slot=slot):
+                self.enclave.ecall("EC_CLEAR_EXEC_CTX", handle)
+        return output
+
+    def _pace(self, started: float) -> None:
+        """Sleep out the remainder of the configured service-time floor."""
+        floor = self.scheduler.paced_service_s
+        if floor is None:
+            return
+        remaining = floor - (time.monotonic() - started)
+        if remaining > 0:
+            time.sleep(remaining)
+
     # -- the action interface ------------------------------------------------------
 
-    def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
-        """Serve one request: EC_MODEL_INF then EC_GET_OUTPUT."""
+    def submit(self, enc_request: bytes, uid: str, model_id: str) -> InferenceTicket:
+        """Admit one request to the TCS scheduler; returns immediately.
+
+        Raises :class:`~repro.errors.QueueFull` when the admission queue
+        is at its configured depth (backpressure), and
+        :class:`~repro.errors.FaultInjected` when the attached fault
+        injector crashes the enclave at this site.
+        """
         if self._injector is not None and self._injector.crash_enclave("semirt"):
             # the instance dies mid-ECALL: all warm/hot state (model,
             # key cache, runtimes, KeyService channels) is gone and the
             # next request must take the cold path on a fresh enclave
-            self.enclave.destroy()
+            self.destroy()
             raise FaultInjected("semirt enclave crashed mid-ECALL")
-        with maybe_span(self.tracer, "ecall:EC_MODEL_INF", model_id=model_id):
-            self.enclave.ecall("EC_MODEL_INF", enc_request, uid, model_id)
-        with maybe_span(self.tracer, "ecall:EC_GET_OUTPUT"):
-            output = self.enclave.ecall("EC_GET_OUTPUT")
-        with maybe_span(self.tracer, "ecall:EC_CLEAR_EXEC_CTX"):
-            self.enclave.ecall("EC_CLEAR_EXEC_CTX")
-        return output
+        if not self.enclave.alive:
+            raise EnclaveError(f"{self.enclave.enclave_id} is destroyed")
+        self._ensure_workers()
+        ticket = InferenceTicket(enc_request, uid, model_id)
+        if self.tracer is not None:
+            ticket._parent = self.tracer.current_span()
+        try:
+            self._queue.put_nowait(ticket)
+        except queue_module.Full:
+            raise QueueFull(
+                f"admission queue full ({self.scheduler.queue_depth} waiting); "
+                "drain results or raise SchedulerConfig.queue_depth"
+            ) from None
+        return ticket
+
+    def result(
+        self, ticket: InferenceTicket, timeout: Optional[float] = None
+    ) -> bytes:
+        """Block for a submitted ticket's sealed output."""
+        return ticket.result(timeout)
+
+    def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
+        """Serve one request synchronously: submit + result."""
+        return self.submit(enc_request, uid, model_id).result()
 
     def destroy(self) -> None:
-        """Tear down the enclave (sandbox reclaim)."""
+        """Tear down the enclave and the scheduler (sandbox reclaim).
+
+        Queued-but-unserved tickets fail with
+        :class:`~repro.errors.EnclaveError`; tickets already inside an
+        ECALL run to completion against the dying enclave and fail (or
+        finish) on their own.
+        """
         self.enclave.destroy()
+        with self._workers_lock:
+            workers, self._workers = self._workers, []
+        # fail whatever is still queued *before* posting the shutdown
+        # sentinels, so a worker never exits with live tickets behind it
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            item._fail(
+                EnclaveError(f"{self.enclave.enclave_id} is destroyed")
+            )
+        for _ in workers:
+            self._queue.put(_SHUTDOWN)

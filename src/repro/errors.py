@@ -90,6 +90,17 @@ class RoutingError(SeSeMIError):
     """FnPacker could not route a request (unknown model, no endpoint)."""
 
 
+class QueueFull(SeSeMIError):
+    """The SeMIRT admission queue is at its configured depth.
+
+    Raised synchronously by :meth:`SemirtHost.submit` as backpressure:
+    the caller should shed load, retry later, or route the request to
+    another instance.  Deliberately *not* a :class:`TransportError` --
+    the request never left the caller, so the resilience layer must not
+    blindly retry into the same full queue.
+    """
+
+
 class DeadlineExceeded(SeSeMIError):
     """A request ran out of its per-request time budget.
 

@@ -27,7 +27,7 @@ on the critical path of the whole workload, not just the first request.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -123,7 +123,7 @@ def _run_mode(
         tracer=tracer,
         attestation=attestation,
         keyservice=endpoint,
-        fault_injector=injector,
+        injector=injector,
         resilience=policy,
     )
 

@@ -86,6 +86,24 @@ class Tracer:
             stack.pop()
             span.end()
 
+    @contextmanager
+    def attach(self, span: Span) -> Iterator[Span]:
+        """Adopt an existing ``span`` as this thread's ambient parent.
+
+        Worker threads (e.g. the SeMIRT TCS scheduler) use this to
+        parent their spans under a request span that was opened on the
+        *submitting* thread: the ambient stack is per-thread, so without
+        an explicit attach the worker's spans would start new traces.
+        The span is NOT ended on exit -- it still belongs to whoever
+        opened it.
+        """
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+
     def current_span(self) -> Optional[Span]:
         """The innermost ambient span on this thread, if any."""
         stack = self._stack()

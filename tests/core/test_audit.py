@@ -24,9 +24,10 @@ def audited_world():
     user = env.connect_user()
     model = build_mobilenet()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, model, "m", semirt.measurement)
+    env.deploy(model, "m", owner=owner).grant(user)
     x = np.zeros(model.input_spec.shape, dtype=np.float32)
-    env.infer(user, semirt, "m", x)
+    enc = user.encrypt_request("m", semirt.measurement, x)
+    semirt.infer(enc, user.principal_id, "m")
     return env, log, owner, user, semirt
 
 

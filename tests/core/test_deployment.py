@@ -42,8 +42,9 @@ def test_unregistered_principal_guards(env):
     with pytest.raises(SeSeMIError):
         owner.register()  # not connected
     user = UserClient("loner")
+    handle = env.deploy(build_mobilenet(), "guard-model", owner="o-guard")
     with pytest.raises(SeSeMIError):
-        env.authorize(owner, user, build_mobilenet(), "m", env.keyservice.measurement)
+        handle.grant(user)  # never registered with KeyService
 
 
 def test_model_key_requires_deploy_first(env):
@@ -67,7 +68,12 @@ def test_full_flow_on_two_frameworks(env):
     x = x.astype(np.float32)
     expected = model.run_reference(x).ravel()
     for framework in ("tvm", "tflm"):
-        semirt = env.launch_semirt(framework, node_id=f"fw-{framework}")
-        env.authorize(owner, user, model, f"m-{framework}", semirt.measurement)
-        out = env.infer(user, semirt, f"m-{framework}", x)
+        env.deploy(
+            model, f"m-{framework}", owner=owner, framework=framework
+        ).grant(user)
+        with env.session(
+            user, f"m-{framework}", framework=framework,
+            node_id=f"fw-{framework}",
+        ) as session:
+            out = session.infer(x)
         assert np.allclose(out, expected, atol=1e-5), framework

@@ -91,6 +91,22 @@ def test_infrequent_models_share_one_endpoint():
     assert again == first  # warm endpoint reused
 
 
+def test_multi_slot_burst_stays_on_one_endpoint():
+    """A same-model burst packs onto one multi-slot endpoint (Rule 1)."""
+    router = FnPackerRouter(make_pool(), slots_per_endpoint=4)
+    first = router.route("m0", now=0.0)
+    router.on_dispatch(first, "m0", now=0.0)
+    for _ in range(3):
+        ep = router.route("m0", now=0.1)
+        assert ep == first
+        router.on_dispatch(ep, "m0", now=0.1)
+
+
+def test_slots_per_endpoint_validated():
+    with pytest.raises(ConfigError):
+        FnPackerRouter(make_pool(), slots_per_endpoint=0)
+
+
 def test_completion_without_dispatch_rejected():
     router = FnPackerRouter(make_pool())
     ep = router.endpoints()[0][0]

@@ -68,8 +68,16 @@ def test_key_rotation_invalidates_stale_keys(tiny_model, tiny_input):
     owner = env.connect_owner()
     user = env.connect_user()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, tiny_model, "rotating", semirt.measurement)
-    before = env.infer(user, semirt, "rotating", tiny_input)
+    env.deploy(tiny_model, "rotating", owner=owner).grant(user)
+
+    def infer_on(host, model_id):
+        enc = user.encrypt_request(model_id, host.measurement, tiny_input)
+        return user.decrypt_response(
+            model_id, host.measurement,
+            host.infer(enc, user.principal_id, model_id),
+        )
+
+    before = infer_on(semirt, "rotating")
 
     owner.rotate_model_key("rotating", tiny_model, env.storage)
 
@@ -77,20 +85,20 @@ def test_key_rotation_invalidates_stale_keys(tiny_model, tiny_input):
     fresh = env.launch_semirt("tvm", node_id="post-rotation")
     user.add_request_key("rotating", fresh.measurement)
     owner.grant_access("rotating", fresh.measurement, user.principal_id)
-    after = env.infer(user, fresh, "rotating", tiny_input)
+    after = infer_on(fresh, "rotating")
     assert np.allclose(before, after, atol=1e-5)
 
     # The already-warm enclave keeps serving from its cached model copy
     # (hot path) -- rotation does not interrupt in-flight service ...
-    still = env.infer(user, semirt, "rotating", tiny_input)
+    still = infer_on(semirt, "rotating")
     assert np.allclose(still, before, atol=1e-5)
 
     # ... and because the single-pair key cache is evicted together with
     # the model, a reload can never pair the stale key with the new
     # artifact: the enclave re-fetches and decrypts the rotated artifact.
-    env.authorize(owner, user, tiny_model, "other", semirt.measurement)
-    env.infer(user, semirt, "other", tiny_input)  # evicts 'rotating' + keys
-    reloaded = env.infer(user, semirt, "rotating", tiny_input)
+    env.deploy(tiny_model, "other", owner=owner).grant(user)
+    infer_on(semirt, "other")  # evicts 'rotating' + keys
+    reloaded = infer_on(semirt, "rotating")
     assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
     assert np.allclose(reloaded, before, atol=1e-5)
 

@@ -40,6 +40,39 @@ def run_invocations(bed, service, specs):
     return results
 
 
+def run_burst(bed, service, model_id, count):
+    """Issue ``count`` simultaneous requests; await them all."""
+    results = []
+
+    def driver(sim):
+        pending = [service.invoke(model_id, f"user-{i}") for i in range(count)]
+        for event in pending:
+            results.append((yield event))
+
+    bed.sim.process(driver(bed.sim))
+    bed.sim.run(until=10_000)
+    return results
+
+
+def test_multi_tcs_endpoint_absorbs_burst_in_one_container():
+    """tcs_count > 1 => a same-model burst shares one enclave container."""
+    bed, service = build_service(tcs_count=4)
+    results = run_burst(bed, service, "m0", 4)
+    assert len(results) == 4
+    assert service.in_flight == 0
+    # All four requests fit the container's concurrency (= TCS count):
+    # exactly one cold start for the whole burst.
+    assert bed.controller.cold_starts == 1
+
+
+def test_single_tcs_burst_fans_out_containers():
+    """tcs_count == 1 serialises per container, so a burst cold-starts more."""
+    bed, service = build_service(tcs_count=1)
+    results = run_burst(bed, service, "m0", 4)
+    assert len(results) == 4
+    assert bed.controller.cold_starts > 1
+
+
 def test_strategy_validation():
     pool = FnPool(name="p", models=MODELS, memory_budget=0)
     with pytest.raises(ConfigError):

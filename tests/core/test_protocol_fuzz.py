@@ -27,10 +27,18 @@ def world():
     user = env.connect_user()
     model = build_mobilenet()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, model, "m", semirt.measurement)
+    env.deploy(model, "m", owner=owner).grant(user)
     x = np.zeros(model.input_spec.shape, dtype=np.float32)
-    baseline = env.infer(user, semirt, "m", x)
+    baseline = _infer(user, semirt, x)
     return env, owner, user, semirt, model, x, baseline
+
+
+def _infer(user, semirt, x):
+    """One legitimate request through the raw host path."""
+    enc = user.encrypt_request("m", semirt.measurement, x)
+    return user.decrypt_response(
+        "m", semirt.measurement, semirt.infer(enc, user.principal_id, "m")
+    )
 
 
 @settings(max_examples=25, deadline=None)
@@ -90,5 +98,5 @@ def test_semirt_rejects_garbage_requests(world, blob, uid, model_id):
 def test_system_still_healthy_after_fuzzing(world):
     """After all the garbage above, legitimate service is unaffected."""
     env, owner, user, semirt, model, x, baseline = world
-    again = env.infer(user, semirt, "m", x)
+    again = _infer(user, semirt, x)
     assert np.allclose(again, baseline)

@@ -19,9 +19,10 @@ def world(tiny_model, tiny_input):
     owner = env.connect_owner("hospital")
     user = env.connect_user("patient")
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, tiny_model, "ehr-model", semirt.measurement)
+    env.deploy(tiny_model, "ehr-model", owner=owner).grant(user)
     # Prime the deployment with one legitimate inference.
-    env.infer(user, semirt, "ehr-model", tiny_input)
+    enc = user.encrypt_request("ehr-model", semirt.measurement, tiny_input)
+    semirt.infer(enc, user.principal_id, "ehr-model")
     return env, owner, user, semirt
 
 
@@ -60,10 +61,13 @@ def test_adversarial_ecall_sequences_leak_nothing(world):
     from repro.errors import EnclaveError
 
     with pytest.raises(EnclaveError):
-        fresh.enclave.ecall("EC_GET_OUTPUT")  # nothing computed yet
-    fresh.enclave.ecall("EC_CLEAR_EXEC_CTX")  # harmless no-op
+        fresh.enclave.ecall("EC_GET_OUTPUT", 1)  # nothing computed yet
+    fresh.enclave.ecall("EC_CLEAR_EXEC_CTX", 1)  # harmless no-op
     with pytest.raises(EnclaveError):
-        fresh.enclave.ecall("EC_GET_OUTPUT")
+        fresh.enclave.ecall("EC_GET_OUTPUT", 1)
+    # guessing other tickets is equally fruitless
+    with pytest.raises(EnclaveError):
+        fresh.enclave.ecall("EC_GET_OUTPUT", 424242)
 
 
 def test_forged_grant_rejected(world):
@@ -131,7 +135,7 @@ def test_response_cannot_be_spoofed(world, tiny_input):
 def test_request_cannot_be_replayed_across_models(world, tiny_input, tiny_model):
     """AAD binds the ciphertext to one model id."""
     env, owner, user, semirt = world
-    env.authorize(owner, user, tiny_model, "other-model", semirt.measurement)
+    env.deploy(tiny_model, "other-model", owner=owner).grant(user)
     enc_for_a = user.encrypt_request("ehr-model", semirt.measurement, tiny_input)
     # Host redirects the same ciphertext at a different model id.
     with pytest.raises(ReproError):

@@ -19,13 +19,20 @@ from repro.errors import (
 from repro.mlrt.zoo import build_densenet
 
 
+def run_infer(user, semirt, model_id, x):
+    """Encrypt, invoke the host directly, decrypt -- the raw request path."""
+    enc = user.encrypt_request(model_id, semirt.measurement, x)
+    enc_response = semirt.infer(enc, user.principal_id, model_id)
+    return user.decrypt_response(model_id, semirt.measurement, enc_response)
+
+
 @pytest.fixture(scope="module")
 def setup(tiny_model):
     env = SeSeMIEnvironment()
     owner = env.connect_owner()
     user = env.connect_user()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, tiny_model, "model-a", semirt.measurement)
+    env.deploy(tiny_model, "model-a", owner=owner).grant(user)
     return env, owner, user, semirt
 
 
@@ -37,9 +44,9 @@ def make_input(model, seed=0):
 def test_first_invocation_is_warm_then_hot(setup, tiny_model):
     env, owner, user, semirt = setup
     x = make_input(tiny_model)
-    out = env.infer(user, semirt, "model-a", x)
+    out = run_infer(user, semirt, "model-a", x)
     first_kind = semirt.code.last_plan.kind
-    out2 = env.infer(user, semirt, "model-a", x)
+    out2 = run_infer(user, semirt, "model-a", x)
     assert semirt.code.last_plan.kind == InvocationKind.HOT
     assert np.allclose(out, out2)
     assert first_kind in (InvocationKind.WARM, InvocationKind.HOT)
@@ -48,16 +55,16 @@ def test_first_invocation_is_warm_then_hot(setup, tiny_model):
 def test_inference_matches_plaintext_reference(setup, tiny_model):
     env, owner, user, semirt = setup
     x = make_input(tiny_model, seed=5)
-    out = env.infer(user, semirt, "model-a", x)
+    out = run_infer(user, semirt, "model-a", x)
     assert np.allclose(out, tiny_model.run_reference(x).ravel(), atol=1e-5)
 
 
 def test_model_switch_takes_warm_path(setup):
     env, owner, user, semirt = setup
     second_model = build_densenet()
-    env.authorize(owner, user, second_model, "model-b", semirt.measurement)
+    env.deploy(second_model, "model-b", owner=owner).grant(user)
     x = make_input(second_model)
-    env.infer(user, semirt, "model-b", x)
+    run_infer(user, semirt, "model-b", x)
     plan = semirt.code.last_plan
     assert plan.kind == InvocationKind.WARM
     assert plan.needs(Stage.MODEL_LOADING)
@@ -74,10 +81,12 @@ def test_ecall_surface_is_figure5(setup):
 
 def test_output_cleared_after_fetch(setup, tiny_model):
     env, owner, user, semirt = setup
-    env.infer(user, semirt, "model-a", make_input(tiny_model))
-    # infer() already called EC_CLEAR_EXEC_CTX; no stale output remains.
-    with pytest.raises(EnclaveError):
-        semirt.enclave.ecall("EC_GET_OUTPUT")
+    run_infer(user, semirt, "model-a", make_input(tiny_model))
+    # infer() already called EC_CLEAR_EXEC_CTX; no stale context remains
+    # and released tickets cannot be replayed.
+    assert semirt.code.pending_outputs == 0
+    with pytest.raises(EnclaveError, match="no output pending"):
+        semirt.enclave.ecall("EC_GET_OUTPUT", 1)
 
 
 def test_unauthorized_user_denied(setup, tiny_model):
@@ -154,7 +163,9 @@ class TestStrongIsolation:
         user = env.connect_user()
         isolation = IsolationSettings.strong(pinned_model="pinned")
         semirt = env.launch_semirt("tvm", isolation=isolation)
-        env.authorize(owner, user, tiny_model, "pinned", semirt.measurement)
+        env.deploy(
+            tiny_model, "pinned", owner=owner, isolation=isolation
+        ).grant(user)
         return env, owner, user, semirt
 
     def test_pinned_model_enforced(self, strong_setup, tiny_model):
@@ -172,8 +183,8 @@ class TestStrongIsolation:
     def test_no_hot_path_under_strong_isolation(self, strong_setup, tiny_model):
         env, owner, user, semirt = strong_setup
         x = make_input(tiny_model)
-        env.infer(user, semirt, "pinned", x)
-        env.infer(user, semirt, "pinned", x)
+        run_infer(user, semirt, "pinned", x)
+        run_infer(user, semirt, "pinned", x)
         # With the key cache and runtime reuse off, there is no HOT path.
         assert semirt.code.last_plan.kind == InvocationKind.WARM
         assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
@@ -182,5 +193,5 @@ class TestStrongIsolation:
     def test_results_still_correct(self, strong_setup, tiny_model):
         env, owner, user, semirt = strong_setup
         x = make_input(tiny_model, seed=9)
-        out = env.infer(user, semirt, "pinned", x)
+        out = run_infer(user, semirt, "pinned", x)
         assert np.allclose(out, tiny_model.run_reference(x).ravel(), atol=1e-5)

@@ -1,4 +1,4 @@
-"""The session API: deploy/grant/session plus the deprecated shims."""
+"""The session API: deploy/grant/session, traces, and shared instances."""
 
 import numpy as np
 import pytest
@@ -103,29 +103,24 @@ def test_warm_path_after_runtime_reset(fresh_env, handle, tiny_input):
         assert session.semirt.code.last_plan.kind == InvocationKind.HOT
 
 
-# -- deprecated shims ----------------------------------------------------------
+# -- shared (attached) instances -------------------------------------------------
 
 
-def test_authorize_shim_warns_and_still_works(fresh_env, tiny_model, tiny_input):
-    owner = fresh_env.connect_owner("legacy-owner")
-    user = fresh_env.connect_user("legacy-user")
-    semirt = fresh_env.launch_semirt("tvm")
-    with pytest.deprecated_call():
-        fresh_env.authorize(owner, user, tiny_model, "legacy-model", semirt.measurement)
-    with pytest.deprecated_call():
-        out = fresh_env.infer(user, semirt, "legacy-model", tiny_input)
-    reference = tiny_model.run_reference(tiny_input).ravel()
-    assert np.allclose(out, reference, atol=1e-5)
-    semirt.destroy()
-
-
-def test_old_and_new_paths_share_keyservice_state(fresh_env, handle, tiny_input):
-    """A legacy launch_semirt instance serves a session-API grant."""
+def test_session_attaches_to_shared_instance(fresh_env, handle, tiny_input):
+    """An explicitly launched host serves a session-API grant."""
     handle.grant("erin")
-    user = fresh_env.user("erin")
     semirt = fresh_env.launch_semirt("tvm")
     assert semirt.measurement == handle.measurement
-    with pytest.deprecated_call():
-        out = fresh_env.infer(user, semirt, "sess-model", tiny_input)
+    with fresh_env.session("erin", "sess-model", semirt=semirt) as session:
+        out = session.infer(tiny_input)
+        assert session.semirt is semirt
     assert out is not None
+    # closing an attached session leaves the shared host running
+    assert semirt.enclave.alive
     semirt.destroy()
+
+
+def test_deprecated_shims_are_gone(fresh_env):
+    """The PR-1 authorize/infer shims completed their deprecation cycle."""
+    assert not hasattr(SeSeMIEnvironment, "authorize")
+    assert not hasattr(SeSeMIEnvironment, "infer")

@@ -32,10 +32,14 @@ def test_quantized_model_through_the_secure_path():
     # the runtimes execute; the wire artifact is 4x smaller pre-crypto).
     quant_blob = quantize_model(float_model)
     quantized = load_quantized(quant_blob)
-    env.authorize(owner, user, quantized, "quant-model", semirt.measurement)
+    env.deploy(quantized, "quant-model", owner=owner, framework="tflm").grant(user)
     x = np.random.default_rng(0).standard_normal(float_model.input_spec.shape)
     x = x.astype(np.float32)
-    out = env.infer(user, semirt, "quant-model", x)
+    enc = user.encrypt_request("quant-model", semirt.measurement, x)
+    out = user.decrypt_response(
+        "quant-model", semirt.measurement,
+        semirt.infer(enc, user.principal_id, "quant-model"),
+    )
     reference = float_model.run_reference(x).ravel()
     assert np.abs(out - reference).max() < 0.05  # quantization noise only
 
@@ -119,8 +123,14 @@ def test_strong_isolation_plus_revocation(tiny_model, tiny_input):
     user = env.connect_user()
     isolation = IsolationSettings.strong(pinned_model="locked")
     semirt = env.launch_semirt("tvm", isolation=isolation)
-    env.authorize(owner, user, tiny_model, "locked", semirt.measurement)
-    first = env.infer(user, semirt, "locked", tiny_input)
+    env.deploy(tiny_model, "locked", owner=owner, isolation=isolation).grant(user)
+    first = user.decrypt_response(
+        "locked", semirt.measurement,
+        semirt.infer(
+            user.encrypt_request("locked", semirt.measurement, tiny_input),
+            user.principal_id, "locked",
+        ),
+    )
     assert np.allclose(first, tiny_model.run_reference(tiny_input).ravel(), atol=1e-5)
     owner.revoke_access("locked", semirt.measurement, user.principal_id)
     # Strong isolation re-fetches keys per request, so revocation bites

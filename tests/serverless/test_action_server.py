@@ -20,7 +20,7 @@ def rig(tiny_model, tiny_input):
     owner = env.connect_owner()
     user = env.connect_user()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, tiny_model, "m", semirt.measurement)
+    env.deploy(tiny_model, "m", owner=owner).grant(user)
     server = ActionServer(semirt)
     assert server.init({"value": {"name": "secure-infer"}})["status"] == OK
     return env, user, semirt, server

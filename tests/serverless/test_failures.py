@@ -131,7 +131,7 @@ def test_missing_model_artifact_fails_loudly(tiny_model, tiny_input):
     owner = env.connect_owner()
     user = env.connect_user()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, tiny_model, "m", semirt.measurement)
+    env.deploy(tiny_model, "m", owner=owner).grant(user)
     env.storage.delete("models/m")  # the cloud "loses" the artifact
     enc = user.encrypt_request("m", semirt.measurement, tiny_input)
     with pytest.raises(StorageError):
@@ -146,8 +146,16 @@ def test_semirt_recovers_from_keyservice_restart(tiny_model, tiny_input):
     owner = env.connect_owner()
     user = env.connect_user()
     semirt = env.launch_semirt("tvm")
-    env.authorize(owner, user, tiny_model, "m", semirt.measurement)
-    first = env.infer(user, semirt, "m", tiny_input)
+    env.deploy(tiny_model, "m", owner=owner).grant(user)
+
+    def infer_as(client):
+        enc = client.encrypt_request("m", semirt.measurement, tiny_input)
+        return client.decrypt_response(
+            "m", semirt.measurement,
+            semirt.infer(enc, client.principal_id, "m"),
+        )
+
+    first = infer_as(user)
 
     # Restart KeyService: fresh enclave, same code (same E_K), empty
     # channel table.  Re-register state as a recovering operator would.
@@ -167,7 +175,7 @@ def test_semirt_recovers_from_keyservice_restart(tiny_model, tiny_input):
     other = env.connect_user("other")
     owner.grant_access("m", semirt.measurement, other.principal_id)
     other.add_request_key("m", semirt.measurement)
-    out = env.infer(other, semirt, "m", tiny_input)
+    out = infer_as(other)
     assert np.allclose(out, first, atol=1e-5)
 
 
