@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Enforce the routing package's layering rule.
+
+``repro.routing`` is the twin-agnostic routing plane: both the
+simulated cluster (``repro.core.packer_service``) and the functional
+gateway (``repro.core.gateway``) depend on it, so it may depend on
+nothing of theirs.  Every module under ``src/repro/routing/`` may
+import only the standard library and ``repro.errors`` -- in particular
+never ``repro.core``, ``repro.serverless``, or ``repro.faults`` (the
+latter reaches ``repro.core.wire`` transitively).
+
+Run from the repository root::
+
+    python scripts/check_layering.py
+
+Exits non-zero listing every violating import.  CI runs this next to
+the test suite; see ``docs/routing.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROUTING_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "routing"
+
+#: the only first-party prefixes repro.routing may import
+ALLOWED_REPRO = ("repro.errors",)
+
+
+def _imported_modules(tree: ast.AST, module_name: str):
+    """Yield ``(lineno, dotted_module)`` for every import in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative: stays inside repro.routing
+                yield node.lineno, "repro.routing"
+            elif node.module:
+                yield node.lineno, node.module
+
+
+def _allowed(module: str) -> bool:
+    if not (module == "repro" or module.startswith("repro.")):
+        return True  # stdlib (the tree has no third-party deps)
+    if module.startswith("repro.routing"):
+        return True
+    return any(
+        module == allowed or module.startswith(allowed + ".")
+        for allowed in ALLOWED_REPRO
+    )
+
+
+def check(routing_dir: Path = ROUTING_DIR):
+    """All layering violations under ``routing_dir`` as printable strings."""
+    violations = []
+    for path in sorted(routing_dir.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, module in _imported_modules(tree, path.stem):
+            if not _allowed(module):
+                violations.append(
+                    f"{path.relative_to(routing_dir.parent.parent.parent)}:"
+                    f"{lineno}: imports {module!r} "
+                    f"(repro.routing may import only the stdlib and "
+                    f"{', '.join(ALLOWED_REPRO)})"
+                )
+    return violations
+
+
+def main() -> int:
+    """CLI entry point; returns a process exit code."""
+    if not ROUTING_DIR.is_dir():
+        print(f"missing routing package: {ROUTING_DIR}", file=sys.stderr)
+        return 2
+    violations = check()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print("repro.routing layering OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

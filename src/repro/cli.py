@@ -29,6 +29,7 @@ from repro.experiments import (
     chaos,
     concurrency,
     fig8,
+    gateway,
     fig9,
     fig10,
     fig11,
@@ -163,6 +164,16 @@ def _run_concurrency() -> dict:
     return concurrency.run()
 
 
+@experiment(
+    "gateway",
+    "Routed throughput: one gateway, 1 vs 3 live SeMIRT endpoints",
+    gateway.format_report,
+)
+def _run_gateway() -> dict:
+    """The routed-throughput benchmark with its default knobs."""
+    return gateway.run()
+
+
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
 def _trace_fig8() -> list:
     """Span dump of one virtual-time cold request (MBNET on TVM)."""
@@ -187,6 +198,12 @@ def _trace_chaos() -> list:
 def _trace_concurrency() -> list:
     """Span dump of one small multi-TCS batch (wall time)."""
     return concurrency.collect_trace()
+
+
+@trace_source("gateway", "a routed multi-model batch over two live endpoints")
+def _trace_gateway() -> list:
+    """Span dump of one routed batch (route spans included, wall time)."""
+    return gateway.collect_trace()
 
 
 @trace_source("session", "a functional cold+hot inference via the session API")
@@ -300,6 +317,16 @@ def _cmd_concurrency(
     return 0
 
 
+def _cmd_gateway(requests: int, paced_ms: float, as_json: bool) -> int:
+    """Run the routed-throughput benchmark (``repro gateway``)."""
+    result = gateway.run(requests=requests, paced_ms=paced_ms)
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(gateway.format_report(result))
+    return 0
+
+
 def _cmd_report(path: str) -> int:
     from repro.experiments.report import build_report
 
@@ -367,6 +394,20 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the raw result dict as JSON",
     )
+    gw_parser = sub.add_parser(
+        "gateway", help="run the routed-throughput gateway benchmark"
+    )
+    gw_parser.add_argument(
+        "--requests", type=int, default=24, help="requests per fleet width"
+    )
+    gw_parser.add_argument(
+        "--paced-ms", type=float, default=150.0,
+        help="per-request service-time floor in ms (0 disables pacing)",
+    )
+    gw_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result dict as JSON",
+    )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
@@ -380,6 +421,8 @@ def main(argv=None) -> int:
         return _cmd_chaos(args.seed, args.requests, args.quick, args.json)
     if args.command == "concurrency":
         return _cmd_concurrency(args.requests, args.paced_ms, args.json)
+    if args.command == "gateway":
+        return _cmd_gateway(args.requests, args.paced_ms, args.json)
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

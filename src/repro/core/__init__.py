@@ -11,6 +11,12 @@ from repro.core.fnpacker import (
     OneToOneRouter,
     Router,
 )
+from repro.core.gateway import (
+    GatewayConfig,
+    GatewayReply,
+    InferenceGateway,
+    RouteDecision,
+)
 from repro.core.keyfleet import KeyServiceFleet
 from repro.core.keyservice import (
     KEYSERVICE_CONFIG,
@@ -54,6 +60,9 @@ __all__ = [
     "FnPackerRouter",
     "FnPackerService",
     "FnPool",
+    "GatewayConfig",
+    "GatewayReply",
+    "InferenceGateway",
     "InvocationKind",
     "InvocationPlan",
     "IsoReuseSimActor",
@@ -66,6 +75,7 @@ __all__ = [
     "NativeSimActor",
     "OneToOneRouter",
     "OwnerClient",
+    "RouteDecision",
     "Router",
     "SeSeMIEnvironment",
     "SemirtCacheState",

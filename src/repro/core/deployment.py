@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.client import OwnerClient, UserClient
+from repro.core.gateway import GatewayConfig, InferenceGateway
 from repro.core.keyservice import KEYSERVICE_CONFIG, KeyServiceHost
 from repro.core.semirt import (
     IsolationSettings,
@@ -57,6 +58,7 @@ from repro.faults.resilience import (
 )
 from repro.mlrt.model import Model
 from repro.obs.tracer import Tracer, maybe_span
+from repro.routing import FnPool
 from repro.serverless.storage import BlobStore
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveBuildConfig
@@ -80,7 +82,7 @@ class ModelHandle:
         owner: OwnerClient,
         framework: str = "tvm",
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
     ) -> None:
         self._env = env
         self.model = model
@@ -88,7 +90,7 @@ class ModelHandle:
         self.owner = owner
         self.framework = framework
         self.config = config
-        self.isolation = isolation
+        self.isolation = isolation if isolation is not None else IsolationSettings()
         #: the enclave identity ``E_S`` grants are issued against
         self.measurement: EnclaveMeasurement = env.expected_semirt(
             framework, config, isolation
@@ -144,6 +146,15 @@ class UserSession:
     that measurement: an attached host is never *trusted*, only used.
     Attached hosts are not torn down by :meth:`close`; if one dies, the
     session falls back to launching its own instance cold.
+
+    Every request dispatches through an
+    :class:`~repro.core.gateway.InferenceGateway`.  A plain session is
+    the *degenerate* case -- a one-endpoint pool whose sole host the
+    gateway launches lazily -- configured so failures surface to the
+    session's own resilience layer exactly as before.  Passing a shared
+    multi-endpoint ``gateway`` (from :meth:`SeSeMIEnvironment.gateway`)
+    instead routes the session's requests across the gateway's whole
+    endpoint fleet under the FnPacker policy.
     """
 
     def __init__(
@@ -154,9 +165,10 @@ class UserSession:
         framework: str = "tvm",
         node_id: str = "worker-node",
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
         scheduler: Optional[SchedulerConfig] = None,
         semirt: Optional[SemirtHost] = None,
+        gateway: Optional[InferenceGateway] = None,
     ) -> None:
         if user.principal_id is None:
             raise SeSeMIError("user must be registered first")
@@ -166,20 +178,56 @@ class UserSession:
         self.framework = framework
         self.node_id = node_id
         self.config = config
-        self.isolation = isolation
+        self.isolation = isolation if isolation is not None else IsolationSettings()
         self.scheduler = scheduler
         #: the enclave identity requests are encrypted for
         self.measurement: EnclaveMeasurement = env.expected_semirt(
-            framework, config, isolation
+            framework, config, self.isolation
         )
-        self._semirt: Optional[SemirtHost] = semirt
-        self._owns_semirt = semirt is None
         self._caller: Optional[ResilientCaller] = None
+        self._owns_gateway = gateway is None
+        if gateway is not None:
+            if semirt is not None:
+                raise SeSeMIError("pass either semirt= or gateway=, not both")
+            if model_id not in gateway.pool.models:
+                raise SeSeMIError(
+                    f"model {model_id!r} is not in pool {gateway.pool.name!r}"
+                )
+            self._gateway = gateway
+        else:
+            # The degenerate one-endpoint pool: the gateway launches the
+            # session's own host lazily inside the first traced request,
+            # and surfaces every failure (no redispatch, no breaker) so
+            # the session-level resilience semantics stay unchanged.
+            pool = FnPool(
+                name=f"session:{model_id}@{node_id}",
+                models=(model_id,),
+                memory_budget=0,
+                num_endpoints=1,
+            )
+            self._gateway = InferenceGateway(
+                pool,
+                self._launch_host,
+                config=GatewayConfig(redispatch_on_crash=False),
+                tracer=env.tracer,
+            )
+            if semirt is not None:
+                endpoint = self._gateway.router.endpoints()[0][0]
+                self._gateway.attach(endpoint, semirt)
+
+    @property
+    def gateway(self) -> InferenceGateway:
+        """The gateway this session dispatches through."""
+        return self._gateway
 
     @property
     def semirt(self) -> Optional[SemirtHost]:
-        """The live SeMIRT instance, or ``None`` before the first request."""
-        return self._semirt
+        """The live SeMIRT instance, or ``None`` before the first request.
+
+        For a session on a shared multi-endpoint gateway this is the
+        fleet's first live host (introspection only).
+        """
+        return self._gateway.primary_host()
 
     def infer(
         self, x: np.ndarray, deadline_s: Optional[float] = None
@@ -262,12 +310,9 @@ class UserSession:
             node_id=self.node_id,
             count=len(xs),
         ) as root:
-            if self._semirt is not None and not self._semirt.enclave.alive:
-                self._semirt = None
-            cold = self._semirt is None
-            if cold:
-                self._launch(tracer)
-            semirt = self._semirt
+            if self._gateway.endpoint_count > 1:
+                return self._infer_many_routed(xs, root)
+            semirt, cold = self._gateway.ensure_host()
             if window is None:
                 window = semirt.enclave.config.tcs_count
             window = max(1, window)
@@ -312,34 +357,55 @@ class UserSession:
                 )
         return results
 
-    def _attempt(self, x: np.ndarray, root) -> np.ndarray:
-        """One serving attempt: (re)launch if needed, encrypt/serve/decrypt."""
-        tracer = self._env.tracer
+    def _infer_many_routed(
+        self, xs: Sequence[np.ndarray], root
+    ) -> List[np.ndarray]:
+        """Batch serving over a shared fleet: route every item."""
         injector = self._env.injector
-        if self._semirt is not None and not self._semirt.enclave.alive:
-            # the instance crashed under us: relaunch cold on this attempt
-            self._semirt = None
-        cold = self._semirt is None
-        if cold:
-            self._launch(tracer)
+        results: List[np.ndarray] = []
+        for x in xs:
+            enc_request = maybe_wire(
+                injector,
+                "user->semirt",
+                self.user.encrypt_request(self.model_id, self.measurement, x),
+            )
+            reply = self._gateway.dispatch(
+                enc_request, self.user.principal_id, self.model_id
+            )
+            enc_response = maybe_wire(injector, "semirt->user", reply.output)
+            results.append(
+                self.user.decrypt_response(
+                    self.model_id, self.measurement, enc_response
+                )
+            )
+        if root is not None:
+            root.set_attributes(
+                flavor="routed", enclave_id=self.measurement.value, window=1
+            )
+        return results
+
+    def _attempt(self, x: np.ndarray, root) -> np.ndarray:
+        """One serving attempt: encrypt, dispatch through the gateway, decrypt."""
+        injector = self._env.injector
         enc_request = maybe_wire(
             injector,
             "user->semirt",
             self.user.encrypt_request(self.model_id, self.measurement, x),
         )
-        enc_response = maybe_wire(
-            injector,
-            "semirt->user",
-            self._semirt.infer(
-                enc_request, self.user.principal_id, self.model_id
-            ),
+        reply = self._gateway.dispatch(
+            enc_request, self.user.principal_id, self.model_id
         )
+        enc_response = maybe_wire(injector, "semirt->user", reply.output)
         result = self.user.decrypt_response(
             self.model_id, self.measurement, enc_response
         )
         if root is not None:
-            plan = self._semirt.code.last_plan
-            flavor = "cold" if cold else (plan.kind.value if plan else "warm")
+            plan = reply.host.code.last_plan
+            flavor = (
+                "cold"
+                if reply.decision.cold
+                else (plan.kind.value if plan else "warm")
+            )
             root.set_attributes(flavor=flavor, enclave_id=self.measurement.value)
         return result
 
@@ -355,8 +421,14 @@ class UserSession:
             )
         return self._caller
 
-    def _launch(self, tracer: Optional[Tracer]) -> None:
-        """Cold start: bring up the sandbox (platform) and the enclave."""
+    def _launch_host(self, endpoint: str) -> SemirtHost:
+        """Cold start: bring up the sandbox (platform) and the enclave.
+
+        This is the session gateway's host launcher: it runs inside the
+        traced request that triggered the cold start, so the sandbox and
+        enclave spans land under that request's root span.
+        """
+        tracer = self._env.tracer
         with maybe_span(
             tracer,
             f"stage:{Stage.SANDBOX_INIT.value}",
@@ -365,7 +437,7 @@ class UserSession:
         ):
             platform = self._env.worker_platform(self.node_id)
         # SemirtHost opens its own stage:enclave_init span
-        self._semirt = SemirtHost(
+        return SemirtHost(
             platform=platform,
             storage=self._env.storage,
             keyservice_host=self._env.keyservice,
@@ -377,17 +449,16 @@ class UserSession:
             tracer=tracer,
             injector=self._env.injector,
         )
-        self._owns_semirt = True
 
     def close(self) -> None:
-        """Tear down an owned SeMIRT instance (sandbox reclaim).
+        """Tear down the session's own gateway (sandbox reclaim).
 
-        Attached (shared) hosts are left running -- they belong to
-        whoever launched them.
+        Owned hosts are destroyed; attached (shared) hosts and shared
+        gateways are left running -- they belong to whoever launched
+        them.
         """
-        if self._semirt is not None and self._owns_semirt:
-            self._semirt.destroy()
-        self._semirt = None
+        if self._owns_gateway:
+            self._gateway.close()
 
     def __enter__(self) -> "UserSession":
         """Context-manager entry: the session itself."""
@@ -531,7 +602,7 @@ class SeSeMIEnvironment:
         owner: Union[OwnerClient, str, None] = None,
         framework: str = "tvm",
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
     ) -> ModelHandle:
         """Encrypt + upload ``model`` and hand its key to KeyService.
 
@@ -553,15 +624,18 @@ class SeSeMIEnvironment:
         framework: str = "tvm",
         node_id: str = "worker-node",
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
         scheduler: Optional[SchedulerConfig] = None,
         semirt: Optional[SemirtHost] = None,
+        gateway: Optional[InferenceGateway] = None,
     ) -> UserSession:
         """A serving session for ``user`` against ``model_id``.
 
         ``scheduler`` tunes the TCS-slot scheduler of the session's own
         instance; ``semirt`` attaches the session to an already-running
-        (shared, possibly multi-TCS) host instead of launching one.
+        (shared, possibly multi-TCS) host instead of launching one;
+        ``gateway`` (from :meth:`gateway`) dispatches the session's
+        requests across a shared multi-endpoint fleet instead.
         """
         return UserSession(
             self,
@@ -573,6 +647,59 @@ class SeSeMIEnvironment:
             isolation=isolation,
             scheduler=scheduler,
             semirt=semirt,
+            gateway=gateway,
+        )
+
+    def gateway(
+        self,
+        pool: FnPool,
+        framework: str = "tvm",
+        *,
+        config: Optional[EnclaveBuildConfig] = None,
+        isolation: Optional[IsolationSettings] = None,
+        scheduler: Optional[SchedulerConfig] = None,
+        gateway_config: Optional[GatewayConfig] = None,
+    ) -> InferenceGateway:
+        """An :class:`InferenceGateway` over live endpoints for ``pool``.
+
+        Each endpoint gets its own worker platform (one logical invoker
+        node per endpoint) and launches lazily on first use.  The
+        default :class:`GatewayConfig` runs the FnPacker strategy with
+        ``slots_per_endpoint`` equal to the enclaves' TCS count, so the
+        router keeps multi-TCS endpoints full.  Sessions created with
+        ``env.session(..., gateway=gw)`` must use the same
+        ``(framework, config, isolation)`` triple -- that is the enclave
+        identity their requests are encrypted for.
+        """
+        enclave_config = config or default_semirt_config()
+        if gateway_config is None:
+            gateway_config = GatewayConfig(
+                slots_per_endpoint=enclave_config.tcs_count
+            )
+
+        def launcher(endpoint: str) -> SemirtHost:
+            with maybe_span(
+                self.tracer,
+                f"stage:{Stage.SANDBOX_INIT.value}",
+                stage=Stage.SANDBOX_INIT.value,
+                node_id=endpoint,
+            ):
+                platform = self.worker_platform(endpoint)
+            return SemirtHost(
+                platform=platform,
+                storage=self.storage,
+                keyservice_host=self.keyservice,
+                framework=framework,
+                attestation=self.attestation,
+                config=enclave_config,
+                isolation=isolation,
+                scheduler=scheduler,
+                tracer=self.tracer,
+                injector=self.injector,
+            )
+
+        return InferenceGateway(
+            pool, launcher, config=gateway_config, tracer=self.tracer
         )
 
     # -- worker instances --------------------------------------------------------
@@ -593,7 +720,7 @@ class SeSeMIEnvironment:
         self,
         framework: str,
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
     ) -> EnclaveMeasurement:
         """The ``E_S`` owners/users must grant (derived, not queried)."""
         return expected_semirt_measurement(
@@ -608,7 +735,7 @@ class SeSeMIEnvironment:
         framework: str,
         node_id: str = "worker-node",
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
         scheduler: Optional[SchedulerConfig] = None,
     ) -> SemirtHost:
         """Start a SeMIRT instance explicitly (what a cold sandbox does).

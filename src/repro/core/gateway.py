@@ -1,0 +1,479 @@
+"""InferenceGateway: the functional twin's routing front end.
+
+The paper's FnPacker routes *simulated* requests; this module puts the
+same routing plane (:mod:`repro.routing`) in front of live
+:class:`~repro.core.semirt.SemirtHost` endpoints, so a request that
+runs real crypto and a real model flows through the identical
+Section IV-C policy the benchmarks measure.
+
+The gateway owns the endpoint fleet for one :class:`FnPool`:
+
+- hosts launch **lazily** through a caller-supplied ``launcher``
+  callback the first time the router picks their endpoint (the cold
+  start happens inside the request, like a serverless platform);
+- :class:`~repro.errors.QueueFull` from an endpoint's admission queue
+  is **backpressure, not failure**: the gateway excludes that endpoint
+  and reroutes -- it never blind-retries into the same full queue
+  (see ``docs/faults.md``).  Only when *every* endpoint is saturated
+  does the ``QueueFull`` surface to the caller;
+- a crashed endpoint is marked down and the request **reroutes** to a
+  healthy peer (``redispatch_on_crash``); when no peer is left the
+  gateway relaunches the endpoint cold -- which is exactly the
+  single-endpoint degenerate case :class:`~repro.core.deployment.UserSession`
+  is built on;
+- sustained queue pressure can **scale out** the fleet
+  (:class:`~repro.routing.ScaleOutPolicy`), and endpoints can be
+  drained then retired;
+- optional per-endpoint :class:`~repro.faults.resilience.CircuitBreaker`
+  guards convert a persistently failing endpoint into a routing
+  exclusion instead of an error storm.
+
+Every dispatched request emits a ``route`` span on the tracer with the
+decision attributes (``endpoint``, ``exclusive``, ``reroutes``), so
+FnPacker packing behaviour is observable on the functional twin too.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.core.semirt import SemirtHost
+from repro.errors import (
+    EnclaveError,
+    QueueFull,
+    RoutingError,
+    TransportError,
+)
+from repro.faults.resilience import BreakerPolicy, CircuitBreaker
+from repro.obs.tracer import Tracer, maybe_span
+from repro.routing import (
+    FnPackerRouter,
+    FnPool,
+    PressureTracker,
+    Router,
+    ScaleOutPolicy,
+    make_router,
+)
+
+#: a host launcher: endpoint name -> live SemirtHost
+HostLauncher = Callable[[str], SemirtHost]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Behaviour knobs for one :class:`InferenceGateway`.
+
+    ``redispatch_on_crash`` controls whether an endpoint failure is
+    absorbed by rerouting (the fleet case) or surfaced to the caller
+    (the degenerate single-endpoint session, where the caller's own
+    resilience layer owns the retry decision).  ``breaker`` arms one
+    :class:`CircuitBreaker` per endpoint; ``scale_out`` arms fleet
+    growth under sustained backpressure.
+    """
+
+    strategy: str = "fnpacker"
+    idle_interval_s: float = 10.0
+    slots_per_endpoint: int = 1
+    scale_out: Optional[ScaleOutPolicy] = None
+    breaker: Optional[BreakerPolicy] = None
+    redispatch_on_crash: bool = True
+    max_redispatch: int = 2
+
+
+@dataclass
+class RouteDecision:
+    """How one request was routed (mirrored onto the ``route`` span)."""
+
+    endpoint: str
+    exclusive: bool = False
+    reroutes: int = 0          # endpoint exclusions before this one landed
+    redispatches: int = 0      # failed serving attempts before this one
+    cold: bool = False         # the endpoint's host was launched for this request
+
+
+@dataclass
+class GatewayReply:
+    """The encrypted response plus its routing decision."""
+
+    output: bytes
+    decision: RouteDecision
+    host: SemirtHost = field(repr=False, default=None)
+
+
+class InferenceGateway:
+    """Route functional requests over a fleet of live SeMIRT endpoints."""
+
+    def __init__(
+        self,
+        pool: FnPool,
+        launcher: HostLauncher,
+        *,
+        config: Optional[GatewayConfig] = None,
+        router: Optional[Router] = None,
+        tracer: Optional[Tracer] = None,
+        clock=None,
+    ) -> None:
+        self.pool = pool
+        self.config = config if config is not None else GatewayConfig()
+        self.router = router if router is not None else make_router(
+            self.config.strategy,
+            pool,
+            idle_interval_s=self.config.idle_interval_s,
+            slots_per_endpoint=self.config.slots_per_endpoint,
+        )
+        self.tracer = tracer
+        self._clock = clock if clock is not None else (
+            tracer.clock if tracer is not None else None
+        )
+        self._launcher = launcher
+        self._hosts: Dict[str, SemirtHost] = {}
+        self._owned: Set[str] = set()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._pressure = (
+            PressureTracker(self.config.scale_out)
+            if self.config.scale_out is not None
+            else None
+        )
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._launch_lock = threading.Lock()
+
+    # -- fleet wiring -----------------------------------------------------------
+
+    def attach(self, endpoint: str, host: SemirtHost) -> None:
+        """Bind a pre-launched (shared) host to ``endpoint``.
+
+        Attached hosts are used, never owned: :meth:`close` and
+        retirement leave them running for whoever launched them.
+        """
+        known = {name for name, _ in self.router.endpoints()}
+        if endpoint not in known:
+            raise RoutingError(f"unknown endpoint {endpoint!r}")
+        with self._lock:
+            self._hosts[endpoint] = host
+            self._owned.discard(endpoint)
+
+    def host(self, endpoint: str) -> Optional[SemirtHost]:
+        """The live host bound to ``endpoint`` (``None`` before launch)."""
+        with self._lock:
+            return self._hosts.get(endpoint)
+
+    def hosts(self) -> Dict[str, SemirtHost]:
+        """A snapshot of all live endpoint hosts."""
+        with self._lock:
+            return dict(self._hosts)
+
+    def primary_host(self) -> Optional[SemirtHost]:
+        """The single live host of a one-endpoint gateway (else first)."""
+        with self._lock:
+            for host in self._hosts.values():
+                return host
+            return None
+
+    @property
+    def endpoint_count(self) -> int:
+        return len(self.router.endpoints())
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now()
+        return 0.0
+
+    def _breaker(self, endpoint: str) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config.breaker, clock=self._clock)
+            self._breakers[endpoint] = breaker
+        return breaker
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(
+        self,
+        enc_request: bytes,
+        user_id: str,
+        model_id: str,
+        timeout_s: Optional[float] = None,
+    ) -> GatewayReply:
+        """Route one encrypted request to an endpoint and serve it.
+
+        Raises whatever the serving attempt raised once rerouting and
+        redispatching are exhausted; :class:`QueueFull` means the whole
+        fleet is saturated (backpressure -- the caller should shed or
+        slow down, not retry immediately).
+        """
+        exclude: Set[str] = set()
+        decision = RouteDecision(endpoint="")
+        saw_pressure = False
+        pressure_observed = False
+        last_queue_full: Optional[QueueFull] = None
+        # Bounded walk: every iteration either excludes an endpoint,
+        # consumes a redispatch, or returns.
+        for _ in range(4 * (self.config.max_redispatch + self.pool.endpoint_count + 2)):
+            try:
+                endpoint = self.router.route(
+                    model_id, self._now(), frozenset(exclude)
+                )
+            except RoutingError:
+                if last_queue_full is not None:
+                    # the whole fleet is saturated: one pressure
+                    # observation per dispatch, spawning only under
+                    # *sustained* backpressure.
+                    grew = False
+                    if self._pressure is not None and not pressure_observed:
+                        pressure_observed = True
+                        if self._pressure.observe(True, self.endpoint_count):
+                            grew = self._grow_fleet()
+                    if grew:
+                        last_queue_full = None
+                        continue
+                    raise last_queue_full
+                endpoint = self._relaunch_candidate(exclude)
+                if endpoint is None:
+                    raise
+            breaker = self._breaker(endpoint)
+            if breaker is not None and breaker.state == "open":
+                exclude.add(endpoint)
+                decision.reroutes += 1
+                continue
+            try:
+                host, cold = self._ensure_host(endpoint, exclude)
+            except _Reroute:
+                decision.reroutes += 1
+                continue
+            decision.endpoint = endpoint
+            decision.cold = cold
+            try:
+                ticket = host.submit(enc_request, user_id, model_id)
+            except QueueFull as exc:
+                saw_pressure = True
+                last_queue_full = exc
+                exclude.add(endpoint)
+                decision.reroutes += 1
+                continue
+            except (EnclaveError, TransportError) as exc:
+                # the endpoint died at admission (e.g. an injected
+                # crash): nothing was dispatched, so only health and
+                # breaker state change.
+                self._note_endpoint_death(endpoint, breaker)
+                if (
+                    self.config.redispatch_on_crash
+                    and decision.redispatches < self.config.max_redispatch
+                ):
+                    decision.redispatches += 1
+                    exclude.add(endpoint)
+                    continue
+                raise exc
+            now = self._now()
+            self.router.on_dispatch(endpoint, model_id, now)
+            with self._lock:
+                self._in_flight += 1
+            decision.exclusive = self._is_exclusive(endpoint, model_id)
+            try:
+                with maybe_span(
+                    self.tracer,
+                    "route",
+                    endpoint=endpoint,
+                    model_id=model_id,
+                    exclusive=decision.exclusive,
+                    reroutes=decision.reroutes,
+                    redispatches=decision.redispatches,
+                    cold=decision.cold,
+                ):
+                    output = ticket.result(timeout=timeout_s)
+            except Exception as exc:
+                self._finish(endpoint, model_id, ok=False)
+                if not host.enclave.alive:
+                    self._note_endpoint_death(endpoint, breaker)
+                elif breaker is not None:
+                    breaker.on_failure()
+                if (
+                    isinstance(exc, (EnclaveError, TransportError))
+                    and not isinstance(exc, QueueFull)
+                    and self.config.redispatch_on_crash
+                    and decision.redispatches < self.config.max_redispatch
+                ):
+                    decision.redispatches += 1
+                    exclude.add(endpoint)
+                    continue
+                raise
+            self._finish(endpoint, model_id, ok=True)
+            if breaker is not None:
+                breaker.on_success()
+            if self._pressure is not None and not pressure_observed:
+                if self._pressure.observe(saw_pressure, self.endpoint_count):
+                    self._grow_fleet()
+            return GatewayReply(output=output, decision=decision, host=host)
+        raise RoutingError(
+            f"dispatch for {model_id!r} exhausted rerouting in pool "
+            f"{self.pool.name!r}"
+        )
+
+    def _finish(self, endpoint: str, model_id: str, ok: bool) -> None:
+        now = self._now()
+        if ok:
+            self.router.on_complete(endpoint, model_id, now)
+        else:
+            self.router.on_failure(endpoint, model_id, now)
+        with self._lock:
+            self._in_flight -= 1
+            self._idle.notify_all()
+
+    def _is_exclusive(self, endpoint: str, model_id: str) -> bool:
+        if isinstance(self.router, FnPackerRouter):
+            return self.router.exclusive_assignments().get(endpoint) == model_id
+        return False
+
+    # -- endpoint hosts ----------------------------------------------------------
+
+    def ensure_host(self, endpoint: Optional[str] = None) -> Tuple[SemirtHost, bool]:
+        """The live host for ``endpoint`` (default: the sole/first one).
+
+        Launches it cold when missing or dead; returns ``(host, cold)``.
+        This is the direct-access path ``UserSession.infer_many`` uses
+        to pipeline a batch onto one endpoint's TCS-slot scheduler.
+        """
+        if endpoint is None:
+            endpoint = self.router.endpoints()[0][0]
+        with self._lock:
+            host = self._hosts.get(endpoint)
+        if host is not None and host.enclave.alive:
+            return host, False
+        return self._launch(endpoint)
+
+    def _ensure_host(self, endpoint: str, exclude: Set[str]) -> Tuple[SemirtHost, bool]:
+        """The live host for ``endpoint``, launching it cold if needed.
+
+        If the bound host died and a healthy peer remains, the endpoint
+        is marked down and the request rerouted (raises ``_Reroute``);
+        as a last resort the endpoint is relaunched in place.
+        """
+        with self._lock:
+            host = self._hosts.get(endpoint)
+        if host is not None and host.enclave.alive:
+            return host, False
+        if host is not None:
+            # bound host is dead: prefer rerouting over an in-request
+            # relaunch when any other endpoint could take the traffic.
+            if self._has_alternative(endpoint, exclude):
+                self._note_endpoint_death(endpoint, self._breaker(endpoint))
+                exclude.add(endpoint)
+                raise _Reroute()
+        return self._launch(endpoint)
+
+    def _launch(self, endpoint: str) -> Tuple[SemirtHost, bool]:
+        with self._launch_lock:
+            with self._lock:
+                host = self._hosts.get(endpoint)
+            if host is not None and host.enclave.alive:
+                return host, False  # a concurrent request already launched it
+            host = self._launcher(endpoint)
+            with self._lock:
+                self._hosts[endpoint] = host
+                self._owned.add(endpoint)
+            self.router.mark_endpoint_up(endpoint)
+            return host, True
+
+    def _has_alternative(self, endpoint: str, exclude: Set[str]) -> bool:
+        for name, _ in self.router.endpoints():
+            if name != endpoint and name not in exclude:
+                host = self._hosts.get(name)
+                if host is None or host.enclave.alive:
+                    return True
+        return False
+
+    def _relaunch_candidate(self, exclude: Set[str]) -> Optional[str]:
+        """An endpoint worth relaunching when routing found none usable."""
+        for name, _ in self.router.endpoints():
+            if name in exclude:
+                continue
+            host = self._hosts.get(name)
+            if host is None or not host.enclave.alive:
+                return name
+        return None
+
+    def _note_endpoint_death(
+        self, endpoint: str, breaker: Optional[CircuitBreaker]
+    ) -> None:
+        self.router.mark_endpoint_down(endpoint)
+        if breaker is not None:
+            breaker.on_failure()
+
+    # -- scale-out ----------------------------------------------------------------
+
+    def _grow_fleet(self) -> bool:
+        try:
+            endpoint, _ = self.router.add_endpoint()
+        except RoutingError:
+            return False  # baseline routers have a fixed layout
+        if self.tracer is not None:
+            with self.tracer.span("scale_out", endpoint=endpoint):
+                pass
+        return True
+
+    # -- drain / retire ------------------------------------------------------------
+
+    def drain(self, endpoint: str) -> None:
+        """Stop routing new requests to ``endpoint``; in-flight finishes."""
+        self.router.begin_drain(endpoint)
+
+    def retire(self, endpoint: str, timeout_s: float = 30.0) -> None:
+        """Drain ``endpoint``, wait for its work, and tear it down."""
+        self.drain(endpoint)
+        with self._idle:
+            self._idle.wait_for(
+                lambda: self._endpoint_pending(endpoint) == 0, timeout=timeout_s
+            )
+        self.router.retire_endpoint(endpoint)
+        with self._lock:
+            host = self._hosts.pop(endpoint, None)
+            owned = endpoint in self._owned
+            self._owned.discard(endpoint)
+        if host is not None and owned and host.enclave.alive:
+            host.destroy()
+
+    def _endpoint_pending(self, endpoint: str) -> int:
+        states = getattr(self.router, "_endpoints", None)
+        if states is None or endpoint not in states:
+            return 0
+        return states[endpoint].pending
+
+    def close(self) -> None:
+        """Tear down every owned host; attached hosts keep running."""
+        with self._lock:
+            hosts = dict(self._hosts)
+            owned = set(self._owned)
+            self._hosts.clear()
+            self._owned.clear()
+        for endpoint, host in hosts.items():
+            if endpoint in owned and host.enclave.alive:
+                host.destroy()
+
+    def __enter__(self) -> "InferenceGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _Reroute(Exception):
+    """Internal: the chosen endpoint is unusable, pick another."""
+
+
+__all__ = [
+    "GatewayConfig",
+    "GatewayReply",
+    "HostLauncher",
+    "InferenceGateway",
+    "RouteDecision",
+]

@@ -1,17 +1,16 @@
-"""FnPackerService: deploy an FnPool and route requests through it.
+"""FnPackerService: adapt :mod:`repro.routing` onto the simulated Controller.
 
 The paper's FnPacker is a standalone Go service the model owner deploys
 in front of the serverless proxy: it registers the pool's function
 endpoints with the platform, receives user requests, applies the
 scheduling policy, and forwards to OpenWhisk.  This module is that
-service for the simulated platform: given an :class:`FnPool` and a
-deployment strategy it creates the endpoints (SeMIRT actors able to
-serve every model of the pool), tracks executions, and exposes a single
-``invoke`` entry point.
-
-It also implements the owner-facing lifecycle: pools can be *resized*
-(endpoints added under load) and *retired* (endpoints drained), which is
-the operational surface a real deployment needs beyond the paper.
+service for the simulated platform -- but it is a *thin adapter*: all
+routing policy lives in the twin-agnostic :mod:`repro.routing` package
+(shared with the functional twin's
+:class:`~repro.core.gateway.InferenceGateway`).  What remains here is
+the glue onto the discrete-event simulator: deploying endpoint actions,
+converting completions into router observations, and the owner-facing
+resize/drain/retire lifecycle mapped onto Controller deployments.
 """
 
 from __future__ import annotations
@@ -20,44 +19,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.core.costs import CostModel
-from repro.core.fnpacker import (
-    AllInOneRouter,
-    FnPackerRouter,
-    FnPool,
-    OneToOneRouter,
-    Router,
-)
 from repro.core.simbridge import ServableModel, semirt_factory
 from repro.errors import ConfigError, RoutingError
+from repro.routing import STRATEGIES, FnPackerRouter, FnPool, make_router
 from repro.serverless.action import ActionSpec, Request, round_memory_budget
 from repro.serverless.controller import Controller
 from repro.sim.core import Event, Simulation
 
-STRATEGIES = ("fnpacker", "one-to-one", "all-in-one")
-
-
-def make_router(
-    strategy: str,
-    pool: FnPool,
-    idle_interval_s: float = 10.0,
-    slots_per_endpoint: int = 1,
-) -> Router:
-    """Build the router for a deployment strategy.
-
-    ``slots_per_endpoint`` (the endpoints' ``tcs_count``) only matters to
-    the FnPacker strategy: the baselines have no in-flight accounting.
-    """
-    if strategy == "fnpacker":
-        return FnPackerRouter(
-            pool,
-            idle_interval_s=idle_interval_s,
-            slots_per_endpoint=slots_per_endpoint,
-        )
-    if strategy == "one-to-one":
-        return OneToOneRouter(pool)
-    if strategy == "all-in-one":
-        return AllInOneRouter(pool)
-    raise ConfigError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
+__all__ = ["STRATEGIES", "FnPackerService", "PoolStats", "make_router"]
 
 
 @dataclass
@@ -72,7 +41,7 @@ class PoolStats:
 
 
 class FnPackerService:
-    """The request-routing front end for one FnPool."""
+    """The request-routing front end for one FnPool (simulated twin)."""
 
     def __init__(
         self,
@@ -99,7 +68,8 @@ class FnPackerService:
             strategy, pool, idle_interval_s, slots_per_endpoint=tcs_count
         )
         self.stats: Dict[str, PoolStats] = {m: PoolStats() for m in pool.models}
-        self._deploy_endpoints()
+        for endpoint, servable_ids in self.router.endpoints():
+            self._deploy_endpoint(endpoint, tuple(servable_ids))
 
     # -- deployment -----------------------------------------------------------
 
@@ -115,19 +85,18 @@ class FnPackerService:
             largest = max(largest, self.pool.memory_budget)
         return round_memory_budget(largest)
 
-    def _deploy_endpoints(self) -> None:
-        for endpoint, servable_ids in self.router.endpoints():
-            subset_ids = servable_ids or self.pool.models
-            subset = {m: self.models[m] for m in subset_ids}
-            spec = ActionSpec(
-                name=endpoint,
-                image="semirt",
-                memory_budget=self._budget_for(tuple(subset_ids)),
-                concurrency=self.tcs_count,
-            )
-            self.controller.deploy(
-                spec, semirt_factory(subset, self.cost, tcs_count=self.tcs_count)
-            )
+    def _deploy_endpoint(self, endpoint: str, servable_ids: Tuple[str, ...]) -> None:
+        subset_ids = servable_ids or self.pool.models
+        subset = {m: self.models[m] for m in subset_ids}
+        spec = ActionSpec(
+            name=endpoint,
+            image="semirt",
+            memory_budget=self._budget_for(tuple(subset_ids)),
+            concurrency=self.tcs_count,
+        )
+        self.controller.deploy(
+            spec, semirt_factory(subset, self.cost, tcs_count=self.tcs_count)
+        )
 
     # -- the user-facing entry point ---------------------------------------------
 
@@ -154,6 +123,26 @@ class FnPackerService:
         stats = self.stats[model_id]
         stats.completed += 1
         stats.last_latency_by_kind[result.kind] = result.latency
+
+    # -- owner-facing lifecycle ---------------------------------------------------
+
+    def resize(self, extra_endpoints: int = 1) -> Tuple[str, ...]:
+        """Grow the pool: add endpoints and deploy their actions."""
+        added = []
+        for _ in range(extra_endpoints):
+            endpoint, servable = self.router.add_endpoint()
+            self._deploy_endpoint(endpoint, tuple(servable))
+            added.append(endpoint)
+        return tuple(added)
+
+    def drain_endpoint(self, endpoint: str) -> None:
+        """Stop routing new requests to ``endpoint``; in-flight finishes."""
+        self.router.begin_drain(endpoint)
+
+    def retire_endpoint(self, endpoint: str) -> None:
+        """Remove a drained endpoint and reclaim its idle containers."""
+        self.router.retire_endpoint(endpoint)
+        self.controller.retire_action(endpoint)
 
     # -- introspection ---------------------------------------------------------------
 

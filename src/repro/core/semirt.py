@@ -143,13 +143,14 @@ def expected_semirt_measurement(
     framework: str,
     keyservice_measurement: EnclaveMeasurement,
     config: EnclaveBuildConfig,
-    isolation: IsolationSettings = IsolationSettings(),
+    isolation: Optional[IsolationSettings] = None,
 ) -> EnclaveMeasurement:
     """Derive ``E_S`` independently from code + build settings.
 
     Model owners and users compute this before granting access; the model
     content is *not* part of the identity (Appendix B).
     """
+    isolation = isolation if isolation is not None else IsolationSettings()
     build_view = dict(config.as_mapping())
     build_view["settings"] = _semirt_settings(
         framework, keyservice_measurement, isolation
@@ -178,10 +179,11 @@ class SemirtEnclaveCode(EnclaveCode):
         framework: str,
         attestation: AttestationService,
         keyservice_measurement: EnclaveMeasurement,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
         tracer=None,
     ) -> None:
         super().__init__()
+        isolation = isolation if isolation is not None else IsolationSettings()
         self._framework = get_framework(framework)
         self._framework_name = framework
         self._attestation = attestation
@@ -529,11 +531,12 @@ class SemirtHost:
         attestation: AttestationService,
         *,
         config: Optional[EnclaveBuildConfig] = None,
-        isolation: IsolationSettings = IsolationSettings(),
+        isolation: Optional[IsolationSettings] = None,
         scheduler: Optional[SchedulerConfig] = None,
         tracer=None,
         injector=None,
     ) -> None:
+        isolation = isolation if isolation is not None else IsolationSettings()
         if isolation.sequential:
             config = config or default_semirt_config(tcs_count=1)
             if config.tcs_count != 1:

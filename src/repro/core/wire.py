@@ -10,6 +10,7 @@ format debuggable while staying dependency-free.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any
 
 from repro.errors import ReproError
@@ -25,9 +26,19 @@ def _encode_value(value: Any) -> Any:
     if isinstance(value, (bytes, bytearray)):
         return {_BYTES_TAG: bytes(value).hex()}
     if isinstance(value, dict):
+        # the bytes tag is reserved: a payload dict carrying it would be
+        # re-decoded as bytes on the other side (a type-confusion hole)
+        if _BYTES_TAG in value:
+            raise WireError(
+                f"key {_BYTES_TAG!r} is reserved for the bytes encoding"
+            )
         return {k: _encode_value(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_encode_value(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        # NaN/Infinity are not valid JSON and NaN breaks canonical
+        # (comparable) encoding; refuse rather than emit extensions
+        raise WireError(f"non-finite float {value!r} cannot go on the wire")
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     raise WireError(f"cannot encode {type(value).__name__} on the wire")
@@ -40,6 +51,10 @@ def _decode_value(value: Any) -> Any:
                 return bytes.fromhex(value[_BYTES_TAG])
             except ValueError as exc:
                 raise WireError(f"bad hex payload: {exc}") from exc
+        if _BYTES_TAG in value:
+            raise WireError(
+                f"key {_BYTES_TAG!r} is reserved for the bytes encoding"
+            )
         return {k: _decode_value(v) for k, v in value.items()}
     if isinstance(value, list):
         return [_decode_value(v) for v in value]
@@ -50,7 +65,12 @@ def encode(message: dict) -> bytes:
     """Serialise a message dict to canonical bytes."""
     if not isinstance(message, dict):
         raise WireError("wire messages must be dicts")
-    return json.dumps(_encode_value(message), sort_keys=True).encode()
+    try:
+        return json.dumps(
+            _encode_value(message), sort_keys=True, allow_nan=False
+        ).encode()
+    except ValueError as exc:
+        raise WireError(f"unencodable wire message: {exc}") from exc
 
 
 def corrupt(raw: bytes, bit_index: int = 0) -> bytes:

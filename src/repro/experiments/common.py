@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.costs import CostModel
-from repro.core.fnpacker import Router
+from repro.routing import Router
 from repro.core.simbridge import (
     ServableModel,
     iso_reuse_factory,
@@ -50,7 +50,7 @@ def make_testbed(
     cores_per_node: int = 12,
     hardware: HardwareProfile = SGX2,
     storage: StorageProfile = NFS,
-    config: PlatformConfig = PlatformConfig(),
+    config: Optional[PlatformConfig] = None,
     traced: bool = False,
 ) -> Testbed:
     """A cluster mirroring the paper's testbed defaults.
@@ -146,7 +146,7 @@ class DirectRouter(Router):
         """The single fixed endpoint."""
         return [(self._endpoint, ())]
 
-    def route(self, model_id: str, now: float) -> str:
+    def route(self, model_id: str, now: float, exclude=frozenset()) -> str:
         """Always the fixed endpoint."""
         return self._endpoint
 

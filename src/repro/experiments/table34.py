@@ -21,7 +21,7 @@ the per-model latency inside each session.
 from __future__ import annotations
 
 
-from repro.core.fnpacker import AllInOneRouter, FnPackerRouter, FnPool, OneToOneRouter
+from repro.routing import AllInOneRouter, FnPackerRouter, FnPool, OneToOneRouter
 from repro.core.simbridge import servable_map, semirt_factory
 from repro.experiments.common import action_budget, format_table, make_testbed
 from repro.mlrt.zoo import profile

@@ -119,9 +119,9 @@ class CircuitBreaker:
     """
 
     def __init__(
-        self, policy: BreakerPolicy = BreakerPolicy(), clock: Optional[Clock] = None
+        self, policy: Optional[BreakerPolicy] = None, clock: Optional[Clock] = None
     ) -> None:
-        self.policy = policy
+        self.policy = policy if policy is not None else BreakerPolicy()
         self.clock = clock or WallClock()
         self.failures = 0
         self.opened_at: Optional[float] = None

@@ -1,0 +1,38 @@
+"""One routing plane for both twins (FnPacker, Section IV-C).
+
+``repro.routing`` holds every piece of routing *policy* -- the
+:class:`FnPool` declaration, per-endpoint state, the FnPacker /
+One-to-one / All-in-one routers, and the scale-out lifecycle -- with no
+knowledge of what an endpoint actually is.  The simulated twin adapts
+it onto the discrete-event ``Controller`` (``repro.core.packer_service``),
+the functional twin onto live ``SemirtHost`` enclaves
+(``repro.core.gateway``).
+
+Layering rule (enforced by ``scripts/check_layering.py``): this package
+imports only the stdlib and ``repro.errors``.  It must never import
+``repro.core``, ``repro.serverless``, or ``repro.faults``.
+"""
+
+from repro.routing.lifecycle import PressureTracker, ScaleOutPolicy
+from repro.routing.policy import (
+    STRATEGIES,
+    AllInOneRouter,
+    FnPackerRouter,
+    OneToOneRouter,
+    Router,
+    make_router,
+)
+from repro.routing.pool import EndpointState, FnPool
+
+__all__ = [
+    "AllInOneRouter",
+    "EndpointState",
+    "FnPackerRouter",
+    "FnPool",
+    "OneToOneRouter",
+    "PressureTracker",
+    "Router",
+    "ScaleOutPolicy",
+    "STRATEGIES",
+    "make_router",
+]

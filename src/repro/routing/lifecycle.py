@@ -1,0 +1,71 @@
+"""Endpoint-fleet lifecycle policy: when to scale out under pressure.
+
+The router decides *where* a request goes; this module decides *when
+the fleet itself should change shape*.  :class:`PressureTracker` turns
+a stream of per-dispatch backpressure observations (did this request
+hit at least one full admission queue before landing?) into a
+scale-out signal, debounced so one burst does not spawn an endpoint.
+
+The tracker is deliberately dumb and deterministic -- a consecutive
+counter, no clocks, no rates -- so gateway behaviour stays a pure
+function of the request sequence (the chaos CI gate depends on that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScaleOutPolicy:
+    """When sustained queue pressure should spawn a new endpoint.
+
+    ``threshold`` is how many *consecutive* dispatches must observe
+    backpressure (a ``QueueFull`` from at least one endpoint) before
+    the fleet grows; ``max_endpoints`` caps the fleet size.
+    """
+
+    threshold: int = 3
+    max_endpoints: int = 8
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigError("scale-out threshold must be >= 1")
+        if self.max_endpoints < 1:
+            raise ConfigError("scale-out max_endpoints must be >= 1")
+
+
+class PressureTracker:
+    """Debounced backpressure counter driving :class:`ScaleOutPolicy`.
+
+    Call :meth:`observe` once per dispatch with whether that dispatch
+    saw at least one full queue; it returns ``True`` when the policy
+    says to scale out (and resets, so each spawn needs fresh pressure).
+    """
+
+    def __init__(self, policy: ScaleOutPolicy) -> None:
+        self.policy = policy
+        self._consecutive = 0
+        self.spawns = 0
+
+    @property
+    def consecutive(self) -> int:
+        """Consecutive pressured dispatches since the last reset."""
+        return self._consecutive
+
+    def observe(self, saw_pressure: bool, fleet_size: int) -> bool:
+        """Record one dispatch; ``True`` means spawn an endpoint now."""
+        if not saw_pressure:
+            self._consecutive = 0
+            return False
+        self._consecutive += 1
+        if (
+            self._consecutive >= self.policy.threshold
+            and fleet_size < self.policy.max_endpoints
+        ):
+            self._consecutive = 0
+            self.spawns += 1
+            return True
+        return False

@@ -60,7 +60,7 @@ class Controller:
         self,
         sim: Simulation,
         nodes: List[Invoker],
-        config: PlatformConfig = PlatformConfig(),
+        config: Optional[PlatformConfig] = None,
         metrics: Optional["MetricsRegistry"] = None,
         tracer: Optional["Tracer"] = None,
     ) -> None:
@@ -68,7 +68,7 @@ class Controller:
             raise PlatformError("a platform needs at least one invoker node")
         self.sim = sim
         self.nodes = nodes
-        self.config = config
+        self.config = config if config is not None else PlatformConfig()
         self.tracer = tracer
         self._deployments: Dict[str, _Deployment] = {}
         self._overhead = Resource(sim, capacity=1, name="controller")
@@ -382,6 +382,19 @@ class Controller:
     def is_draining(self, node: Invoker) -> bool:
         """True while ``node`` is excluded from scheduling."""
         return node.node_id in self._draining
+
+    def retire_action(self, name: str) -> None:
+        """Reclaim an action's idle containers (endpoint retirement).
+
+        Busy containers finish their in-flight work and are reaped by
+        the keep-alive timer; the deployment record stays so late
+        completions still resolve, but with no router sending traffic
+        it receives no new requests.
+        """
+        deployment = self.deployment(name)
+        for container in list(deployment.containers):
+            if container.idle and container.ready and not container.destroyed:
+                self._destroy(container)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.serverless.controller import Controller, PlatformConfig
 from repro.serverless.invoker import Invoker
@@ -30,7 +30,7 @@ class ServerlessPlatform:
         cores_per_node: int = 12,
         hardware: HardwareProfile = SGX2,
         storage_profile: StorageProfile = NFS,
-        config: PlatformConfig = PlatformConfig(),
+        config: Optional[PlatformConfig] = None,
         metrics=None,
         tracer=None,
     ) -> None:
@@ -53,7 +53,11 @@ class ServerlessPlatform:
             for _ in range(num_nodes)
         ]
         self.controller = Controller(
-            sim, self.nodes, config, metrics=metrics, tracer=tracer
+            sim,
+            self.nodes,
+            config if config is not None else PlatformConfig(),
+            metrics=metrics,
+            tracer=tracer,
         )
         self.storage = BlobStore(storage_profile)
         self.hardware = hardware

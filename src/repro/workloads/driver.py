@@ -3,7 +3,7 @@
 The driver is the simulation counterpart of the paper's request-issuing
 node.  It feeds arrival streams (open loop) and interactive sessions
 (closed loop, next query after the previous response) through a
-:class:`~repro.core.fnpacker.Router` into the serverless controller, and
+:class:`~repro.routing.Router` into the serverless controller, and
 collects :class:`~repro.serverless.action.InvocationResult` records.
 """
 
@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.fnpacker import Router
+from repro.routing import Router
 from repro.serverless.action import Request
 from repro.serverless.controller import Controller
 from repro.sim.core import Simulation

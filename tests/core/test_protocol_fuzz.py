@@ -7,12 +7,15 @@ KeyService and SeMIRT ECALL surfaces and require that every outcome is a
 corruption, and definitely no secrets.
 """
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.deployment import SeSeMIEnvironment
+from repro.core.wire import WireError, decode, encode
 from repro.errors import ReproError
 from repro.mlrt.zoo import build_mobilenet
 
@@ -93,6 +96,50 @@ def test_semirt_rejects_garbage_requests(world, blob, uid, model_id):
         semirt.enclave.ecall("EC_MODEL_INF", blob, uid, model_id)
     except ACCEPTABLE:
         pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    payload=st.dictionaries(
+        st.text(max_size=8), st.one_of(st.integers(), st.text(max_size=8)),
+        max_size=3,
+    ),
+    hex_value=st.text(alphabet="0123456789abcdef", max_size=16),
+)
+def test_wire_rejects_reserved_bytes_tag_key(payload, hex_value):
+    """A payload dict carrying ``__bytes_hex__`` must not encode.
+
+    Without the guard such a dict round-trips into *bytes* on the other
+    side (type confusion an adversary controls); with it, encoding is a
+    clean :class:`WireError` -- and a forged raw message carrying the
+    tag alongside other keys fails to decode the same way.
+    """
+    hostile = dict(payload)
+    hostile["__bytes_hex__"] = hex_value
+    with pytest.raises(WireError):
+        encode({"field": hostile})
+    if payload:  # tag mixed with other keys never decodes either
+        forged = encode({"field": dict(payload)}).replace(
+            b"{", b'{"__bytes_hex__": "00", ', 1
+        )
+        with pytest.raises(WireError):
+            decode(forged)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    value=st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+    depth=st.integers(0, 2),
+)
+def test_wire_rejects_non_finite_floats(value, depth):
+    """NaN/Infinity are not JSON; encoding must fail deterministically."""
+    payload = value
+    for _ in range(depth):
+        payload = [payload]
+    with pytest.raises(WireError):
+        encode({"field": payload})
+    assert math.isfinite(3.25)  # finite floats still pass
+    assert decode(encode({"field": 3.25})) == {"field": 3.25}
 
 
 def test_system_still_healthy_after_fuzzing(world):

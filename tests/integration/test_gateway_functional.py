@@ -1,0 +1,106 @@
+"""FnPacker routing over *live* enclaves: the gateway acceptance test.
+
+One :class:`FnPool` of two models is served by two real
+:class:`SemirtHost` endpoints behind an :class:`InferenceGateway`
+running the FnPacker strategy.  Requests run the full secure path
+(client-side encryption, RA-TLS key provisioning, in-enclave inference),
+while routing follows the same Section IV-C policy the simulated twin
+benchmarks: overlapping hot-model traffic pins its endpoint
+exclusively, pushing the cold model to the other endpoint; a crashed
+endpoint reroutes in-place without failing a user request; and every
+decision is visible as a ``route`` span on the environment tracer.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.deployment import SeSeMIEnvironment
+from repro.core.semirt import SchedulerConfig
+from repro.routing import FnPool
+
+HOT, COLD = "hot-model", "cold-model"
+
+
+def _wait_for(predicate, timeout_s=10.0):
+    """Poll ``predicate`` (the functional twin runs on wall time)."""
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.005)
+
+
+def test_fnpacker_gateway_over_live_endpoints(tiny_model, tiny_input):
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user = env.connect_user()
+    env.deploy(tiny_model, HOT, owner=owner).grant(user)
+    env.deploy(tiny_model, COLD, owner=owner).grant(user)
+
+    pool = FnPool(name="fleet", models=(HOT, COLD), memory_budget=0,
+                  num_endpoints=2)
+    # The service-time floor keeps hot requests genuinely overlapping,
+    # so the router sees the hot model *pending* when the next arrives.
+    gw = env.gateway(pool, scheduler=SchedulerConfig(paced_service_s=0.25))
+    hot = env.session(user, HOT, gateway=gw)
+    cold = env.session(user, COLD, gateway=gw)
+    reference = tiny_model.run_reference(tiny_input).ravel()
+
+    outputs, errors = [], []
+
+    def request(session):
+        try:
+            outputs.append(session.infer(tiny_input))
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    # Two overlapping hot requests: the second routes while the first
+    # is still in flight, which is exactly FnPacker Rule 1 -- the hot
+    # model's endpoint becomes its exclusive assignment.
+    first = threading.Thread(target=request, args=(hot,))
+    first.start()
+    _wait_for(lambda: gw.in_flight >= 1)
+    second = threading.Thread(target=request, args=(hot,))
+    second.start()
+    _wait_for(lambda: HOT in gw.router.exclusive_assignments().values())
+    exclusive = {e: m for e, m in gw.router.exclusive_assignments().items()}
+    hot_endpoint = next(e for e, m in exclusive.items() if m == HOT)
+
+    # While the hot endpoint is exclusively held, the cold model must
+    # land on the *other* endpoint even though the hot one may have
+    # free TCS slots.
+    request(cold)
+    first.join()
+    second.join()
+    assert not errors, errors
+
+    spans = [s for s in env.tracer.finished_spans() if s.name == "route"]
+    by_model = {}
+    for span in spans:
+        by_model.setdefault(span.attributes["model_id"], []).append(span)
+    assert {e.attributes["endpoint"] for e in by_model[HOT]} == {hot_endpoint}
+    assert any(s.attributes["exclusive"] for s in by_model[HOT])
+    cold_endpoint = by_model[COLD][0].attributes["endpoint"]
+    assert cold_endpoint != hot_endpoint
+    assert by_model[COLD][0].attributes["reroutes"] == 0
+
+    # Crash the hot endpoint's enclave.  The next hot request finds the
+    # pinned endpoint dead, reroutes to the survivor, and succeeds --
+    # the user never sees the failure.
+    gw.host(hot_endpoint).destroy()
+    request(hot)
+    assert not errors, errors
+
+    rerouted = [s for s in env.tracer.finished_spans()
+                if s.name == "route" and s.attributes["model_id"] == HOT
+                and s.attributes["endpoint"] == cold_endpoint]
+    assert rerouted and rerouted[-1].attributes["reroutes"] >= 1
+
+    # Every request decrypted to the right answer through all of this.
+    assert len(outputs) == 4
+    for out in outputs:
+        assert np.allclose(out, reference, atol=1e-5)
+
+    gw.close()
+    assert all(not h.enclave.alive for h in gw.hosts().values())

@@ -1,0 +1,41 @@
+"""Scale-out pressure tracking: debounce, cap, reset."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.routing import PressureTracker, ScaleOutPolicy
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigError):
+        ScaleOutPolicy(threshold=0)
+    with pytest.raises(ConfigError):
+        ScaleOutPolicy(max_endpoints=0)
+
+
+def test_sustained_pressure_triggers_once_then_rearms():
+    tracker = PressureTracker(ScaleOutPolicy(threshold=3, max_endpoints=8))
+    assert not tracker.observe(True, fleet_size=2)
+    assert not tracker.observe(True, fleet_size=2)
+    assert tracker.observe(True, fleet_size=2)  # third consecutive fires
+    assert tracker.spawns == 1
+    # counter reset: the next burst needs fresh consecutive pressure
+    assert not tracker.observe(True, fleet_size=3)
+    assert not tracker.observe(True, fleet_size=3)
+    assert tracker.observe(True, fleet_size=3)
+    assert tracker.spawns == 2
+
+
+def test_clean_dispatch_resets_the_counter():
+    tracker = PressureTracker(ScaleOutPolicy(threshold=2))
+    assert not tracker.observe(True, fleet_size=1)
+    assert not tracker.observe(False, fleet_size=1)  # burst over
+    assert tracker.consecutive == 0
+    assert not tracker.observe(True, fleet_size=1)
+
+
+def test_fleet_cap_blocks_growth():
+    tracker = PressureTracker(ScaleOutPolicy(threshold=1, max_endpoints=2))
+    assert tracker.observe(True, fleet_size=1)
+    assert not tracker.observe(True, fleet_size=2)  # at the cap
+    assert tracker.spawns == 1
