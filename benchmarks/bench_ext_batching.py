@@ -6,7 +6,7 @@ batches amortises framework overhead and raises sustainable throughput
 security rule.
 """
 
-from repro.core.batching import batching_semirt_factory
+from repro.core.batching import BatchPolicy, batching_semirt_factory
 from repro.core.simbridge import servable_map
 from repro.experiments.common import action_budget, make_driver, make_testbed
 from repro.mlrt.zoo import profile
@@ -28,7 +28,7 @@ def completion_rate(window_s: float) -> float:
         spec,
         batching_semirt_factory(
             models, bed.cost, tcs_count=CONCURRENCY,
-            batch_window_s=window_s, max_batch=8,
+            policy=BatchPolicy(batch_window_s=window_s, max_batch=8),
         ),
     )
     driver = make_driver(bed)

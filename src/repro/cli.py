@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
+    batching,
     chaos,
     concurrency,
     fig8,
@@ -165,6 +166,16 @@ def _run_concurrency() -> dict:
 
 
 @experiment(
+    "batching",
+    "Live micro-batching: hot-path throughput at batch 4 vs 1 (4-TCS host)",
+    batching.format_report,
+)
+def _run_batching() -> dict:
+    """The live micro-batching benchmark with its default knobs."""
+    return batching.run()
+
+
+@experiment(
     "gateway",
     "Routed throughput: one gateway, 1 vs 3 live SeMIRT endpoints",
     gateway.format_report,
@@ -198,6 +209,12 @@ def _trace_chaos() -> list:
 def _trace_concurrency() -> list:
     """Span dump of one small multi-TCS batch (wall time)."""
     return concurrency.collect_trace()
+
+
+@trace_source("batching", "a busy-paced burst served through EC_MODEL_INF_BATCH")
+def _trace_batching() -> list:
+    """Span dump of one small batched burst (wall time)."""
+    return batching.collect_trace()
 
 
 @trace_source("gateway", "a routed multi-model batch over two live endpoints")
@@ -317,6 +334,20 @@ def _cmd_concurrency(
     return 0
 
 
+def _cmd_batching(
+    requests: int, paced_ms: float, max_batch: int, as_json: bool
+) -> int:
+    """Run the live micro-batching benchmark (``repro batching``)."""
+    result = batching.run(
+        requests=requests, paced_ms=paced_ms, max_batch=max_batch
+    )
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(batching.format_report(result))
+    return 0
+
+
 def _cmd_gateway(requests: int, paced_ms: float, as_json: bool) -> int:
     """Run the routed-throughput benchmark (``repro gateway``)."""
     result = gateway.run(requests=requests, paced_ms=paced_ms)
@@ -394,6 +425,24 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the raw result dict as JSON",
     )
+    batch_parser = sub.add_parser(
+        "batching", help="run the live micro-batching throughput benchmark"
+    )
+    batch_parser.add_argument(
+        "--requests", type=int, default=24, help="burst size per throughput run"
+    )
+    batch_parser.add_argument(
+        "--paced-ms", type=float, default=80.0,
+        help="per-request busy service-time floor in ms",
+    )
+    batch_parser.add_argument(
+        "--max-batch", type=int, default=4,
+        help="batch bound for the batched run (clamped to the TCS count)",
+    )
+    batch_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result dict as JSON",
+    )
     gw_parser = sub.add_parser(
         "gateway", help="run the routed-throughput gateway benchmark"
     )
@@ -421,6 +470,10 @@ def main(argv=None) -> int:
         return _cmd_chaos(args.seed, args.requests, args.quick, args.json)
     if args.command == "concurrency":
         return _cmd_concurrency(args.requests, args.paced_ms, args.json)
+    if args.command == "batching":
+        return _cmd_batching(
+            args.requests, args.paced_ms, args.max_batch, args.json
+        )
     if args.command == "gateway":
         return _cmd_gateway(args.requests, args.paced_ms, args.json)
     if args.command == "report":

@@ -1,6 +1,10 @@
 """SeSeMI core: KeyService, SeMIRT, FnPacker, clients, and their sim twins."""
 
-from repro.core.batching import BatchingSemirtActor, batching_semirt_factory
+from repro.core.batching import (
+    BatchingSemirtActor,
+    BatchPolicy,
+    batching_semirt_factory,
+)
 from repro.core.client import KeyServiceConnection, OwnerClient, UserClient
 from repro.core.costs import CostModel
 from repro.core.deployment import ModelHandle, SeSeMIEnvironment, UserSession
@@ -26,7 +30,9 @@ from repro.core.keyservice import (
 )
 from repro.core.packer_service import FnPackerService, make_router
 from repro.core.semirt import (
+    InferenceFuture,
     IsolationSettings,
+    SchedulerConfig,
     SemirtEnclaveCode,
     SemirtHost,
     default_semirt_config,
@@ -55,6 +61,7 @@ from repro.core.stages import (
 __all__ = [
     "KEYSERVICE_CONFIG",
     "AllInOneRouter",
+    "BatchPolicy",
     "BatchingSemirtActor",
     "CostModel",
     "FnPackerRouter",
@@ -62,6 +69,7 @@ __all__ = [
     "FnPool",
     "GatewayConfig",
     "GatewayReply",
+    "InferenceFuture",
     "InferenceGateway",
     "InvocationKind",
     "InvocationPlan",
@@ -77,6 +85,7 @@ __all__ = [
     "OwnerClient",
     "RouteDecision",
     "Router",
+    "SchedulerConfig",
     "SeSeMIEnvironment",
     "SemirtCacheState",
     "SemirtEnclaveCode",

@@ -7,17 +7,24 @@ security rules*: requests are only batched when they take the hot path
 for the same ``<uid, M_oid>`` pair, so a batch never mixes users or
 models inside the enclave.
 
-:class:`BatchingSemirtActor` extends the SeMIRT simulation actor with a
-small accumulation window: the first hot request of a batch becomes the
-*leader*, waits ``batch_window_s`` for followers, and executes the whole
-batch on one core with sub-linear cost
-``exec * (alpha + (1 - alpha) * n)``; followers ride along.  Cold and
-warm requests fall back to the normal path.
+Both twins consume one :class:`BatchPolicy`:
+
+- :class:`BatchingSemirtActor` (this module) batches inside the
+  discrete-event simulation;
+- the live TCS-slot scheduler (:class:`~repro.core.semirt.SemirtHost`
+  with ``SchedulerConfig(batch=...)``) batches real encrypted requests
+  through the ticketed ``EC_MODEL_INF_BATCH`` ECALL.
+
+The cost model is shared too: a batch of *n* hot requests executes with
+sub-linear cost ``exec * (alpha + (1 - alpha) * n)`` -- the ``alpha``
+fraction is the per-invocation overhead (enclave transition, framework
+entry) that one batched call pays once.  See ``docs/batching.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.core.costs import CostModel
@@ -26,6 +33,98 @@ from repro.core.stages import InvocationKind, Stage, plan_invocation
 from repro.errors import ConfigError
 from repro.serverless.action import Request
 from repro.serverless.container import ContainerContext
+from repro.sim.core import Event
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Hot-path micro-batching knobs, shared by both twins.
+
+    Like :class:`~repro.core.semirt.SchedulerConfig`, this is **host
+    policy, not enclave identity**: it is excluded from
+    ``settings()``/MRENCLAVE (same rule as ``paced_service_s``), so
+    tuning the batch window never changes ``E_S``.  The *security* rule
+    -- a batch only ever holds requests for one ``<uid, M_oid>`` pair --
+    is enforced inside the enclave regardless of these knobs.
+
+    ``batch_window_s``
+        How long the batch leader waits for followers before executing.
+    ``max_batch``
+        Upper bound on requests per batch.  Every batched request
+        occupies one TCS slot (sim) / one execution context (live), so
+        the effective bound is :meth:`clamped` to the TCS count.
+    ``alpha``
+        Fixed fraction of the execution cost (the non-amortisable part):
+        a batch of *n* costs ``exec * (alpha + (1 - alpha) * n)``.
+        ``alpha=0.6`` means ~40% of per-request compute amortises away
+        at large batch sizes.
+    """
+
+    batch_window_s: float = 0.05
+    max_batch: int = 8
+    alpha: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.batch_window_s < 0:
+            raise ConfigError("batch window must be non-negative")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigError("batch_alpha must be in (0, 1]")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+
+    def clamped(self, tcs_count: int) -> "BatchPolicy":
+        """This policy with ``max_batch`` bounded by ``tcs_count``.
+
+        Each batched request holds one TCS slot (simulation) or one
+        enclave execution context (live scheduler), both of which the
+        build caps at ``tcs_count`` -- a batch larger than that could
+        never execute.  The clamp is explicit policy surgery here, not
+        a silent shrink inside an actor constructor.
+        """
+        if tcs_count < 1:
+            raise ConfigError("tcs_count must be >= 1")
+        if self.max_batch <= tcs_count:
+            return self
+        return replace(self, max_batch=tcs_count)
+
+    def batch_cost_s(self, single_s: float, size: int) -> float:
+        """Execution time of one batch of ``size`` requests."""
+        return single_s * (self.alpha + (1.0 - self.alpha) * size)
+
+    def amortised_s(self, single_s: float, size: int) -> float:
+        """Seconds saved vs ``size`` unbatched executions of ``single_s``."""
+        return single_s * self.alpha * (size - 1)
+
+
+def _legacy_policy(
+    policy: Optional[BatchPolicy],
+    batch_window_s: Optional[float],
+    max_batch: Optional[int],
+    batch_alpha: Optional[float],
+) -> BatchPolicy:
+    """Resolve the deprecated loose kwargs against the policy object."""
+    loose = (batch_window_s, max_batch, batch_alpha)
+    if policy is not None:
+        if any(value is not None for value in loose):
+            raise ConfigError(
+                "pass either a BatchPolicy or the loose batch kwargs, not both"
+            )
+        return policy
+    if any(value is not None for value in loose):
+        warnings.warn(
+            "the loose batch_window_s/max_batch/batch_alpha kwargs are "
+            "deprecated; pass a repro.core.batching.BatchPolicy instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    defaults = BatchPolicy()
+    return BatchPolicy(
+        batch_window_s=(
+            defaults.batch_window_s if batch_window_s is None else batch_window_s
+        ),
+        max_batch=defaults.max_batch if max_batch is None else max_batch,
+        alpha=defaults.alpha if batch_alpha is None else batch_alpha,
+    )
 
 
 @dataclass
@@ -36,24 +135,17 @@ class _Batch:
     user_id: str
     size: int = 1
     closed: bool = False
-    done_event: Optional[object] = None  # fires with per-request exec seconds
+    #: fires with per-request exec seconds once the leader has executed
+    done_event: Optional[Event] = None
 
 
 class BatchingSemirtActor(SemirtSimActor):
-    """SeMIRT with hot-path request batching.
+    """SeMIRT with hot-path request batching (simulation twin).
 
-    Parameters
-    ----------
-    batch_window_s:
-        How long the leader waits for followers before executing.
-    max_batch:
-        Upper bound on requests per batch (bounded by TCS count too --
-        each batched request still occupies its own TCS slot).
-    batch_alpha:
-        Fixed fraction of the execution cost (the non-amortisable part):
-        a batch of *n* costs ``exec * (alpha + (1 - alpha) * n)``.
-        ``alpha=0.6`` means ~40% of per-request compute amortises away
-        at large batch sizes.
+    The batching knobs arrive as one :class:`BatchPolicy`; the policy's
+    ``max_batch`` is :meth:`~BatchPolicy.clamped` to ``tcs_count``
+    because each batched request still occupies its own TCS slot.  The
+    pre-policy loose kwargs remain accepted for one release (deprecated).
     """
 
     def __init__(
@@ -61,23 +153,31 @@ class BatchingSemirtActor(SemirtSimActor):
         models: Dict[str, ServableModel],
         cost: CostModel,
         tcs_count: int = 8,
-        batch_window_s: float = 0.05,
-        max_batch: int = 8,
-        batch_alpha: float = 0.6,
+        policy: Optional[BatchPolicy] = None,
+        batch_window_s: Optional[float] = None,
+        max_batch: Optional[int] = None,
+        batch_alpha: Optional[float] = None,
     ) -> None:
         super().__init__(models, cost, tcs_count=tcs_count)
-        if batch_window_s < 0:
-            raise ConfigError("batch window must be non-negative")
-        if not 0.0 < batch_alpha <= 1.0:
-            raise ConfigError("batch_alpha must be in (0, 1]")
-        if max_batch < 1:
-            raise ConfigError("max_batch must be >= 1")
-        self.batch_window_s = batch_window_s
-        self.max_batch = min(max_batch, tcs_count)
-        self.batch_alpha = batch_alpha
+        policy = _legacy_policy(policy, batch_window_s, max_batch, batch_alpha)
+        self.policy = policy.clamped(tcs_count)
+        assert self.policy.max_batch <= tcs_count
         self._open_batch: Optional[_Batch] = None
         self.batches_executed = 0
         self.batched_requests = 0
+
+    # pre-policy attribute surface, kept alive with the kwarg shim
+    @property
+    def batch_window_s(self) -> float:
+        return self.policy.batch_window_s
+
+    @property
+    def max_batch(self) -> int:
+        return self.policy.max_batch
+
+    @property
+    def batch_alpha(self) -> float:
+        return self.policy.alpha
 
     def batched_exec_s(self, servable: ServableModel, size: int,
                        epc_slowdown: float = 1.0) -> float:
@@ -85,7 +185,7 @@ class BatchingSemirtActor(SemirtSimActor):
         single = self.cost.model_exec_s(
             servable.profile, servable.framework, epc_slowdown
         )
-        return single * (self.batch_alpha + (1.0 - self.batch_alpha) * size)
+        return self.policy.batch_cost_s(single, size)
 
     def handle(self, ctx: ContainerContext, request: Request):
         """Serve one request, riding or leading a hot-path batch when possible."""
@@ -158,11 +258,11 @@ def batching_semirt_factory(
     models: Dict[str, ServableModel],
     cost: CostModel,
     tcs_count: int = 8,
-    batch_window_s: float = 0.05,
-    max_batch: int = 8,
-    batch_alpha: float = 0.6,
+    policy: Optional[BatchPolicy] = None,
+    batch_window_s: Optional[float] = None,
+    max_batch: Optional[int] = None,
+    batch_alpha: Optional[float] = None,
 ):
     """Factory for deploying :class:`BatchingSemirtActor` containers."""
-    return lambda: BatchingSemirtActor(
-        models, cost, tcs_count, batch_window_s, max_batch, batch_alpha
-    )
+    resolved = _legacy_policy(policy, batch_window_s, max_batch, batch_alpha)
+    return lambda: BatchingSemirtActor(models, cost, tcs_count, resolved)

@@ -288,17 +288,22 @@ class UserSession:
 
         Each input is encrypted and :meth:`SemirtHost.submit`-ted to the
         TCS-slot scheduler; results are collected oldest-first so at most
-        ``window`` tickets (default: the enclave's ``tcs_count``) are
-        outstanding.  On :class:`~repro.errors.QueueFull` the oldest
-        in-flight ticket is drained and the submit retried, so the batch
-        absorbs its own backpressure.  Outputs come back in input order.
+        ``window`` futures (default: the enclave's ``tcs_count``) are
+        outstanding.  When the host's scheduler has the batch
+        accumulator armed, the default window widens to keep at least
+        two full batches in flight -- the session *feeds* the batch
+        window instead of racing it, so a leader always finds followers
+        queued behind it.  On :class:`~repro.errors.QueueFull` the
+        oldest in-flight future is drained and the submit retried, so
+        the batch absorbs its own backpressure.  Outputs come back in
+        input order.
 
         The batch runs under one ``request_batch`` root span; the
         per-request ECALL spans (carrying ``tcs_slot`` / ``queue_wait``)
         parent under it from the scheduler workers.  Unlike
         :meth:`infer`, the batch path does **not** run under the
         resilience layer -- a mid-batch failure re-raises from the
-        failing ticket's :meth:`~repro.core.semirt.InferenceTicket.result`.
+        failing :meth:`~repro.core.semirt.InferenceFuture.result`.
         """
         tracer = self._env.tracer
         injector = self._env.injector
@@ -315,14 +320,17 @@ class UserSession:
             semirt, cold = self._gateway.ensure_host()
             if window is None:
                 window = semirt.enclave.config.tcs_count
+                policy = getattr(semirt, "_batch_policy", None)
+                if policy is not None:
+                    window = max(window, 2 * policy.max_batch)
             window = max(1, window)
             results: List[Optional[np.ndarray]] = [None] * len(xs)
-            in_flight: deque = deque()  # (input index, ticket)
+            in_flight: deque = deque()  # (input index, future)
 
             def collect_oldest() -> None:
-                idx, ticket = in_flight.popleft()
+                idx, future = in_flight.popleft()
                 enc_response = maybe_wire(
-                    injector, "semirt->user", ticket.result()
+                    injector, "semirt->user", future.result()
                 )
                 results[idx] = self.user.decrypt_response(
                     self.model_id, self.measurement, enc_response
@@ -338,7 +346,7 @@ class UserSession:
                     collect_oldest()
                 while True:
                     try:
-                        ticket = semirt.submit(
+                        future = semirt.submit(
                             enc_request, self.user.principal_id, self.model_id
                         )
                         break
@@ -346,7 +354,7 @@ class UserSession:
                         if not in_flight:
                             raise
                         collect_oldest()
-                in_flight.append((idx, ticket))
+                in_flight.append((idx, future))
             while in_flight:
                 collect_oldest()
             if root is not None:

@@ -31,6 +31,16 @@ The gateway owns the endpoint fleet for one :class:`FnPool`:
 Every dispatched request emits a ``route`` span on the tracer with the
 decision attributes (``endpoint``, ``exclusive``, ``reroutes``), so
 FnPacker packing behaviour is observable on the functional twin too.
+
+When an endpoint's scheduler runs the hot-path **batch accumulator**
+(``SchedulerConfig.batch``), the gateway additionally keeps a
+:class:`~repro.routing.BatchAffinity` hint: the next request for a
+``<uid, model_id>`` pair is offered to the endpoint that just served
+it, so the accumulator actually sees followers to merge.  The hint is
+tried once per dispatch, surfaces as the ``batch_affinity`` attribute
+on the ``route`` span, and is dropped the moment the endpoint is
+excluded, saturated, or dead -- batching is a throughput hint, never a
+correctness constraint (``docs/batching.md``).
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from repro.errors import (
 from repro.faults.resilience import BreakerPolicy, CircuitBreaker
 from repro.obs.tracer import Tracer, maybe_span
 from repro.routing import (
+    BatchAffinity,
     FnPackerRouter,
     FnPool,
     PressureTracker,
@@ -91,6 +102,7 @@ class RouteDecision:
     reroutes: int = 0          # endpoint exclusions before this one landed
     redispatches: int = 0      # failed serving attempts before this one
     cold: bool = False         # the endpoint's host was launched for this request
+    batch_affinity: bool = False  # endpoint chosen by the batch-affinity hint
 
 
 @dataclass
@@ -140,6 +152,9 @@ class InferenceGateway:
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._launch_lock = threading.Lock()
+        #: <uid, model_id> -> endpoint hints, fed only by endpoints whose
+        #: scheduler runs the batch accumulator (see dispatch)
+        self._affinity = BatchAffinity()
 
     # -- fleet wiring -----------------------------------------------------------
 
@@ -217,13 +232,27 @@ class InferenceGateway:
         saw_pressure = False
         pressure_observed = False
         last_queue_full: Optional[QueueFull] = None
+        #: one shot at the batch-affinity hint per dispatch -- if the
+        #: remembered endpoint cannot take the request, the ordinary
+        #: router decides and the hint is not retried
+        affinity_hint = self._affinity.lookup(user_id, model_id)
         # Bounded walk: every iteration either excludes an endpoint,
         # consumes a redispatch, or returns.
         for _ in range(4 * (self.config.max_redispatch + self.pool.endpoint_count + 2)):
+            decision.batch_affinity = False
+            endpoint = None
+            if affinity_hint is not None:
+                hinted, affinity_hint = affinity_hint, None
+                if hinted not in exclude and any(
+                    name == hinted for name, _ in self.router.endpoints()
+                ):
+                    endpoint = hinted
+                    decision.batch_affinity = True
             try:
-                endpoint = self.router.route(
-                    model_id, self._now(), frozenset(exclude)
-                )
+                if endpoint is None:
+                    endpoint = self.router.route(
+                        model_id, self._now(), frozenset(exclude)
+                    )
             except RoutingError:
                 if last_queue_full is not None:
                     # the whole fleet is saturated: one pressure
@@ -289,6 +318,7 @@ class InferenceGateway:
                     reroutes=decision.reroutes,
                     redispatches=decision.redispatches,
                     cold=decision.cold,
+                    batch_affinity=decision.batch_affinity,
                 ):
                     output = ticket.result(timeout=timeout_s)
             except Exception as exc:
@@ -310,6 +340,11 @@ class InferenceGateway:
             self._finish(endpoint, model_id, ok=True)
             if breaker is not None:
                 breaker.on_success()
+            if getattr(host, "_batch_policy", None) is not None:
+                # only accumulator-armed endpoints benefit from keeping
+                # the pair's traffic together; plain endpoints keep the
+                # router's packing decision unbiased
+                self._affinity.remember(user_id, model_id, endpoint)
             if self._pressure is not None and not pressure_observed:
                 if self._pressure.observe(saw_pressure, self.endpoint_count):
                     self._grow_fleet()
@@ -406,6 +441,7 @@ class InferenceGateway:
         self, endpoint: str, breaker: Optional[CircuitBreaker]
     ) -> None:
         self.router.mark_endpoint_down(endpoint)
+        self._affinity.forget_endpoint(endpoint)
         if breaker is not None:
             breaker.on_failure()
 
@@ -435,6 +471,7 @@ class InferenceGateway:
                 lambda: self._endpoint_pending(endpoint) == 0, timeout=timeout_s
             )
         self.router.retire_endpoint(endpoint)
+        self._affinity.forget_endpoint(endpoint)
         with self._lock:
             host = self._hosts.pop(endpoint, None)
             owned = endpoint in self._owned

@@ -1,11 +1,16 @@
 """SeMIRT: the secure model-inference enclave runtime (Algorithm 2).
 
-The enclave exposes exactly the Figure 5 surface -- three ECALLs
-(``EC_MODEL_INF``, ``EC_GET_OUTPUT``, ``EC_CLEAR_EXEC_CTX``) and two
-OCALLs (``OC_LOAD_MODEL``, ``OC_FREE_LOADED``) plus the quote/network
-OCALLs every enclave needs.  ``EC_MODEL_INF`` returns a *ticket*; the
-host fetches and releases that request's output by ticket, so requests
-running concurrently on different TCSs never share an output slot.
+The enclave exposes the Figure 5 surface -- ``EC_MODEL_INF``,
+``EC_GET_OUTPUT``, ``EC_CLEAR_EXEC_CTX``, plus the batched
+``EC_MODEL_INF_BATCH`` -- and two OCALLs (``OC_LOAD_MODEL``,
+``OC_FREE_LOADED``) plus the quote/network OCALLs every enclave needs.
+``EC_MODEL_INF`` returns a *ticket*; the host fetches and releases that
+request's output by ticket, so requests running concurrently on
+different TCSs never share an output slot.  ``EC_MODEL_INF_BATCH``
+serves several requests for one ``<uid, M_oid>`` pair in a single call
+-- the same-pair security rule is enforced *inside* the enclave (every
+payload must authenticate under that user's request key), each request
+still getting its own ticketed execution context.
 Cached state drives the cold/warm/hot invocation paths:
 
 - the decrypted **model** lives in the shared enclave heap (one per
@@ -21,9 +26,13 @@ Cached state drives the cold/warm/hot invocation paths:
 The untrusted :class:`SemirtHost` drives the enclave through a TCS-slot
 scheduler: a bounded worker pool (one worker per ``tcs_count``) fed by
 an admission queue with configurable depth.  ``submit()`` returns an
-:class:`InferenceTicket` immediately (or raises
+:class:`InferenceFuture` immediately (or raises
 :class:`~repro.errors.QueueFull` as backpressure); ``infer()`` is the
-blocking composition the serverless action path uses.
+blocking composition the serverless action path uses.  With
+``SchedulerConfig(batch=BatchPolicy(...))`` the scheduler additionally
+runs a **batch accumulator**: the first hot request for a pair becomes
+the leader, waits up to ``batch_window_s`` for followers, and executes
+the whole batch through one ``EC_MODEL_INF_BATCH`` (``docs/batching.md``).
 
 Execution-restriction settings -- sequential processing, key-cache off,
 runtime cleared per request, pinned model -- are *build settings*: they
@@ -38,12 +47,15 @@ import itertools
 import queue as queue_module
 import threading
 import time
+import warnings
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.batching import BatchPolicy
 from repro.core.stages import InvocationPlan, SemirtCacheState, Stage, plan_invocation
 from repro.core import wire
 from repro.core.wire import WireError
@@ -56,6 +68,7 @@ from repro.errors import (
     FaultInjected,
     InvocationError,
     QueueFull,
+    RequestCancelled,
     TransportError,
 )
 from repro.faults.injector import maybe_wire
@@ -121,16 +134,29 @@ class SchedulerConfig:
     sleep releases the GIL, so paced requests genuinely overlap across
     TCS slots the way SGX threads do on real cores.  ``None`` (the
     default) leaves requests entirely compute-bound.
+
+    ``paced_busy`` changes *how* the floor is spent: instead of a
+    GIL-releasing sleep (the overlap regime above), the worker holds the
+    CPU for the remainder -- modelling the **compute-bound** regime
+    where the node has fewer cores than TCS threads, which is exactly
+    where micro-batching pays (cf. Figure 11a).  ``batch`` arms the
+    scheduler's hot-path batch accumulator with a
+    :class:`~repro.core.batching.BatchPolicy`; like every field here it
+    is host policy, excluded from ``settings()``/MRENCLAVE.
     """
 
     queue_depth: int = 16
     paced_service_s: Optional[float] = None
+    batch: Optional[BatchPolicy] = None
+    paced_busy: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
             raise EnclaveError("the admission queue needs a depth of at least 1")
         if self.paced_service_s is not None and self.paced_service_s < 0:
             raise EnclaveError("paced_service_s cannot be negative")
+        if self.batch is not None and not isinstance(self.batch, BatchPolicy):
+            raise EnclaveError("batch must be a repro.core.batching.BatchPolicy")
 
 
 def default_semirt_config(tcs_count: int = 1,
@@ -215,6 +241,9 @@ class SemirtEnclaveCode(EnclaveCode):
         self._tls = threading.local()
         #: observability for tests/benchmarks: the last plan taken
         self.last_plan: Optional[InvocationPlan] = None
+        #: observability for tests/benchmarks: one (uid, model_id, size)
+        #: row per EC_MODEL_INF_BATCH served
+        self.batch_log: List[Tuple[str, str, int]] = []
 
     def settings(self) -> dict:
         """Build settings covered by MRENCLAVE (framework, E_K, isolation)."""
@@ -241,10 +270,7 @@ class SemirtEnclaveCode(EnclaveCode):
         released with ``EC_CLEAR_EXEC_CTX(ticket)``.
         """
         isolation = self._isolation
-        if isolation.pinned_model is not None and model_id != isolation.pinned_model:
-            raise InvocationError(
-                f"this enclave build is pinned to model {isolation.pinned_model!r}"
-            )
+        self._check_pinned(model_id)
         with self._context_lock:
             if len(self._contexts) >= self.enclave.config.tcs_count:
                 raise EnclaveError(
@@ -258,81 +284,87 @@ class SemirtEnclaveCode(EnclaveCode):
             key_cache_enabled=isolation.key_cache,
             reuse_runtime=isolation.reuse_runtime,
         )
-        # lines 6-10: obtain keys (from the cache or from KeyService)
-        with self._kc_lock:
-            cached = self._kc
-        if (
-            isolation.key_cache
-            and cached is not None
-            and cached[0] == model_id
-            and cached[1] == uid
-        ):
-            model_key, request_key = cached[2], cached[3]
-        else:
-            with self._stage_span(Stage.KEY_RETRIEVAL, model_id=model_id):
-                model_key, request_key = self._fetch_keys(uid, model_id)
-            with self._kc_lock:
-                self._kc = (
-                    (model_id, uid, model_key, request_key)
-                    if isolation.key_cache
-                    else None
-                )
-        # lines 11-13: switch the shared model if needed.  Double-checked
-        # under the lock: the first thread decrypts, later threads reuse
-        # the heap copy without serialising on the decrypt.
-        if self._model_id != model_id:
-            with self._model_lock:
-                if self._model_id != model_id:
-                    self._model = self._model_load(model_id, model_key)
-                    self._model_id = model_id
-        model = self._model
-        # lines 14-15: per-thread runtime
-        runtime = getattr(self._tls, "runtime", None)
-        runtime_model = getattr(self._tls, "runtime_model", None)
-        if (
-            runtime is None
-            or runtime_model != model_id
-            or not isolation.reuse_runtime
-        ):
-            with self._stage_span(
-                Stage.RUNTIME_INIT, model_id=model_id, component="mlrt"
-            ):
-                runtime = self._framework.create_runtime(model)
-            self._tls.runtime = runtime
-            self._tls.runtime_model = model_id
-        # lines 16-19: decrypt input, execute, encrypt output
+        model_key, request_key = self._obtain_keys(uid, model_id)
+        model = self._switch_model(model_id, model_key)
+        runtime = self._thread_runtime(model, model_id)
         request_cipher = AESGCM(request_key)
-        with self._stage_span(Stage.REQUEST_DECRYPT, model_id=model_id):
-            try:
-                payload = wire.decode(
-                    request_cipher.open(
-                        enc_request, aad=REQUEST_AAD + model_id.encode()
-                    )
-                )
-            except Exception as exc:
-                raise InvocationError(
-                    "request does not authenticate under the user's request key"
-                ) from exc
-            x = np.frombuffer(payload["input"], dtype=np.float32).reshape(
-                model.input_spec.shape
-            )
-        with self._stage_span(
-            Stage.MODEL_INFERENCE, model_id=model_id, component="mlrt"
-        ):
-            runtime.execute(x)
-            result = runtime.prepare_output()
-        with self._stage_span(Stage.RESULT_ENCRYPT, model_id=model_id):
-            output = request_cipher.seal(
-                wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
-            )
+        output = self._serve_payload(
+            runtime, model, request_cipher, enc_request, model_id
+        )
         with self._context_lock:
             ticket = next(self._tickets)
             self._contexts[ticket] = output
-        if isolation.clear_context:
-            runtime.clear()
-            self._tls.runtime = None
-            self._tls.runtime_model = None
+        self._maybe_clear_runtime(runtime)
         return ticket
+
+    @ecall
+    def EC_MODEL_INF_BATCH(
+        self, enc_requests: Sequence[bytes], uid: str, model_id: str
+    ) -> List[int]:
+        """Run inference on several of ``uid``'s requests in one ECALL.
+
+        The batched flavour of ``EC_MODEL_INF``: one enclave transition,
+        one key lookup, one runtime -- then every request is decrypted,
+        executed, and sealed into its *own* ticketed execution context.
+        Returns the tickets in request order.
+
+        The batching **security rule** is enforced here, not on the
+        untrusted host: the whole batch names a single ``<uid, M_oid>``
+        pair and every payload must authenticate under that user's
+        request key ``K_R`` -- a ciphertext belonging to any other user
+        or model fails AEAD authentication and the batch is refused as
+        a unit (no context is created).  Sequential builds promise that
+        requests never co-execute, so they refuse any batch larger than
+        one.
+        """
+        isolation = self._isolation
+        size = len(enc_requests)
+        if size == 0:
+            raise InvocationError("refusing an empty batch")
+        if isolation.sequential and size > 1:
+            raise InvocationError(
+                "sequential builds never co-execute requests; batch refused"
+            )
+        self._check_pinned(model_id)
+        capacity = self.enclave.config.tcs_count
+        with self._context_lock:
+            if len(self._contexts) + size > capacity:
+                raise EnclaveError(
+                    f"batch of {size} exceeds the free execution contexts "
+                    f"({capacity - len(self._contexts)} of {capacity}); fetch or "
+                    "clear pending outputs before submitting more requests"
+                )
+        self.last_plan = plan_invocation(
+            self._observable_state(),
+            model_id,
+            uid,
+            key_cache_enabled=isolation.key_cache,
+            reuse_runtime=isolation.reuse_runtime,
+        )
+        model_key, request_key = self._obtain_keys(uid, model_id)
+        model = self._switch_model(model_id, model_key)
+        runtime = self._thread_runtime(model, model_id)
+        request_cipher = AESGCM(request_key)
+        # all-or-nothing: a payload that fails authentication aborts the
+        # whole batch before any context is committed, so the host's
+        # fallback can re-dispatch the members individually
+        outputs = [
+            self._serve_payload(runtime, model, request_cipher, enc, model_id)
+            for enc in enc_requests
+        ]
+        tickets: List[int] = []
+        with self._context_lock:
+            if len(self._contexts) + size > capacity:
+                raise EnclaveError(
+                    "execution contexts were exhausted while the batch executed"
+                )
+            for output in outputs:
+                ticket = next(self._tickets)
+                self._contexts[ticket] = output
+                tickets.append(ticket)
+        self.batch_log.append((uid, model_id, size))
+        self._maybe_clear_runtime(runtime)
+        return tickets
 
     @ecall
     def EC_GET_OUTPUT(self, ticket: int) -> bytes:
@@ -353,6 +385,103 @@ class SemirtEnclaveCode(EnclaveCode):
             self._tls.runtime_model = None
 
     # -- internals (trusted) -------------------------------------------------------------
+
+    def _check_pinned(self, model_id: str) -> None:
+        isolation = self._isolation
+        if isolation.pinned_model is not None and model_id != isolation.pinned_model:
+            raise InvocationError(
+                f"this enclave build is pinned to model {isolation.pinned_model!r}"
+            )
+
+    def _obtain_keys(self, uid: str, model_id: str) -> Tuple[bytes, bytes]:
+        """Algorithm 2 lines 6-10: keys from the cache or from KeyService."""
+        isolation = self._isolation
+        with self._kc_lock:
+            cached = self._kc
+        if (
+            isolation.key_cache
+            and cached is not None
+            and cached[0] == model_id
+            and cached[1] == uid
+        ):
+            return cached[2], cached[3]
+        with self._stage_span(Stage.KEY_RETRIEVAL, model_id=model_id):
+            model_key, request_key = self._fetch_keys(uid, model_id)
+        with self._kc_lock:
+            self._kc = (
+                (model_id, uid, model_key, request_key)
+                if isolation.key_cache
+                else None
+            )
+        return model_key, request_key
+
+    def _switch_model(self, model_id: str, model_key: bytes) -> Model:
+        """Lines 11-13: switch the shared model if needed.  Double-checked
+        under the lock: the first thread decrypts, later threads reuse
+        the heap copy without serialising on the decrypt."""
+        if self._model_id != model_id:
+            with self._model_lock:
+                if self._model_id != model_id:
+                    self._model = self._model_load(model_id, model_key)
+                    self._model_id = model_id
+        return self._model
+
+    def _thread_runtime(self, model: Model, model_id: str):
+        """Lines 14-15: this TCS thread's model runtime."""
+        isolation = self._isolation
+        runtime = getattr(self._tls, "runtime", None)
+        runtime_model = getattr(self._tls, "runtime_model", None)
+        if (
+            runtime is None
+            or runtime_model != model_id
+            or not isolation.reuse_runtime
+        ):
+            with self._stage_span(
+                Stage.RUNTIME_INIT, model_id=model_id, component="mlrt"
+            ):
+                runtime = self._framework.create_runtime(model)
+            self._tls.runtime = runtime
+            self._tls.runtime_model = model_id
+        return runtime
+
+    def _serve_payload(
+        self,
+        runtime,
+        model: Model,
+        request_cipher: AESGCM,
+        enc_request: bytes,
+        model_id: str,
+    ) -> bytes:
+        """Lines 16-19: decrypt one input, execute, seal the output."""
+        with self._stage_span(Stage.REQUEST_DECRYPT, model_id=model_id):
+            try:
+                payload = wire.decode(
+                    request_cipher.open(
+                        enc_request, aad=REQUEST_AAD + model_id.encode()
+                    )
+                )
+            except Exception as exc:
+                raise InvocationError(
+                    "request does not authenticate under the user's request key"
+                ) from exc
+            x = np.frombuffer(payload["input"], dtype=np.float32).reshape(
+                model.input_spec.shape
+            )
+        with self._stage_span(
+            Stage.MODEL_INFERENCE, model_id=model_id, component="mlrt"
+        ):
+            runtime.execute(x)
+            result = runtime.prepare_output()
+        with self._stage_span(Stage.RESULT_ENCRYPT, model_id=model_id):
+            return request_cipher.seal(
+                wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
+            )
+
+    def _maybe_clear_runtime(self, runtime) -> None:
+        if self._isolation.clear_context:
+            runtime.clear()
+            self._tls.runtime = None
+            self._tls.runtime_model = None
 
     def _stage_span(self, stage: Stage, **attributes):
         """A Figure-4 stage span (no-op context when tracing is off)."""
@@ -457,12 +586,23 @@ class SemirtEnclaveCode(EnclaveCode):
         return wire.decode(channel.recv(reply_cipher))
 
 
-class InferenceTicket:
+class InferenceFuture:
     """A submitted request's handle: resolves to the sealed output.
 
     Returned immediately by :meth:`SemirtHost.submit`; :meth:`result`
     blocks until the TCS scheduler has served the request (or failed
     it, in which case the worker's exception re-raises here).
+
+    :meth:`cancel` asks the scheduler to drop the request.  A request
+    cancelled before its output was delivered resolves to
+    :class:`~repro.errors.RequestCancelled`, and the scheduler releases
+    its enclave execution context (``EC_CLEAR_EXEC_CTX``) before the
+    error surfaces -- a cancelled request never leaks a context slot.
+    Once :meth:`done` is true the outcome is sealed and :meth:`cancel`
+    returns ``False``.
+
+    ``ticket`` carries the deprecated integer id of the pre-futures
+    surface; :meth:`SemirtHost.result` still accepts it for one release.
     """
 
     def __init__(self, enc_request: bytes, uid: str, model_id: str) -> None:
@@ -472,6 +612,10 @@ class InferenceTicket:
         self._done = threading.Event()
         self._output: Optional[bytes] = None
         self._error: Optional[BaseException] = None
+        self._state_lock = threading.Lock()
+        self._cancelled = False
+        #: deprecated integer ticket id (set by :meth:`SemirtHost.submit`)
+        self.ticket: Optional[int] = None
         #: ambient span at submit time; the worker re-parents under it
         self._parent = None
         self._enqueued_at = time.monotonic()
@@ -484,6 +628,25 @@ class InferenceTicket:
         """True once the request has completed (successfully or not)."""
         return self._done.is_set()
 
+    def cancelled(self) -> bool:
+        """True when cancellation was requested (and not lost to a result)."""
+        with self._state_lock:
+            return self._cancelled
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``False`` when the outcome is already sealed.
+
+        Returning ``True`` guarantees :meth:`result` raises
+        :class:`~repro.errors.RequestCancelled` and the request's enclave
+        execution context has been (or will be, before the error
+        surfaces) cleared via ``EC_CLEAR_EXEC_CTX``.
+        """
+        with self._state_lock:
+            if self._done.is_set():
+                return False
+            self._cancelled = True
+            return True
+
     def result(self, timeout: Optional[float] = None) -> bytes:
         """Block for the sealed output; re-raises the worker's failure."""
         if not self._done.wait(timeout):
@@ -495,13 +658,46 @@ class InferenceTicket:
         assert self._output is not None
         return self._output
 
+    def _cancel_requested(self) -> bool:
+        with self._state_lock:
+            return self._cancelled
+
     def _complete(self, output: bytes) -> None:
-        self._output = output
-        self._done.set()
+        with self._state_lock:
+            if self._cancelled:
+                # cancel() already promised RequestCancelled; the serving
+                # worker cleared the execution context on its way here
+                self._error = RequestCancelled(
+                    f"request for model {self.model_id!r} was cancelled"
+                )
+            else:
+                self._output = output
+            self._done.set()
 
     def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._done.set()
+        with self._state_lock:
+            self._error = error
+            self._done.set()
+
+
+#: deprecated pre-futures name, kept for one release
+InferenceTicket = InferenceFuture
+
+
+class _FormingBatch:
+    """One accumulating hot-path batch: the leader plus joined followers.
+
+    Host-side bookkeeping only -- the enclave re-checks the same-pair
+    rule on every ``EC_MODEL_INF_BATCH`` regardless of what the host
+    accumulated (each payload must authenticate under *that* user's
+    request key).
+    """
+
+    def __init__(self, leader: InferenceFuture) -> None:
+        self.uid = leader.uid
+        self.model_id = leader.model_id
+        self.members: List[InferenceFuture] = [leader]
+        self.closed = False
 
 
 #: queue sentinel telling a scheduler worker to exit
@@ -577,6 +773,32 @@ class SemirtHost:
         )
         self._workers: List[threading.Thread] = []
         self._workers_lock = threading.Lock()
+        # the hot-path batch accumulator (armed by SchedulerConfig.batch)
+        self._isolation = isolation
+        if self.scheduler.batch is not None and isolation.sequential:
+            raise EnclaveError(
+                "sequential isolation never co-executes requests; "
+                "SchedulerConfig.batch cannot be combined with it"
+            )
+        self._batch_policy: Optional[BatchPolicy] = (
+            self.scheduler.batch.clamped(self.enclave.config.tcs_count)
+            if self.scheduler.batch is not None
+            else None
+        )
+        self._batch_cv = threading.Condition()
+        self._forming: Optional[_FormingBatch] = None
+        #: enclave execution contexts reserved by in-flight serves; a
+        #: batch holds several contexts with one worker thread, so the
+        #: host must account for them across workers (the enclave's own
+        #: capacity check remains the backstop)
+        self._contexts_in_flight = 0
+        #: last <uid, model_id> pair served to completion -- the host's
+        #: hot-path hint for when leading a batch is worth the window
+        self._hot_pair: Optional[Tuple[str, str]] = None
+        # deprecated int-ticket shim (see SemirtHost.result)
+        self._ticket_ids = itertools.count(1)
+        self._submitted: "OrderedDict[int, InferenceFuture]" = OrderedDict()
+        self._submitted_lock = threading.Lock()
 
     @property
     def measurement(self) -> EnclaveMeasurement:
@@ -628,58 +850,337 @@ class SemirtHost:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            ticket: InferenceTicket = item
-            ticket.tcs_slot = slot
-            ticket.queue_wait = time.monotonic() - ticket._enqueued_at
-            try:
-                output = self._serve(ticket, slot)
-            except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
-                ticket._fail(exc)
-            else:
-                ticket._complete(output)
+            future: InferenceFuture = item
+            future.tcs_slot = slot
+            future.queue_wait = time.monotonic() - future._enqueued_at
+            if future._cancel_requested():
+                # never reached the enclave: no context to clear
+                future._fail(
+                    RequestCancelled(
+                        f"request for model {future.model_id!r} was cancelled"
+                    )
+                )
+                continue
+            if self._batch_policy is not None and self._maybe_batch(future, slot):
+                continue
+            self._serve_one(future, slot)
 
-    def _serve(self, ticket: InferenceTicket, slot: int) -> bytes:
-        """Drive the three-ECALL cycle for one ticket on one TCS slot."""
+    def _serve_one(self, future: InferenceFuture, slot: int) -> None:
+        """Serve one request on the single-request path, resolving its future."""
+        try:
+            output = self._serve(future, slot)
+        except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
+            future._fail(exc)
+        else:
+            future._complete(output)
+
+    # -- the batch accumulator (armed by SchedulerConfig.batch) --------------------
+
+    def _maybe_batch(self, future: InferenceFuture, slot: int) -> bool:
+        """Route one request through the batch plane when it is batchable.
+
+        Returns ``True`` when the request was handled here (joined a
+        forming batch, whose leader resolves it; or led one itself) and
+        ``False`` when the caller should take the single-request path --
+        which is every request whose ``<uid, model_id>`` pair is not the
+        host's current hot pair.  The hint can be stale; correctness
+        never depends on it, only the batching win does.
+        """
+        policy = self._batch_policy
+        pair = (future.uid, future.model_id)
+        with self._batch_cv:
+            forming = self._forming
+            if (
+                forming is not None
+                and not forming.closed
+                and (forming.uid, forming.model_id) == pair
+                and len(forming.members) < policy.max_batch
+            ):
+                forming.members.append(future)
+                if len(forming.members) >= policy.max_batch:
+                    self._batch_cv.notify_all()  # wake the leader early
+                return True
+            if policy.max_batch <= 1 or policy.batch_window_s <= 0:
+                return False
+            if self._hot_pair != pair:
+                return False
+            # this worker becomes the leader of a fresh forming batch
+            # (a full or closed predecessor may still be executing --
+            # batches pipeline across workers)
+            batch = _FormingBatch(future)
+            self._forming = batch
+        self._lead_batch(batch, slot)
+        return True
+
+    def _lead_batch(self, batch: _FormingBatch, slot: int) -> None:
+        """Leader side: collect followers, then execute the whole batch.
+
+        The leader waits up to ``batch_window_s`` for followers, bounded
+        by ``max_batch`` *and free execution contexts*: while the
+        enclave's context table is full (a previous batch still
+        executing), closing the window early would buy nothing, so the
+        batch keeps collecting until a slot frees up -- batches pipeline
+        and self-clock to the enclave's completion rate.  A hard
+        deadline bounds the stretch so a wedged enclave can never hang
+        followers (the context reservation's own timeout is the final
+        backstop).
+        """
+        policy = self._batch_policy
+        capacity = self.enclave.config.tcs_count
+        deadline = time.monotonic() + policy.batch_window_s
+        hard_deadline = deadline + 30.0
+        with self._batch_cv:
+            while len(batch.members) < policy.max_batch:
+                now = time.monotonic()
+                remaining = deadline - now
+                if remaining <= 0:
+                    room = self._contexts_in_flight + len(batch.members) <= capacity
+                    if room or not self.enclave.alive or now >= hard_deadline:
+                        break
+                    remaining = hard_deadline - now
+                self._batch_cv.wait(remaining)
+            batch.closed = True
+            if self._forming is batch:
+                self._forming = None
+            members = list(batch.members)
+        live: List[InferenceFuture] = []
+        for member in members:
+            if member._cancel_requested():
+                member._fail(
+                    RequestCancelled(
+                        f"request for model {member.model_id!r} was cancelled"
+                    )
+                )
+            else:
+                live.append(member)
+        if not live:
+            return
+        if len(live) == 1:
+            # a batch of one takes the ordinary path: same ECALLs,
+            # same spans, byte-identical output
+            self._serve_one(live[0], slot)
+            return
+        if self._injector is not None and self._injector.crash_enclave("semirt:batch"):
+            # the leader dies mid-batch: followers must never hang
+            self.destroy()
+            for member in live:
+                member._fail(FaultInjected("semirt enclave crashed mid-batch ECALL"))
+            return
+        try:
+            self._reserve_contexts(len(live))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the waiters
+            for member in live:
+                member._fail(exc)
+            return
+        try:
+            self._serve_batch(live, slot)
+        except BaseException as exc:  # noqa: BLE001 - fall back or fail over
+            self._release_contexts(len(live))
+            if not self.enclave.alive:
+                for member in live:
+                    member._fail(exc)
+                return
+            # the batch ECALL failed but the enclave survived (e.g. one
+            # member's payload refused to authenticate): re-dispatch the
+            # members individually so good requests still complete --
+            # reservations were released above, so the singles cannot
+            # deadlock against our own accounting
+            for member in live:
+                self._serve_one(member, slot)
+        else:
+            self._release_contexts(len(live))
+
+    def _serve_batch(self, members: List[InferenceFuture], slot: int) -> None:
+        """Drive one ``EC_MODEL_INF_BATCH`` cycle, resolving every member.
+
+        Raises only when the batch ECALL itself fails (no context was
+        committed -- the enclave is all-or-nothing); per-member fetch
+        failures resolve just that member's future.
+        """
+        leader = members[0]
+        size = len(members)
+        floor = self.scheduler.paced_service_s
         attach = (
-            self.tracer.attach(ticket._parent)
-            if self.tracer is not None and ticket._parent is not None
+            self.tracer.attach(leader._parent)
+            if self.tracer is not None and leader._parent is not None
             else nullcontext()
         )
         with attach:
             started = time.monotonic()
+            started_cpu = time.thread_time()
             with maybe_span(
                 self.tracer,
-                "ecall:EC_MODEL_INF",
-                model_id=ticket.model_id,
+                "ecall:EC_MODEL_INF_BATCH",
+                model_id=leader.model_id,
                 tcs_slot=slot,
-                queue_wait=ticket.queue_wait,
+                batch_size=size,
+                leader_ticket=leader.ticket,
+                amortised_s=(
+                    self._batch_policy.amortised_s(floor, size)
+                    if floor is not None
+                    else None
+                ),
+                queue_wait=leader.queue_wait,
             ):
-                handle = self.enclave.ecall(
-                    "EC_MODEL_INF", ticket._enc_request, ticket.uid, ticket.model_id
+                handles = self.enclave.ecall(
+                    "EC_MODEL_INF_BATCH",
+                    [member._enc_request for member in members],
+                    leader.uid,
+                    leader.model_id,
                 )
-                self._pace(started)
-            with maybe_span(self.tracer, "ecall:EC_GET_OUTPUT", tcs_slot=slot):
-                output = self.enclave.ecall("EC_GET_OUTPUT", handle)
-            with maybe_span(self.tracer, "ecall:EC_CLEAR_EXEC_CTX", tcs_slot=slot):
-                self.enclave.ecall("EC_CLEAR_EXEC_CTX", handle)
+                self._pace(started, started_cpu, size=size)
+            for member, handle in zip(members, handles):
+                member.tcs_slot = slot
+                try:
+                    if member._cancel_requested():
+                        with maybe_span(
+                            self.tracer, "ecall:EC_CLEAR_EXEC_CTX", tcs_slot=slot
+                        ):
+                            self.enclave.ecall("EC_CLEAR_EXEC_CTX", handle)
+                        member._fail(
+                            RequestCancelled(
+                                f"request for model {member.model_id!r} was cancelled"
+                            )
+                        )
+                        continue
+                    with maybe_span(
+                        self.tracer, "ecall:EC_GET_OUTPUT", tcs_slot=slot
+                    ):
+                        output = self.enclave.ecall("EC_GET_OUTPUT", handle)
+                    with maybe_span(
+                        self.tracer, "ecall:EC_CLEAR_EXEC_CTX", tcs_slot=slot
+                    ):
+                        self.enclave.ecall("EC_CLEAR_EXEC_CTX", handle)
+                except BaseException as exc:  # noqa: BLE001 - this member only
+                    member._fail(exc)
+                else:
+                    member._complete(output)
+        self._note_served(leader.uid, leader.model_id)
+
+    def _reserve_contexts(self, n: int, timeout_s: float = 30.0) -> None:
+        """Block until ``n`` enclave execution contexts can be held.
+
+        The enclave's own capacity check (``EC_MODEL_INF_BATCH`` refuses
+        to overflow the context table) stays the backstop; this keeps a
+        batch from racing concurrent singles into that error.
+        """
+        capacity = self.enclave.config.tcs_count
+        deadline = time.monotonic() + timeout_s
+        with self._batch_cv:
+            while self._contexts_in_flight + n > capacity:
+                if not self.enclave.alive:
+                    raise EnclaveError(f"{self.enclave.enclave_id} is destroyed")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise EnclaveError(
+                        f"timed out waiting for {n} free execution contexts"
+                    )
+                self._batch_cv.wait(remaining)
+            self._contexts_in_flight += n
+
+    def _release_contexts(self, n: int) -> None:
+        with self._batch_cv:
+            self._contexts_in_flight -= n
+            self._batch_cv.notify_all()
+
+    def _note_served(self, uid: str, model_id: str) -> None:
+        """Remember the pair that just served: the next one may be hot.
+
+        Only meaningful when the build caches keys -- without the key
+        cache no request is ever hot, so leading a batch would spend the
+        window for nothing.
+        """
+        if self._batch_policy is None:
+            return
+        self._hot_pair = (uid, model_id) if self._isolation.key_cache else None
+
+    # -- the single-request ECALL cycle ---------------------------------------------
+
+    def _serve(self, future: InferenceFuture, slot: int) -> bytes:
+        """Drive the three-ECALL cycle for one request on one TCS slot."""
+        reserve = self._batch_policy is not None
+        if reserve:
+            self._reserve_contexts(1)
+        try:
+            attach = (
+                self.tracer.attach(future._parent)
+                if self.tracer is not None and future._parent is not None
+                else nullcontext()
+            )
+            with attach:
+                started = time.monotonic()
+                started_cpu = time.thread_time()
+                with maybe_span(
+                    self.tracer,
+                    "ecall:EC_MODEL_INF",
+                    model_id=future.model_id,
+                    tcs_slot=slot,
+                    queue_wait=future.queue_wait,
+                ):
+                    handle = self.enclave.ecall(
+                        "EC_MODEL_INF", future._enc_request, future.uid,
+                        future.model_id,
+                    )
+                    self._pace(started, started_cpu)
+                if future._cancel_requested():
+                    # cancelled after the context was created: clear it
+                    # before RequestCancelled surfaces (the cancel() API
+                    # contract), never fetching the output
+                    with maybe_span(
+                        self.tracer, "ecall:EC_CLEAR_EXEC_CTX", tcs_slot=slot
+                    ):
+                        self.enclave.ecall("EC_CLEAR_EXEC_CTX", handle)
+                    raise RequestCancelled(
+                        f"request for model {future.model_id!r} was cancelled"
+                    )
+                with maybe_span(self.tracer, "ecall:EC_GET_OUTPUT", tcs_slot=slot):
+                    output = self.enclave.ecall("EC_GET_OUTPUT", handle)
+                with maybe_span(self.tracer, "ecall:EC_CLEAR_EXEC_CTX", tcs_slot=slot):
+                    self.enclave.ecall("EC_CLEAR_EXEC_CTX", handle)
+        finally:
+            if reserve:
+                self._release_contexts(1)
+        self._note_served(future.uid, future.model_id)
         return output
 
-    def _pace(self, started: float) -> None:
-        """Sleep out the remainder of the configured service-time floor."""
+    def _pace(self, started: float, started_cpu: float, size: int = 1) -> None:
+        """Spend the remainder of the configured service-time floor.
+
+        A batch of ``size`` is paced to the policy's sub-linear batch
+        cost rather than ``size`` full floors -- that amortisation *is*
+        the modelled win.  With ``paced_busy`` the floor is *thread CPU
+        time*: the worker burns whatever the ECALL's real work has not
+        already consumed, so concurrent busy-paced workers genuinely
+        serialise on the GIL (the stand-in for a single core) -- the
+        compute-bound regime micro-batching is for.  Otherwise the floor
+        is wall time spent sleeping, releasing the GIL so paced singles
+        overlap across TCS slots (the core-rich regime
+        ``repro concurrency`` measures).
+        """
         floor = self.scheduler.paced_service_s
         if floor is None:
             return
-        remaining = floor - (time.monotonic() - started)
-        if remaining > 0:
-            time.sleep(remaining)
+        if size > 1:
+            floor = self._batch_policy.batch_cost_s(floor, size)
+        if self.scheduler.paced_busy:
+            target = started_cpu + floor
+            while time.thread_time() < target:
+                pass
+        else:
+            remaining = floor - (time.monotonic() - started)
+            if remaining > 0:
+                time.sleep(remaining)
 
     # -- the action interface ------------------------------------------------------
 
-    def submit(self, enc_request: bytes, uid: str, model_id: str) -> InferenceTicket:
+    def submit(self, enc_request: bytes, uid: str, model_id: str) -> InferenceFuture:
         """Admit one request to the TCS scheduler; returns immediately.
 
-        Raises :class:`~repro.errors.QueueFull` when the admission queue
-        is at its configured depth (backpressure), and
+        Returns an :class:`InferenceFuture`; resolve it with
+        ``future.result(timeout=...)``, poll with ``future.done()``, or
+        drop it with ``future.cancel()``.  Raises
+        :class:`~repro.errors.QueueFull` when the admission queue is at
+        its configured depth (backpressure), and
         :class:`~repro.errors.FaultInjected` when the attached fault
         injector crashes the enclave at this site.
         """
@@ -692,22 +1193,50 @@ class SemirtHost:
         if not self.enclave.alive:
             raise EnclaveError(f"{self.enclave.enclave_id} is destroyed")
         self._ensure_workers()
-        ticket = InferenceTicket(enc_request, uid, model_id)
+        future = InferenceFuture(enc_request, uid, model_id)
+        future.ticket = next(self._ticket_ids)
         if self.tracer is not None:
-            ticket._parent = self.tracer.current_span()
+            future._parent = self.tracer.current_span()
+        with self._submitted_lock:
+            # prune settled futures so the int-ticket shim map stays
+            # bounded by the number of requests actually in flight
+            for tid in [t for t, f in self._submitted.items() if f.done()]:
+                del self._submitted[tid]
+            self._submitted[future.ticket] = future
         try:
-            self._queue.put_nowait(ticket)
+            self._queue.put_nowait(future)
         except queue_module.Full:
+            with self._submitted_lock:
+                self._submitted.pop(future.ticket, None)
             raise QueueFull(
                 f"admission queue full ({self.scheduler.queue_depth} waiting); "
                 "drain results or raise SchedulerConfig.queue_depth"
             ) from None
-        return ticket
+        return future
 
     def result(
-        self, ticket: InferenceTicket, timeout: Optional[float] = None
+        self,
+        ticket: Union[InferenceFuture, int],
+        timeout: Optional[float] = None,
     ) -> bytes:
-        """Block for a submitted ticket's sealed output."""
+        """Block for a submitted request's sealed output.
+
+        Accepts the :class:`InferenceFuture` returned by :meth:`submit`.
+        Passing the future's raw integer ``ticket`` id is **deprecated**
+        (kept as a shim for one release): prefer ``future.result()``.
+        """
+        if isinstance(ticket, int):
+            warnings.warn(
+                "SemirtHost.result(ticket: int) is deprecated; keep the "
+                "InferenceFuture returned by submit() and call .result() on it",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            with self._submitted_lock:
+                future = self._submitted.get(ticket)
+            if future is None:
+                raise InvocationError(f"unknown or already-pruned ticket {ticket}")
+            return future.result(timeout)
         return ticket.result(timeout)
 
     def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
@@ -723,6 +1252,10 @@ class SemirtHost:
         finish) on their own.
         """
         self.enclave.destroy()
+        with self._batch_cv:
+            # wake any batch leader in its window wait and any worker
+            # blocked on a context reservation; both re-check liveness
+            self._batch_cv.notify_all()
         with self._workers_lock:
             workers, self._workers = self._workers, []
         # fail whatever is still queued *before* posting the shutdown

@@ -111,6 +111,16 @@ class DeadlineExceeded(SeSeMIError):
     """
 
 
+class RequestCancelled(SeSeMIError):
+    """A submitted request was cancelled before its output was delivered.
+
+    Raised from :meth:`~repro.core.semirt.InferenceFuture.result` after a
+    successful :meth:`~repro.core.semirt.InferenceFuture.cancel`.  The
+    scheduler guarantees the request's enclave execution context was
+    released (``EC_CLEAR_EXEC_CTX``) before this surfaces.
+    """
+
+
 class CircuitOpen(SeSeMIError):
     """A circuit breaker is open: the endpoint is failing, fail fast.
 

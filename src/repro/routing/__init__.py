@@ -13,6 +13,7 @@ imports only the stdlib and ``repro.errors``.  It must never import
 ``repro.core``, ``repro.serverless``, or ``repro.faults``.
 """
 
+from repro.routing.affinity import BatchAffinity
 from repro.routing.lifecycle import PressureTracker, ScaleOutPolicy
 from repro.routing.policy import (
     STRATEGIES,
@@ -26,6 +27,7 @@ from repro.routing.pool import EndpointState, FnPool
 
 __all__ = [
     "AllInOneRouter",
+    "BatchAffinity",
     "EndpointState",
     "FnPackerRouter",
     "FnPool",

@@ -1,0 +1,66 @@
+"""Batch-affinity hints: keep batchable traffic on one endpoint.
+
+The live batch accumulator (``docs/batching.md``) only ever merges
+requests for the same ``<uid, model_id>`` hot pair *on the same
+endpoint* -- a leader cannot collect followers that were routed
+elsewhere.  :class:`BatchAffinity` is the routing-plane half of that:
+a small LRU map remembering which endpoint last served each pair, so a
+gateway can offer the next request for the pair to the same endpoint
+and give the accumulator something to merge.
+
+It is a **hint**, never a constraint: the gateway falls back to the
+ordinary router whenever the remembered endpoint is excluded, saturated,
+or dead, and the enclave enforces the same-pair security rule no matter
+where a request lands.
+
+Layering: like the rest of :mod:`repro.routing`, this module knows
+nothing about what an endpoint is -- stdlib only.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class BatchAffinity:
+    """An LRU map of ``<uid, model_id>`` pairs to their last endpoint."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._pairs: "OrderedDict[Tuple[str, str], str]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def remember(self, uid: str, model_id: str, endpoint: str) -> None:
+        """Record that ``endpoint`` just served the pair."""
+        with self._lock:
+            key = (uid, model_id)
+            self._pairs.pop(key, None)
+            self._pairs[key] = endpoint
+            while len(self._pairs) > self.capacity:
+                self._pairs.popitem(last=False)
+
+    def lookup(self, uid: str, model_id: str) -> Optional[str]:
+        """The endpoint that last served the pair, freshening its LRU slot."""
+        with self._lock:
+            key = (uid, model_id)
+            endpoint = self._pairs.get(key)
+            if endpoint is not None:
+                self._pairs.move_to_end(key)
+            return endpoint
+
+    def forget_endpoint(self, endpoint: str) -> None:
+        """Drop every pair pinned to ``endpoint`` (it died or retired)."""
+        with self._lock:
+            for key in [k for k, v in self._pairs.items() if v == endpoint]:
+                del self._pairs[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pairs)
+
+
+__all__ = ["BatchAffinity"]

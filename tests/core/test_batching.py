@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.batching import BatchingSemirtActor, batching_semirt_factory
+from repro.core.batching import BatchPolicy, BatchingSemirtActor, batching_semirt_factory
 from repro.core.simbridge import servable_map
 from repro.errors import ConfigError
 from repro.experiments.common import action_budget, make_driver, make_testbed
@@ -24,7 +24,7 @@ def deploy(batch_window_s=0.05, max_batch=8, concurrency=8, single_container=Fal
     )
     factory = batching_semirt_factory(
         models, bed.cost, tcs_count=concurrency,
-        batch_window_s=batch_window_s, max_batch=max_batch,
+        policy=BatchPolicy(batch_window_s=batch_window_s, max_batch=max_batch),
     )
     actor_holder = []
 
@@ -47,20 +47,43 @@ def run_burst(bed, count, at=120.0, warmup=1):
 
 
 def test_parameter_validation():
+    with pytest.raises(ConfigError):
+        BatchPolicy(batch_window_s=-1)
+    with pytest.raises(ConfigError):
+        BatchPolicy(alpha=0.0)
+    with pytest.raises(ConfigError):
+        BatchPolicy(max_batch=0)
+    with pytest.raises(ConfigError):
+        BatchPolicy().clamped(0)
+
+
+def test_policy_clamped_to_tcs_count():
     models = servable_map([("m", profile("MBNET"), "tvm")])
     bed = make_testbed(num_nodes=1)
+    # every batched request occupies one TCS slot: the actor's policy is
+    # the explicit clamp, not a silently shrunk constructor value
+    actor = BatchingSemirtActor(
+        models, bed.cost, tcs_count=4, policy=BatchPolicy(max_batch=16)
+    )
+    assert actor.policy.max_batch == 4
+    assert actor.max_batch == 4
+    assert BatchPolicy(max_batch=3).clamped(8) == BatchPolicy(max_batch=3)
+
+
+def test_loose_kwargs_deprecated_shim():
+    models = servable_map([("m", profile("MBNET"), "tvm")])
+    bed = make_testbed(num_nodes=1)
+    with pytest.deprecated_call():
+        actor = BatchingSemirtActor(models, bed.cost, batch_window_s=0.1, max_batch=2)
+    assert actor.policy == BatchPolicy(batch_window_s=0.1, max_batch=2)
     with pytest.raises(ConfigError):
-        BatchingSemirtActor(models, bed.cost, batch_window_s=-1)
-    with pytest.raises(ConfigError):
-        BatchingSemirtActor(models, bed.cost, batch_alpha=0.0)
-    with pytest.raises(ConfigError):
-        BatchingSemirtActor(models, bed.cost, max_batch=0)
+        BatchingSemirtActor(models, bed.cost, policy=BatchPolicy(), max_batch=2)
 
 
 def test_batched_exec_sublinear():
     bed = make_testbed(num_nodes=1)
     models = servable_map([("m", profile("RSNET"), "tvm")])
-    actor = BatchingSemirtActor(models, bed.cost, batch_alpha=0.6)
+    actor = BatchingSemirtActor(models, bed.cost, policy=BatchPolicy(alpha=0.6))
     single = actor.batched_exec_s(models["m"], 1)
     quad = actor.batched_exec_s(models["m"], 4)
     assert single == pytest.approx(profile("RSNET").tvm_exec_s)

@@ -74,6 +74,7 @@ def test_ecall_surface_is_figure5(setup):
     _, _, _, semirt = setup
     assert semirt.enclave.exported_ecalls == {
         "EC_MODEL_INF",
+        "EC_MODEL_INF_BATCH",
         "EC_GET_OUTPUT",
         "EC_CLEAR_EXEC_CTX",
     }
