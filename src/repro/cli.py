@@ -38,6 +38,7 @@ from repro.experiments import (
     fig13,
     fig15,
     fig17,
+    service,
     table1,
     table2,
     table34,
@@ -185,6 +186,16 @@ def _run_gateway() -> dict:
     return gateway.run()
 
 
+@experiment(
+    "service",
+    "HTTP service tier: fast 429 sheds + flat admitted p99 under saturation",
+    service.format_report,
+)
+def _run_service() -> dict:
+    """The service-tier saturation benchmark with its default knobs."""
+    return service.run()
+
+
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
 def _trace_fig8() -> list:
     """Span dump of one virtual-time cold request (MBNET on TVM)."""
@@ -221,6 +232,12 @@ def _trace_batching() -> list:
 def _trace_gateway() -> list:
     """Span dump of one routed batch (route spans included, wall time)."""
     return gateway.collect_trace()
+
+
+@trace_source("service", "two HTTP inferences: client and server trees joined")
+def _trace_service() -> list:
+    """Span dump of one service round trip (client -> ECALL, wall time)."""
+    return service.collect_trace()
 
 
 @trace_source("session", "a functional cold+hot inference via the session API")
@@ -358,6 +375,44 @@ def _cmd_gateway(requests: int, paced_ms: float, as_json: bool) -> int:
     return 0
 
 
+def _cmd_serve(
+    host: str, port: int, tcs: int, endpoints: int,
+    paced_ms: float, max_inflight: Optional[int],
+) -> int:
+    """Boot a live service tier in the foreground (``repro serve``)."""
+    from repro.service import serve
+
+    _, svc = service.build_world(
+        tcs_count=tcs,
+        num_endpoints=endpoints,
+        paced_s=paced_ms / 1e3 if paced_ms > 0 else None,
+        host=host,
+        port=port,
+        max_inflight=max_inflight,
+        background=False,
+    )
+    print(f"models: {', '.join(sorted(svc.handles))}")
+    try:
+        serve(svc)
+    finally:
+        svc.gateway.close()
+    return 0
+
+
+def _cmd_service(
+    duration_s: float, paced_ms: float, clients: int, as_json: bool
+) -> int:
+    """Run the saturation benchmark (``repro service``); exit 1 on gate fail."""
+    result = service.run(
+        duration_s=duration_s, paced_ms=paced_ms, saturated_clients=clients
+    )
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(service.format_report(result))
+    return 0 if result["pass"] else 1
+
+
 def _cmd_report(path: str) -> int:
     from repro.experiments.report import build_report
 
@@ -457,6 +512,49 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the raw result dict as JSON",
     )
+    serve_parser = sub.add_parser(
+        "serve", help="boot the HTTP service tier over a live gateway"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks an ephemeral one)",
+    )
+    serve_parser.add_argument(
+        "--tcs", type=int, default=4, help="TCS count per endpoint"
+    )
+    serve_parser.add_argument(
+        "--endpoints", type=int, default=1, help="endpoints in the pool"
+    )
+    serve_parser.add_argument(
+        "--paced-ms", type=float, default=0.0,
+        help="per-request service-time floor in ms (0 disables pacing)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="admission bound (default: fleet TCS capacity)",
+    )
+    service_parser = sub.add_parser(
+        "service", help="run the service-tier saturation benchmark"
+    )
+    service_parser.add_argument(
+        "--duration", type=float, default=3.0,
+        help="seconds per load phase",
+    )
+    service_parser.add_argument(
+        "--paced-ms", type=float, default=200.0,
+        help="per-request service-time floor in ms",
+    )
+    service_parser.add_argument(
+        "--clients", type=int, default=8,
+        help="closed-loop clients in the saturated phase",
+    )
+    service_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result dict (the BENCH_service.json artifact)",
+    )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
@@ -476,6 +574,15 @@ def main(argv=None) -> int:
         )
     if args.command == "gateway":
         return _cmd_gateway(args.requests, args.paced_ms, args.json)
+    if args.command == "serve":
+        return _cmd_serve(
+            args.host, args.port, args.tcs, args.endpoints,
+            args.paced_ms, args.max_inflight,
+        )
+    if args.command == "service":
+        return _cmd_service(
+            args.duration, args.paced_ms, args.clients, args.json
+        )
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

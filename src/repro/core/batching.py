@@ -23,7 +23,6 @@ entry) that one batched call pays once.  See ``docs/batching.md``.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
@@ -95,36 +94,17 @@ class BatchPolicy:
         """Seconds saved vs ``size`` unbatched executions of ``single_s``."""
         return single_s * self.alpha * (size - 1)
 
+    def feed_window(self, tcs_count: int) -> int:
+        """In-flight requests a submitter needs to keep the accumulator fed.
 
-def _legacy_policy(
-    policy: Optional[BatchPolicy],
-    batch_window_s: Optional[float],
-    max_batch: Optional[int],
-    batch_alpha: Optional[float],
-) -> BatchPolicy:
-    """Resolve the deprecated loose kwargs against the policy object."""
-    loose = (batch_window_s, max_batch, batch_alpha)
-    if policy is not None:
-        if any(value is not None for value in loose):
-            raise ConfigError(
-                "pass either a BatchPolicy or the loose batch kwargs, not both"
-            )
-        return policy
-    if any(value is not None for value in loose):
-        warnings.warn(
-            "the loose batch_window_s/max_batch/batch_alpha kwargs are "
-            "deprecated; pass a repro.core.batching.BatchPolicy instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    defaults = BatchPolicy()
-    return BatchPolicy(
-        batch_window_s=(
-            defaults.batch_window_s if batch_window_s is None else batch_window_s
-        ),
-        max_batch=defaults.max_batch if max_batch is None else max_batch,
-        alpha=defaults.alpha if batch_alpha is None else batch_alpha,
-    )
+        A batch leader only finds followers when they are already queued
+        behind it, so a pipelining submitter (``UserSession.infer_many``,
+        the service tier's window) must keep at least *two* full batches
+        outstanding: one executing, one forming.  Derived from the
+        policy itself (clamped to ``tcs_count``) so tuning ``max_batch``
+        can never silently starve the accumulator.
+        """
+        return max(tcs_count, 2 * self.clamped(tcs_count).max_batch)
 
 
 @dataclass
@@ -144,8 +124,7 @@ class BatchingSemirtActor(SemirtSimActor):
 
     The batching knobs arrive as one :class:`BatchPolicy`; the policy's
     ``max_batch`` is :meth:`~BatchPolicy.clamped` to ``tcs_count``
-    because each batched request still occupies its own TCS slot.  The
-    pre-policy loose kwargs remain accepted for one release (deprecated).
+    because each batched request still occupies its own TCS slot.
     """
 
     def __init__(
@@ -154,19 +133,15 @@ class BatchingSemirtActor(SemirtSimActor):
         cost: CostModel,
         tcs_count: int = 8,
         policy: Optional[BatchPolicy] = None,
-        batch_window_s: Optional[float] = None,
-        max_batch: Optional[int] = None,
-        batch_alpha: Optional[float] = None,
     ) -> None:
         super().__init__(models, cost, tcs_count=tcs_count)
-        policy = _legacy_policy(policy, batch_window_s, max_batch, batch_alpha)
-        self.policy = policy.clamped(tcs_count)
+        self.policy = (policy or BatchPolicy()).clamped(tcs_count)
         assert self.policy.max_batch <= tcs_count
         self._open_batch: Optional[_Batch] = None
         self.batches_executed = 0
         self.batched_requests = 0
 
-    # pre-policy attribute surface, kept alive with the kwarg shim
+    # flat read-only views over the policy
     @property
     def batch_window_s(self) -> float:
         return self.policy.batch_window_s
@@ -259,10 +234,7 @@ def batching_semirt_factory(
     cost: CostModel,
     tcs_count: int = 8,
     policy: Optional[BatchPolicy] = None,
-    batch_window_s: Optional[float] = None,
-    max_batch: Optional[int] = None,
-    batch_alpha: Optional[float] = None,
 ):
     """Factory for deploying :class:`BatchingSemirtActor` containers."""
-    resolved = _legacy_policy(policy, batch_window_s, max_batch, batch_alpha)
+    resolved = policy or BatchPolicy()
     return lambda: BatchingSemirtActor(models, cost, tcs_count, resolved)

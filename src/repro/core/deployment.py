@@ -281,6 +281,30 @@ class UserSession:
                 )
         return result
 
+    def submit(self, x: np.ndarray) -> "SessionFuture":
+        """Encrypt ``x`` and admit it asynchronously; poll the future.
+
+        The async face of :meth:`infer`: the request is routed and
+        admitted through the gateway (:meth:`InferenceGateway.submit`)
+        but the call returns immediately with a :class:`SessionFuture`
+        whose ``result()`` blocks for the *decrypted* output.  Raises
+        :class:`~repro.errors.QueueFull` synchronously when the whole
+        fleet is saturated -- admission is where backpressure surfaces.
+        Unlike :meth:`infer` the async path does not run under the
+        resilience layer; cancellation and retries belong to the caller
+        (the HTTP service tier builds exactly that on top).
+        """
+        injector = self._env.injector
+        enc_request = maybe_wire(
+            injector,
+            "user->semirt",
+            self.user.encrypt_request(self.model_id, self.measurement, x),
+        )
+        submission = self._gateway.submit(
+            enc_request, self.user.principal_id, self.model_id
+        )
+        return SessionFuture(self, submission)
+
     def infer_many(
         self, xs: Sequence[np.ndarray], window: Optional[int] = None
     ) -> List[np.ndarray]:
@@ -319,10 +343,16 @@ class UserSession:
                 return self._infer_many_routed(xs, root)
             semirt, cold = self._gateway.ensure_host()
             if window is None:
-                window = semirt.enclave.config.tcs_count
-                policy = getattr(semirt, "_batch_policy", None)
-                if policy is not None:
-                    window = max(window, 2 * policy.max_batch)
+                tcs_count = semirt.enclave.config.tcs_count
+                policy = semirt.batch_policy
+                # the policy derives the window (two full clamped
+                # batches, floored at tcs_count), so tuning max_batch
+                # can never silently starve the accumulator
+                window = (
+                    policy.feed_window(tcs_count)
+                    if policy is not None
+                    else tcs_count
+                )
             window = max(1, window)
             results: List[Optional[np.ndarray]] = [None] * len(xs)
             in_flight: deque = deque()  # (input index, future)
@@ -475,6 +505,51 @@ class UserSession:
     def __exit__(self, exc_type, exc, tb) -> None:
         """Context-manager exit: release the enclave."""
         self.close()
+
+
+class SessionFuture:
+    """An async session request: resolves to the **decrypted** output.
+
+    Returned by :meth:`UserSession.submit`.  Wraps the gateway's
+    :class:`~repro.core.gateway.GatewaySubmission` and adds the
+    client-side half of the protocol -- response-wire fault injection
+    and AEAD decryption -- so ``future.result()`` hands back the same
+    plaintext array :meth:`UserSession.infer` would.
+    """
+
+    def __init__(self, session: UserSession, submission) -> None:
+        self._session = session
+        #: the underlying :class:`~repro.core.gateway.GatewaySubmission`
+        self.submission = submission
+
+    @property
+    def ticket(self) -> Optional[int]:
+        """The endpoint-assigned observability id."""
+        return self.submission.ticket
+
+    def done(self) -> bool:
+        """True once the outcome is sealed (successfully or not)."""
+        return self.submission.done()
+
+    def cancelled(self) -> bool:
+        """True when cancellation was requested and won."""
+        return self.submission.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel the request (releases its enclave execution context)."""
+        return self.submission.cancel()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block for the decrypted output; re-raises the serving failure."""
+        session = self._session
+        enc_response = maybe_wire(
+            session._env.injector,
+            "semirt->user",
+            self.submission.result(timeout),
+        )
+        return session.user.decrypt_response(
+            session.model_id, session.measurement, enc_response
+        )
 
 
 class SeSeMIEnvironment:

@@ -49,10 +49,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set, Tuple
 
-from repro.core.semirt import SemirtHost
+from repro.core.semirt import InferenceFuture, SemirtHost
 from repro.errors import (
+    DeadlineExceeded,
     EnclaveError,
     QueueFull,
+    RequestCancelled,
     RoutingError,
     TransportError,
 )
@@ -340,7 +342,7 @@ class InferenceGateway:
             self._finish(endpoint, model_id, ok=True)
             if breaker is not None:
                 breaker.on_success()
-            if getattr(host, "_batch_policy", None) is not None:
+            if getattr(host, "batch_policy", None) is not None:
                 # only accumulator-armed endpoints benefit from keeping
                 # the pair's traffic together; plain endpoints keep the
                 # router's packing decision unbiased
@@ -351,6 +353,118 @@ class InferenceGateway:
             return GatewayReply(output=output, decision=decision, host=host)
         raise RoutingError(
             f"dispatch for {model_id!r} exhausted rerouting in pool "
+            f"{self.pool.name!r}"
+        )
+
+    def submit(
+        self, enc_request: bytes, user_id: str, model_id: str
+    ) -> "GatewaySubmission":
+        """Admit one encrypted request and return a polling handle.
+
+        The async face of :meth:`dispatch`: the same admission-time
+        routing walk (affinity hint, breaker exclusion, ``QueueFull``
+        reroute, crash redispatch) runs here, but instead of blocking
+        for the output the gateway returns a :class:`GatewaySubmission`
+        wrapping the endpoint's :class:`InferenceFuture`.  Rerouting is
+        **admission-time only** -- once the request sits in an
+        endpoint's queue, a later endpoint death surfaces through the
+        future rather than being silently redispatched (the service
+        tier owns that retry decision).
+
+        Raises :class:`QueueFull` when the whole fleet is saturated,
+        exactly like :meth:`dispatch`.
+        """
+        exclude: Set[str] = set()
+        decision = RouteDecision(endpoint="")
+        pressure_observed = False
+        last_queue_full: Optional[QueueFull] = None
+        affinity_hint = self._affinity.lookup(user_id, model_id)
+        for _ in range(4 * (self.config.max_redispatch + self.pool.endpoint_count + 2)):
+            decision.batch_affinity = False
+            endpoint = None
+            if affinity_hint is not None:
+                hinted, affinity_hint = affinity_hint, None
+                if hinted not in exclude and any(
+                    name == hinted for name, _ in self.router.endpoints()
+                ):
+                    endpoint = hinted
+                    decision.batch_affinity = True
+            try:
+                if endpoint is None:
+                    endpoint = self.router.route(
+                        model_id, self._now(), frozenset(exclude)
+                    )
+            except RoutingError:
+                if last_queue_full is not None:
+                    grew = False
+                    if self._pressure is not None and not pressure_observed:
+                        pressure_observed = True
+                        if self._pressure.observe(True, self.endpoint_count):
+                            grew = self._grow_fleet()
+                    if grew:
+                        last_queue_full = None
+                        continue
+                    raise last_queue_full
+                endpoint = self._relaunch_candidate(exclude)
+                if endpoint is None:
+                    raise
+            breaker = self._breaker(endpoint)
+            if breaker is not None and breaker.state == "open":
+                exclude.add(endpoint)
+                decision.reroutes += 1
+                continue
+            try:
+                host, cold = self._ensure_host(endpoint, exclude)
+            except _Reroute:
+                decision.reroutes += 1
+                continue
+            decision.endpoint = endpoint
+            decision.cold = cold
+            try:
+                future = host.submit(enc_request, user_id, model_id)
+            except QueueFull as exc:
+                last_queue_full = exc
+                exclude.add(endpoint)
+                decision.reroutes += 1
+                continue
+            except (EnclaveError, TransportError) as exc:
+                self._note_endpoint_death(endpoint, breaker)
+                if (
+                    self.config.redispatch_on_crash
+                    and decision.redispatches < self.config.max_redispatch
+                ):
+                    decision.redispatches += 1
+                    exclude.add(endpoint)
+                    continue
+                raise exc
+            now = self._now()
+            self.router.on_dispatch(endpoint, model_id, now)
+            with self._lock:
+                self._in_flight += 1
+            decision.exclusive = self._is_exclusive(endpoint, model_id)
+            with maybe_span(
+                self.tracer,
+                "route",
+                endpoint=endpoint,
+                model_id=model_id,
+                exclusive=decision.exclusive,
+                reroutes=decision.reroutes,
+                redispatches=decision.redispatches,
+                cold=decision.cold,
+                batch_affinity=decision.batch_affinity,
+                phase="admit",
+            ):
+                pass  # admission-time decision span; serving runs async
+            if getattr(host, "batch_policy", None) is not None:
+                # remember at *admission*: followers submitted while this
+                # request is still queued are exactly the ones the
+                # accumulator can merge with it
+                self._affinity.remember(user_id, model_id, endpoint)
+            return GatewaySubmission(
+                self, future, endpoint, model_id, decision, host, breaker
+            )
+        raise RoutingError(
+            f"submit for {model_id!r} exhausted rerouting in pool "
             f"{self.pool.name!r}"
         )
 
@@ -503,6 +617,114 @@ class InferenceGateway:
         self.close()
 
 
+class GatewaySubmission:
+    """An admitted async request: poll, wait, or cancel.
+
+    Returned by :meth:`InferenceGateway.submit`.  Wraps the endpoint's
+    :class:`~repro.core.semirt.InferenceFuture` and settles the
+    gateway's routing state (in-flight count, router completion,
+    breaker, endpoint-death marking) **exactly once**, whichever of
+    :meth:`result` / :meth:`cancel` resolves it first -- so the async
+    surface keeps the same fleet accounting as the blocking one.
+    """
+
+    def __init__(
+        self,
+        gateway: InferenceGateway,
+        future: InferenceFuture,
+        endpoint: str,
+        model_id: str,
+        decision: RouteDecision,
+        host: SemirtHost,
+        breaker: Optional[CircuitBreaker],
+    ) -> None:
+        self._gateway = gateway
+        self.future = future
+        self.endpoint = endpoint
+        self.model_id = model_id
+        self.decision = decision
+        self.host = host
+        self._breaker = breaker
+        self._settled = False
+        self._settle_lock = threading.Lock()
+
+    @property
+    def ticket(self) -> Optional[int]:
+        """The endpoint-assigned observability id (service request ids)."""
+        return self.future.ticket
+
+    def done(self) -> bool:
+        """True once the outcome is sealed (successfully or not)."""
+        return self.future.done()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the outcome is sealed; ``False`` on timeout.
+
+        Non-consuming (see :meth:`InferenceFuture.wait`): settle still
+        happens in :meth:`result`/:meth:`cancel`.
+        """
+        return self.future.wait(timeout)
+
+    def cancelled(self) -> bool:
+        """True when cancellation was requested and won."""
+        return self.future.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel the request; ``False`` once the outcome is sealed.
+
+        On ``True`` the endpoint scheduler guarantees the request's
+        enclave execution context is released (``EC_CLEAR_EXEC_CTX``)
+        before :class:`~repro.errors.RequestCancelled` surfaces from
+        :meth:`result`.  A cancel is not an endpoint failure: the
+        router sees a completion and the breaker is left untouched.
+        """
+        ok = self.future.cancel()
+        if ok:
+            self._settle(ok=True, touch_breaker=False)
+        return ok
+
+    def result(self, timeout: Optional[float] = None) -> bytes:
+        """Block for the sealed output; re-raises the serving failure.
+
+        A ``timeout`` expiry raises
+        :class:`~repro.errors.DeadlineExceeded` *without* settling the
+        submission -- the request is still in flight and can be polled
+        again or cancelled.
+        """
+        try:
+            output = self.future.result(timeout)
+        except RequestCancelled:
+            self._settle(ok=True, touch_breaker=False)
+            raise
+        except DeadlineExceeded:
+            if not self.future.done():
+                raise  # poll timeout: still in flight, nothing settles
+            self._settle(ok=False)
+            raise
+        except Exception:
+            self._settle(ok=False)
+            raise
+        self._settle(ok=True)
+        return output
+
+    def _settle(self, ok: bool, touch_breaker: bool = True) -> None:
+        with self._settle_lock:
+            if self._settled:
+                return
+            self._settled = True
+        gateway = self._gateway
+        gateway._finish(self.endpoint, self.model_id, ok=ok)
+        if not touch_breaker:
+            return
+        if ok:
+            if self._breaker is not None:
+                self._breaker.on_success()
+        elif not self.host.enclave.alive:
+            gateway._note_endpoint_death(self.endpoint, self._breaker)
+        elif self._breaker is not None:
+            self._breaker.on_failure()
+
+
 class _Reroute(Exception):
     """Internal: the chosen endpoint is unusable, pick another."""
 
@@ -510,6 +732,7 @@ class _Reroute(Exception):
 __all__ = [
     "GatewayConfig",
     "GatewayReply",
+    "GatewaySubmission",
     "HostLauncher",
     "InferenceGateway",
     "RouteDecision",

@@ -47,11 +47,9 @@ import itertools
 import queue as queue_module
 import threading
 import time
-import warnings
-from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -601,8 +599,9 @@ class InferenceFuture:
     Once :meth:`done` is true the outcome is sealed and :meth:`cancel`
     returns ``False``.
 
-    ``ticket`` carries the deprecated integer id of the pre-futures
-    surface; :meth:`SemirtHost.result` still accepts it for one release.
+    ``ticket`` is a host-assigned monotonic id kept for observability
+    (span attributes, service-tier request ids); it is **not** a result
+    handle -- resolve the future itself.
     """
 
     def __init__(self, enc_request: bytes, uid: str, model_id: str) -> None:
@@ -614,7 +613,7 @@ class InferenceFuture:
         self._error: Optional[BaseException] = None
         self._state_lock = threading.Lock()
         self._cancelled = False
-        #: deprecated integer ticket id (set by :meth:`SemirtHost.submit`)
+        #: monotonic id for observability (set by :meth:`SemirtHost.submit`)
         self.ticket: Optional[int] = None
         #: ambient span at submit time; the worker re-parents under it
         self._parent = None
@@ -647,6 +646,15 @@ class InferenceFuture:
             self._cancelled = True
             return True
 
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the outcome is sealed; ``False`` on timeout.
+
+        Unlike :meth:`result` this neither consumes nor re-raises --
+        the service tier long-polls with it before deciding whether to
+        deliver the output or replay a terminal error.
+        """
+        return self._done.wait(timeout)
+
     def result(self, timeout: Optional[float] = None) -> bytes:
         """Block for the sealed output; re-raises the worker's failure."""
         if not self._done.wait(timeout):
@@ -678,10 +686,6 @@ class InferenceFuture:
         with self._state_lock:
             self._error = error
             self._done.set()
-
-
-#: deprecated pre-futures name, kept for one release
-InferenceTicket = InferenceFuture
 
 
 class _FormingBatch:
@@ -795,14 +799,23 @@ class SemirtHost:
         #: last <uid, model_id> pair served to completion -- the host's
         #: hot-path hint for when leading a batch is worth the window
         self._hot_pair: Optional[Tuple[str, str]] = None
-        # deprecated int-ticket shim (see SemirtHost.result)
+        # observability ids stamped onto futures (span attributes only)
         self._ticket_ids = itertools.count(1)
-        self._submitted: "OrderedDict[int, InferenceFuture]" = OrderedDict()
-        self._submitted_lock = threading.Lock()
 
     @property
     def measurement(self) -> EnclaveMeasurement:
         return self.enclave.measurement
+
+    @property
+    def batch_policy(self) -> Optional[BatchPolicy]:
+        """The armed (TCS-clamped) batch policy, or ``None``.
+
+        The public view of ``SchedulerConfig.batch`` after clamping:
+        the gateway's batch-affinity hint and
+        :meth:`UserSession.infer_many`'s window derivation both read it,
+        so host policy flows outward from one place.
+        """
+        return self._batch_policy
 
     def _oc_load_model(self, model_id: str) -> bytes:
         blob = self.storage.get(f"models/{model_id}")
@@ -1197,17 +1210,9 @@ class SemirtHost:
         future.ticket = next(self._ticket_ids)
         if self.tracer is not None:
             future._parent = self.tracer.current_span()
-        with self._submitted_lock:
-            # prune settled futures so the int-ticket shim map stays
-            # bounded by the number of requests actually in flight
-            for tid in [t for t, f in self._submitted.items() if f.done()]:
-                del self._submitted[tid]
-            self._submitted[future.ticket] = future
         try:
             self._queue.put_nowait(future)
         except queue_module.Full:
-            with self._submitted_lock:
-                self._submitted.pop(future.ticket, None)
             raise QueueFull(
                 f"admission queue full ({self.scheduler.queue_depth} waiting); "
                 "drain results or raise SchedulerConfig.queue_depth"
@@ -1216,28 +1221,21 @@ class SemirtHost:
 
     def result(
         self,
-        ticket: Union[InferenceFuture, int],
+        future: InferenceFuture,
         timeout: Optional[float] = None,
     ) -> bytes:
         """Block for a submitted request's sealed output.
 
-        Accepts the :class:`InferenceFuture` returned by :meth:`submit`.
-        Passing the future's raw integer ``ticket`` id is **deprecated**
-        (kept as a shim for one release): prefer ``future.result()``.
+        Convenience composition over the :class:`InferenceFuture`
+        returned by :meth:`submit` (the raw int-ticket surface of the
+        pre-futures API is gone -- futures are the only handle).
         """
-        if isinstance(ticket, int):
-            warnings.warn(
-                "SemirtHost.result(ticket: int) is deprecated; keep the "
-                "InferenceFuture returned by submit() and call .result() on it",
-                DeprecationWarning,
-                stacklevel=2,
+        if not isinstance(future, InferenceFuture):
+            raise InvocationError(
+                "SemirtHost.result takes the InferenceFuture returned by "
+                "submit(); the raw int-ticket surface was removed"
             )
-            with self._submitted_lock:
-                future = self._submitted.get(ticket)
-            if future is None:
-                raise InvocationError(f"unknown or already-pruned ticket {ticket}")
-            return future.result(timeout)
-        return ticket.result(timeout)
+        return future.result(timeout)
 
     def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
         """Serve one request synchronously: submit + result."""

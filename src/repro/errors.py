@@ -6,9 +6,17 @@ mirror the package layout: crypto, SGX, simulation, serverless platform,
 model runtime, transport, and the SeSeMI core (which includes the
 resilience-layer errors :class:`DeadlineExceeded` and
 :class:`CircuitOpen`).
+
+The module also owns the **canonical error<->wire mapping** used at the
+HTTP service boundary (:mod:`repro.service`): :func:`to_wire` turns an
+exception into ``(status, payload)`` and :func:`from_wire` rebuilds the
+same exception *type* on the client side, so errors round-trip the
+network with their meaning intact (``docs/service.md``).
 """
 
 from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
 
 
 class ReproError(Exception):
@@ -171,3 +179,88 @@ class ModelError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration value."""
+
+
+# --------------------------------------------------------------------------
+# the canonical error <-> wire mapping (HTTP service boundary)
+# --------------------------------------------------------------------------
+
+#: most-specific-first HTTP status per error class.  :func:`wire_status`
+#: walks an exception's MRO, so subclasses inherit their parent's status
+#: unless listed here themselves (e.g. :class:`QueueFull` beats the
+#: generic :class:`SeSeMIError` 500).
+WIRE_STATUS = {
+    QueueFull: 429,           # backpressure: shed, slow down, retry later
+    RequestCancelled: 409,    # terminal: the caller cancelled it
+    DeadlineExceeded: 504,    # the per-request time budget ran out
+    CircuitOpen: 503,         # failing endpoint, fail fast
+    RoutingError: 503,        # no endpoint can take the request
+    TransportError: 502,      # network-level failure (retryable)
+    AccessDenied: 403,        # the access policy refused keys
+    UnknownIdentity: 403,     # unregistered owner/user/model
+    AttestationError: 403,    # the enclave identity did not verify
+    InvalidSignature: 403,    # authentication failure
+    InvocationError: 400,     # malformed or unauthenticated request
+    ConfigError: 400,
+    StorageError: 404,
+    ReproError: 500,
+}
+
+#: fallback class per status for peers sending unknown error names
+_STATUS_FALLBACK = {
+    400: InvocationError,
+    403: AccessDenied,
+    404: StorageError,
+    409: RequestCancelled,
+    429: QueueFull,
+    502: TransportError,
+    503: CircuitOpen,
+    504: DeadlineExceeded,
+}
+
+#: error name -> class, for :func:`from_wire` type reconstruction
+_WIRE_REGISTRY = {
+    cls.__name__: cls
+    for cls in list(globals().values())
+    if isinstance(cls, type) and issubclass(cls, ReproError)
+}
+
+
+def wire_status(exc: BaseException) -> int:
+    """The HTTP status the service boundary maps ``exc`` to."""
+    for klass in type(exc).__mro__:
+        status = WIRE_STATUS.get(klass)
+        if status is not None:
+            return status
+    return 500
+
+
+def to_wire(exc: BaseException) -> Tuple[int, dict]:
+    """Encode an exception as ``(status, payload)`` for the wire.
+
+    The payload names the concrete error type so :func:`from_wire` can
+    rebuild it; the status carries the coarse retry semantics (429 shed,
+    5xx server-side, 4xx caller-side) for clients that only read codes.
+    """
+    return wire_status(exc), {
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def from_wire(payload: Mapping, status: Optional[int] = None) -> ReproError:
+    """Rebuild the exception :func:`to_wire` encoded.
+
+    Known error names round-trip to their exact class; unknown names
+    fall back to a representative class for the status, and failing
+    that to :class:`ReproError` -- a client never crashes on a newer
+    server's vocabulary.
+    """
+    name = payload.get("error", "")
+    message = payload.get("message", name or "remote error")
+    klass = _WIRE_REGISTRY.get(name)
+    if klass is None and status is not None:
+        klass = _STATUS_FALLBACK.get(status)
+    if klass is None:
+        klass = ReproError
+    return klass(message)

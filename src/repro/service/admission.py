@@ -1,0 +1,170 @@
+"""Admission control: bounded inflight plus per-tenant token buckets.
+
+The service boundary -- not the enclave queue -- is where sustained
+saturation must turn into *fast* rejections (S3ML and Privado both put
+shedding at the RPC tier).  Inside the fleet, ``QueueFull`` reroutes;
+here it becomes a 429 decided on the event loop in microseconds,
+before any executor thread, gateway walk, or enclave work is spent.
+
+:class:`AdmissionController` is thread-safe: admission happens on the
+asyncio loop, releases arrive from executor threads and the TTL
+sweeper.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import QueueFull
+from repro.service.config import ServiceConfig
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s up to ``burst``.
+
+    Starts full.  :meth:`try_take` is O(1) and never sleeps -- a miss
+    is a shed, not a wait (the service converts it to 429 so the
+    *client* paces itself).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; ``False`` sheds the request."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        if self._tokens < n:
+            return False
+        self._tokens -= n
+        return True
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refreshes the bucket)."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+        return self._tokens
+
+
+class AdmissionController:
+    """Decide, in O(1), whether one tenant request may enter the tier.
+
+    Enforces (in order): the per-tenant token bucket, the per-tenant
+    inflight bound, and the total inflight bound.  All three shed with
+    :class:`~repro.errors.QueueFull` -> 429 on the wire -- the same
+    backpressure type the enclave admission queue raises, so a client
+    treats "service shed" and "fleet saturated" identically.
+
+    :meth:`admit` returns a **release callable**; the caller must
+    invoke it exactly once when the request leaves the tier (response
+    sent, result fetched, cancelled, or TTL-expired).  Release is
+    idempotent per handle.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight_total = 0
+        self._inflight: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        # shed/admit counters for /v1/stats and the benchmark gates
+        self.admitted = 0
+        self.shed_rate = 0
+        self.shed_tenant = 0
+        self.shed_total = 0
+        self.released = 0
+
+    def admit(self, tenant: str) -> Callable[[], None]:
+        """Admit one request for ``tenant`` or raise :class:`QueueFull`."""
+        with self._lock:
+            if self.config.rate_rps is not None:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = TokenBucket(
+                        self.config.rate_rps, self.config.rate_burst,
+                        clock=self._clock,
+                    )
+                    self._buckets[tenant] = bucket
+                if not bucket.try_take():
+                    self.shed_rate += 1
+                    raise QueueFull(
+                        f"tenant {tenant!r} exceeded "
+                        f"{self.config.rate_rps:g} req/s"
+                    )
+            tenant_inflight = self._inflight.get(tenant, 0)
+            if tenant_inflight >= self.config.max_inflight_per_tenant:
+                self.shed_tenant += 1
+                raise QueueFull(
+                    f"tenant {tenant!r} has "
+                    f"{tenant_inflight} requests in flight"
+                )
+            if self._inflight_total >= self.config.max_inflight_total:
+                self.shed_total += 1
+                raise QueueFull(
+                    f"service at max inflight "
+                    f"({self.config.max_inflight_total})"
+                )
+            self._inflight[tenant] = tenant_inflight + 1
+            self._inflight_total += 1
+            self.admitted += 1
+        released = threading.Event()
+
+        def release() -> None:
+            if released.is_set():
+                return
+            released.set()
+            with self._lock:
+                self._inflight_total -= 1
+                left = self._inflight.get(tenant, 1) - 1
+                if left <= 0:
+                    self._inflight.pop(tenant, None)
+                else:
+                    self._inflight[tenant] = left
+                self.released += 1
+
+        return release
+
+    @property
+    def inflight_total(self) -> int:
+        with self._lock:
+            return self._inflight_total
+
+    def stats(self) -> dict:
+        """A snapshot for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "inflight_total": self._inflight_total,
+                "inflight_by_tenant": dict(self._inflight),
+                "admitted": self.admitted,
+                "released": self.released,
+                "shed_rate": self.shed_rate,
+                "shed_tenant": self.shed_tenant,
+                "shed_total": self.shed_total,
+                "shed": self.shed_rate + self.shed_tenant + self.shed_total,
+            }
+
+
+__all__ = ["AdmissionController", "TokenBucket"]

@@ -1,0 +1,499 @@
+"""The HTTP client: the session API consolidated over the service tier.
+
+:class:`RemoteEnvironment` / :class:`RemoteSession` speak the same
+surface as :class:`~repro.core.deployment.SeSeMIEnvironment` /
+:class:`~repro.core.deployment.UserSession` (``connect_user``,
+``grant``, ``infer``, ``infer_many``, ``submit``), so examples and
+load drivers run unchanged against either transport.
+
+Security is unchanged too: the real :class:`~repro.core.client.UserClient`
+runs locally.  It performs RA-TLS **through** the service
+(:class:`RemoteKeyService` proxies ``/v1/ks/*``), verifies the
+KeyService quote against the attestation service it was handed (the
+out-of-band IAS trust root), releases request keys over that encrypted
+channel, and AEAD-seals every input itself -- the service tier only
+ever sees ciphertext, exactly like the serverless platform in the
+paper's threat model.
+
+Errors arrive as the canonical wire mapping
+(:func:`repro.errors.from_wire`): a 429 shed re-raises as
+:class:`~repro.errors.QueueFull` whether the service's admission
+controller or a saturated enclave queue produced it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import socket
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Union
+from urllib.parse import urlencode, urlsplit
+
+import numpy as np
+
+from repro.core import wire
+from repro.core.client import UserClient
+from repro.errors import (
+    DeadlineExceeded,
+    QueueFull,
+    SeSeMIError,
+    TransportError,
+    from_wire,
+)
+from repro.obs.tracer import Tracer, maybe_span
+from repro.sgx.attestation import AttestationService
+from repro.sgx.measurement import EnclaveMeasurement
+
+
+class ServiceClient:
+    """A blocking HTTP/1.1 client for the service wire protocol.
+
+    Stdlib :mod:`http.client` with one keep-alive connection per
+    thread; bodies are :mod:`repro.core.wire` dicts.  Network-level
+    failures raise :class:`~repro.errors.TransportError`; HTTP error
+    statuses re-raise the server's exception via
+    :func:`~repro.errors.from_wire`.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or split.hostname is None:
+            raise SeSeMIError(f"unsupported service url {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout_s = timeout_s
+        self._local = threading.local()
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        query: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ):
+        """One round trip: ``(status, payload_dict, response_headers)``."""
+        body = wire.encode(payload) if payload is not None else b""
+        target = path + ("?" + urlencode(query) if query else "")
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        for attempt in (0, 1):  # retry once over a stale keep-alive conn
+            conn = self._connection()
+            try:
+                conn.request(method, target, body=body, headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError) as exc:
+                self._drop_connection()
+                if attempt == 1:
+                    raise TransportError(
+                        f"{method} {path} failed: {exc}"
+                    ) from exc
+        try:
+            reply = wire.decode(raw) if raw else {}
+        except wire.WireError:
+            reply = {"error": "", "message": raw.decode("latin-1", "replace")}
+        return response.status, reply, dict(response.getheaders())
+
+    def call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        query: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        """Like :meth:`request` but raises the server's error on >= 400."""
+        status, reply, _ = self.request(
+            method, path, payload, query, headers
+        )
+        if status >= 400:
+            raise from_wire(reply, status)
+        return reply
+
+    def close(self) -> None:
+        """Close this thread's keep-alive connection."""
+        self._drop_connection()
+
+
+class RemoteKeyService:
+    """KeyService as seen through the service proxy.
+
+    Exposes exactly the two-method host surface
+    (:meth:`handshake` / :meth:`request`) that
+    :class:`~repro.core.client.KeyServiceConnection` needs, so the
+    client's RA-TLS handshake and encrypted operations run unchanged --
+    the proxy forwards opaque blobs and can neither read nor forge them.
+    """
+
+    def __init__(self, client: ServiceClient) -> None:
+        self._client = client
+
+    def handshake(self, offer_wire: dict) -> dict:
+        """Forward an RA-TLS offer; returns the enclave's reply."""
+        return self._client.call(
+            "POST", "/v1/ks/handshake", {"offer": offer_wire}
+        )
+
+    def request(self, channel_id: int, ciphertext: bytes) -> bytes:
+        """Forward one encrypted KeyService op on an open channel."""
+        reply = self._client.call(
+            "POST", "/v1/ks/call",
+            {"channel_id": channel_id, "ciphertext": ciphertext},
+        )
+        return reply["reply"]
+
+
+class RemoteEnvironment:
+    """A client-side view of one running service (the remote twin of
+    :class:`~repro.core.deployment.SeSeMIEnvironment`).
+
+    ``attestation`` is the verification service the client trusts
+    out-of-band (the paper's IAS); KeyService's expected measurement is
+    read from ``/v1/meta`` here for convenience -- a production client
+    would pin it from the enclave build it audited.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        attestation: AttestationService,
+        *,
+        tracer: Optional[Tracer] = None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.client = ServiceClient(base_url, timeout_s=timeout_s)
+        self.attestation = attestation
+        self.tracer = tracer
+        self.keyservice = RemoteKeyService(self.client)
+        self.meta = self.client.call("GET", "/v1/meta")
+        self._users: Dict[str, UserClient] = {}
+
+    def connect_user(self, name: str = "user") -> UserClient:
+        """Create a user, attest KeyService through the proxy, register."""
+        user = UserClient(name, tracer=self.tracer)
+        user.connect(
+            self.keyservice,
+            self.attestation,
+            EnclaveMeasurement(self.meta["keyservice_measurement"]),
+        )
+        user.register()
+        self._users[name] = user
+        return user
+
+    def user(self, user: Union[UserClient, str, None] = None) -> UserClient:
+        """Resolve a name to a connected user, connecting on first use."""
+        if isinstance(user, UserClient):
+            return user
+        name = user or "user"
+        client = self._users.get(name)
+        return client if client is not None else self.connect_user(name)
+
+    def model(self, model_id: str) -> "RemoteModelHandle":
+        """A handle for a model the service advertises in ``/v1/meta``."""
+        info = self.meta["models"].get(model_id)
+        if info is None:
+            raise SeSeMIError(f"service does not serve model {model_id!r}")
+        return RemoteModelHandle(self, model_id, info)
+
+    def session(
+        self, user: Union[UserClient, str], model_id: str
+    ) -> "RemoteSession":
+        """A serving session for ``user`` against ``model_id``."""
+        return self.model(model_id).session(user)
+
+    def healthz(self) -> dict:
+        """The service's liveness snapshot (``GET /v1/healthz``)."""
+        return self.client.call("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        """Admission/gateway counters (``GET /v1/stats``)."""
+        return self.client.call("GET", "/v1/stats")
+
+    def close(self) -> None:
+        """Release the underlying HTTP connections."""
+        self.client.close()
+
+
+class RemoteModelHandle:
+    """The remote twin of :class:`~repro.core.deployment.ModelHandle`."""
+
+    def __init__(
+        self, env: RemoteEnvironment, model_id: str, info: dict
+    ) -> None:
+        self._env = env
+        self.model_id = model_id
+        self.framework = info["framework"]
+        self.measurement = EnclaveMeasurement(info["measurement"])
+        self.tcs_count = int(info["tcs_count"])
+        self.feed_window = int(info["feed_window"])
+
+    def grant(self, user: Union[UserClient, str]) -> "RemoteModelHandle":
+        """Grant ``user`` access: owner half server-side, key release here.
+
+        ``POST /v1/grants`` performs the owner's GRANT_ACCESS; the
+        user's ADD_REQ_KEY runs locally over the KeyService proxy so
+        the request key never exists outside client and KeyService.
+        """
+        client = self._env.user(user)
+        if client.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        reply = self._env.client.call(
+            "POST", "/v1/grants",
+            {"model_id": self.model_id, "uid": client.principal_id},
+        )
+        if reply["measurement"] != self.measurement.value:
+            raise SeSeMIError("service changed the target enclave identity")
+        client.add_request_key(self.model_id, self.measurement)
+        return self
+
+    def session(self, user: Union[UserClient, str]) -> "RemoteSession":
+        """A serving session for ``user`` against this model."""
+        return RemoteSession(self._env, self._env.user(user), self)
+
+
+class RemoteSession:
+    """One user's serving session over HTTP -- the same surface as
+    :class:`~repro.core.deployment.UserSession`.
+
+    ``infer`` is the sync endpoint (server waits under a deadline);
+    ``submit`` returns a :class:`RemoteFuture` polled over
+    ``/v1/results/{id}``; ``infer_many`` pipelines submits with the
+    ``feed_window`` the service derived from its live
+    :class:`~repro.core.batching.BatchPolicy` -- the satellite-6 fix
+    made that window policy-derived on both transports.
+    """
+
+    def __init__(
+        self,
+        env: RemoteEnvironment,
+        user: UserClient,
+        handle: RemoteModelHandle,
+    ) -> None:
+        if user.principal_id is None:
+            raise SeSeMIError("user must be registered first")
+        self._env = env
+        self.user = user
+        self.handle = handle
+        self.model_id = handle.model_id
+        self.measurement = handle.measurement
+
+    @property
+    def _client(self) -> ServiceClient:
+        return self._env.client
+
+    def infer(
+        self, x: np.ndarray, deadline_s: Optional[float] = None
+    ) -> np.ndarray:
+        """Encrypt ``x``, POST it, decrypt the reply (one client span)."""
+        tracer = self._env.tracer
+        with maybe_span(
+            tracer,
+            "request",
+            model_id=self.model_id,
+            user_id=self.user.principal_id,
+            transport="http",
+        ) as root:
+            enc_request = self.user.encrypt_request(
+                self.model_id, self.measurement, x
+            )
+            payload = {
+                "model_id": self.model_id,
+                "uid": self.user.principal_id,
+                "enc_request": enc_request,
+            }
+            if deadline_s is not None:
+                payload["deadline_s"] = float(deadline_s)
+            status, reply, headers = self._client.request(
+                "POST", "/v1/infer", payload,
+                headers=self._span_headers(root),
+            )
+            self._join_trace(root, headers)
+            if status >= 400:
+                raise from_wire(reply, status)
+            return self.user.decrypt_response(
+                self.model_id, self.measurement, reply["enc_response"]
+            )
+
+    def submit(self, x: np.ndarray) -> "RemoteFuture":
+        """Admit ``x`` asynchronously; sheds raise ``QueueFull`` here."""
+        tracer = self._env.tracer
+        with maybe_span(
+            tracer,
+            "submit",
+            model_id=self.model_id,
+            user_id=self.user.principal_id,
+            transport="http",
+        ) as root:
+            enc_request = self.user.encrypt_request(
+                self.model_id, self.measurement, x
+            )
+            status, reply, headers = self._client.request(
+                "POST", "/v1/submit",
+                {
+                    "model_id": self.model_id,
+                    "uid": self.user.principal_id,
+                    "enc_request": enc_request,
+                },
+                headers=self._span_headers(root),
+            )
+            self._join_trace(root, headers)
+            if status >= 400:
+                raise from_wire(reply, status)
+            return RemoteFuture(self, reply["req_id"])
+
+    def infer_many(
+        self, xs: Sequence[np.ndarray], window: Optional[int] = None
+    ) -> List[np.ndarray]:
+        """Pipelined batch serving over HTTP, outputs in input order.
+
+        The default window is the service's advertised ``feed_window``
+        (two full batches when the accumulator is armed), so the remote
+        session feeds the batch window exactly like the in-process one.
+        ``QueueFull`` (service shed *or* fleet saturation) drains the
+        oldest in-flight future and retries -- the batch absorbs its
+        own backpressure.
+        """
+        if window is None:
+            window = self.handle.feed_window
+        window = max(1, window)
+        results: List[Optional[np.ndarray]] = [None] * len(xs)
+        in_flight: deque = deque()  # (input index, RemoteFuture)
+
+        def collect_oldest() -> None:
+            idx, future = in_flight.popleft()
+            results[idx] = future.result()
+
+        for idx, x in enumerate(xs):
+            while len(in_flight) >= window:
+                collect_oldest()
+            while True:
+                try:
+                    future = self.submit(x)
+                    break
+                except QueueFull:
+                    if not in_flight:
+                        raise
+                    collect_oldest()
+            in_flight.append((idx, future))
+        while in_flight:
+            collect_oldest()
+        return results
+
+    def _span_headers(self, span) -> Optional[Dict[str, str]]:
+        if span is None:
+            return None
+        return {"x-client-span": span.span_id}
+
+    def _join_trace(self, span, headers: Dict[str, str]) -> None:
+        """Record the server-side trace id so the two trees join."""
+        if span is None:
+            return
+        trace_id = headers.get("x-trace-id") or headers.get("X-Trace-Id")
+        if trace_id:
+            span.set_attributes(server_trace_id=trace_id)
+
+    def close(self) -> None:
+        """Sessions hold no server-side state; nothing to tear down."""
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RemoteFuture:
+    """A submitted request's client handle, polled over HTTP.
+
+    Mirrors :class:`~repro.core.deployment.SessionFuture`:
+    ``result()`` long-polls ``GET /v1/results/{id}`` and decrypts,
+    ``cancel()`` DELETEs (releasing the enclave execution context
+    server-side), and after a cancel every poll re-raises the sticky
+    409 :class:`~repro.errors.RequestCancelled`.
+    """
+
+    _POLL_CHUNK_S = 5.0
+
+    def __init__(self, session: RemoteSession, req_id: str) -> None:
+        self._session = session
+        self.req_id = req_id
+
+    @property
+    def _path(self) -> str:
+        return f"/v1/results/{self.req_id}"
+
+    def done(self) -> bool:
+        """Poll without consuming; terminal errors also count as done."""
+        status, reply, _ = self._session._client.request(
+            "GET", self._path, query={"peek": "1"}
+        )
+        if status >= 400:
+            return True  # sealed: cancelled, failed, or consumed
+        return bool(reply.get("done"))
+
+    def cancel(self) -> bool:
+        """DELETE the request; ``True`` when the server cancelled it."""
+        reply = self._session._client.call("DELETE", self._path)
+        return bool(reply.get("cancelled"))
+
+    def cancelled(self) -> bool:
+        """True when the request reached the sticky cancelled state."""
+        status, reply, _ = self._session._client.request(
+            "GET", self._path, query={"peek": "1"}
+        )
+        return status == 409
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Long-poll for the output, decrypt, return the plaintext array."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        session = self._session
+        while True:
+            chunk = self._POLL_CHUNK_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        f"request {self.req_id} not served within {timeout}s"
+                    )
+                chunk = min(chunk, remaining)
+            status, reply, _ = session._client.request(
+                "GET", self._path, query={"timeout_s": f"{chunk:.3f}"}
+            )
+            if status == 202:
+                continue  # still in flight; poll again
+            if status >= 400:
+                raise from_wire(reply, status)
+            return session.user.decrypt_response(
+                session.model_id, session.measurement, reply["enc_response"]
+            )
+
+
+__all__ = [
+    "RemoteEnvironment",
+    "RemoteFuture",
+    "RemoteModelHandle",
+    "RemoteSession",
+    "ServiceClient",
+    "RemoteKeyService",
+]

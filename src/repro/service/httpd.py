@@ -1,0 +1,215 @@
+"""A minimal asyncio HTTP/1.1 server (stdlib only).
+
+Just enough HTTP for the service tier: request-line + headers parsing,
+``Content-Length`` bodies, keep-alive, and bounded line/body sizes.
+Deliberately **not** a general web server -- no chunked encoding, no
+TLS (the payloads are AEAD ciphertext end to end; see
+``docs/service.md``), no pipelining guarantees beyond serial handling
+per connection.
+
+The handler is one coroutine ``async def handler(request) ->
+HttpResponse``; anything it raises is mapped by the caller-supplied
+``error_mapper`` so exception policy stays out of the transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+_MAX_LINE = 8192
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 410: "Gone",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # lower-cased names
+    body: bytes
+
+
+@dataclass
+class HttpResponse:
+    """One response to serialise."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        """Serialise status line, headers, and body to raw HTTP/1.1."""
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+class HttpError(Exception):
+    """A transport-level refusal (bad request line, oversized body)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+ErrorMapper = Callable[[BaseException], HttpResponse]
+
+
+class AsyncHttpServer:
+    """Serve ``handler`` over HTTP/1.1 on an asyncio event loop."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        error_mapper: Optional[ErrorMapper] = None,
+    ) -> None:
+        self._handler = handler
+        self._host = host
+        self._port = port
+        self._max_body = max_body_bytes
+        self._error_mapper = error_mapper
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self.address: Optional[Tuple[str, int]] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting and tear down every live connection task."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except asyncio.IncompleteReadError:
+                    break  # peer closed between requests
+                except HttpError as exc:
+                    response = HttpResponse(
+                        status=exc.status,
+                        body=str(exc).encode(),
+                        content_type="text/plain",
+                    )
+                    writer.write(response.encode(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                try:
+                    response = await self._handler(request)
+                except Exception as exc:  # the mapper owns exception policy
+                    if self._error_mapper is None:
+                        raise
+                    response = self._error_mapper(exc)
+                writer.write(response.encode(keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> Optional[HttpRequest]:
+        line = await reader.readline()
+        if not line:
+            return None
+        if len(line) > _MAX_LINE:
+            raise HttpError(400, "request line too long")
+        try:
+            method, target, version = line.decode("latin-1").split()
+        except ValueError:
+            raise HttpError(400, "malformed request line") from None
+        if not version.startswith("HTTP/1."):
+            raise HttpError(400, f"unsupported version {version}")
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADERS + 1):
+            line = await reader.readline()
+            if len(line) > _MAX_LINE:
+                raise HttpError(400, "header line too long")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise HttpError(400, "too many headers")
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self._max_body:
+            raise HttpError(413, f"body exceeds {self._max_body} bytes")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        query = dict(parse_qsl(split.query))
+        return HttpRequest(
+            method=method.upper(),
+            path=split.path,
+            query=query,
+            headers=headers,
+            body=body,
+        )
+
+
+__all__ = [
+    "AsyncHttpServer",
+    "Handler",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+]

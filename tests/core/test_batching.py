@@ -70,14 +70,25 @@ def test_policy_clamped_to_tcs_count():
     assert BatchPolicy(max_batch=3).clamped(8) == BatchPolicy(max_batch=3)
 
 
-def test_loose_kwargs_deprecated_shim():
+def test_loose_kwargs_path_removed():
+    """The pre-policy loose kwargs were dropped after their one-release
+    window: the policy object is the only way to configure batching."""
     models = servable_map([("m", profile("MBNET"), "tvm")])
     bed = make_testbed(num_nodes=1)
-    with pytest.deprecated_call():
-        actor = BatchingSemirtActor(models, bed.cost, batch_window_s=0.1, max_batch=2)
+    with pytest.raises(TypeError):
+        BatchingSemirtActor(models, bed.cost, batch_window_s=0.1, max_batch=2)
+    actor = BatchingSemirtActor(
+        models, bed.cost, policy=BatchPolicy(batch_window_s=0.1, max_batch=2)
+    )
     assert actor.policy == BatchPolicy(batch_window_s=0.1, max_batch=2)
-    with pytest.raises(ConfigError):
-        BatchingSemirtActor(models, bed.cost, policy=BatchPolicy(), max_batch=2)
+
+
+def test_feed_window_derived_from_policy():
+    # two full (clamped) batches, floored at one request per TCS slot
+    assert BatchPolicy(max_batch=8).feed_window(4) == 8      # clamp to 4, x2
+    assert BatchPolicy(max_batch=3).feed_window(8) == 8      # floor: tcs_count
+    assert BatchPolicy(max_batch=6).feed_window(8) == 12
+    assert BatchPolicy(max_batch=1).feed_window(2) == 2
 
 
 def test_batched_exec_sublinear():

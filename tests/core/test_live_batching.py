@@ -257,17 +257,16 @@ def test_cancel_before_the_worker_never_touches_the_enclave(
     host.destroy()
 
 
-def test_int_ticket_shim_is_deprecated_but_works(tiny_model, tiny_input):
+def test_int_ticket_surface_is_gone(tiny_model, tiny_input):
+    """The pre-futures raw int-ticket shim was removed after its window."""
     env, host = _launch(tiny_model)
     uid = _uid(env, "user")
     expected = tiny_model.run_reference(tiny_input).ravel()
     future = host.submit(_encrypt(env, host, "user", tiny_input), uid, MODEL_ID)
-    assert isinstance(future.ticket, int)
-    with pytest.deprecated_call():
-        enc_response = host.result(future.ticket, timeout=30)
-    plain = _decrypt(env, host, "user", enc_response)
+    assert isinstance(future.ticket, int)  # observability id only
+    with pytest.raises(InvocationError, match="int-ticket surface was removed"):
+        host.result(future.ticket, timeout=1)
+    # the future itself (directly or via the host composition) resolves
+    plain = _decrypt(env, host, "user", host.result(future, timeout=30))
     assert np.allclose(plain, expected, atol=1e-5)
-    with pytest.deprecated_call():
-        with pytest.raises(InvocationError, match="unknown or already-pruned"):
-            host.result(10_000, timeout=1)
     host.destroy()

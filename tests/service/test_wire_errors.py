@@ -1,0 +1,83 @@
+"""The canonical error taxonomy must survive an HTTP round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AccessDenied,
+    AttestationError,
+    CircuitOpen,
+    DeadlineExceeded,
+    InvocationError,
+    QueueFull,
+    ReproError,
+    RequestCancelled,
+    RoutingError,
+    StorageError,
+    TransportError,
+    UnknownIdentity,
+    from_wire,
+    to_wire,
+    wire_status,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type,status",
+    [
+        (QueueFull, 429),
+        (RequestCancelled, 409),
+        (DeadlineExceeded, 504),
+        (CircuitOpen, 503),
+        (RoutingError, 503),
+        (TransportError, 502),
+        (AccessDenied, 403),
+        (UnknownIdentity, 403),
+        (AttestationError, 403),
+        (InvocationError, 400),
+        (StorageError, 404),
+    ],
+)
+def test_round_trip_preserves_type_status_and_message(exc_type, status):
+    sent, payload = to_wire(exc_type("what went wrong"))
+    assert sent == status
+    revived = from_wire(payload, sent)
+    assert type(revived) is exc_type
+    assert "what went wrong" in str(revived)
+
+
+def test_subclasses_inherit_their_parents_status():
+    class Narrower(QueueFull):
+        pass
+
+    assert wire_status(Narrower("x")) == 429
+    status, payload = to_wire(Narrower("x"))
+    assert status == 429
+    # the wire name is the concrete class; unknown to the peer, so the
+    # 429 fallback revives it as the canonical QueueFull
+    assert payload["error"] == "Narrower"
+    assert type(from_wire(payload, status)) is QueueFull
+
+
+def test_unmapped_errors_travel_as_500_repro_error():
+    status, payload = to_wire(ValueError("not ours"))
+    assert status == 500
+    revived = from_wire(payload, status)
+    assert type(revived) is ReproError
+    assert "not ours" in str(revived)
+
+
+def test_unknown_name_falls_back_by_status():
+    revived = from_wire({"error": "NoSuchClass", "message": "m"}, 429)
+    assert type(revived) is QueueFull
+    revived = from_wire({"error": "NoSuchClass", "message": "m"}, 418)
+    assert type(revived) is ReproError
+
+
+def test_from_wire_tolerates_junk_payloads():
+    revived = from_wire({}, 503)
+    assert isinstance(revived, ReproError)
+    revived = from_wire({"message": "only text"}, 502)
+    assert type(revived) is TransportError
+    assert "only text" in str(revived)

@@ -1,0 +1,86 @@
+"""Unit tests for the wall-clock load driver (no HTTP involved)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import QueueFull, TransportError
+from repro.workloads.driver import LiveLoadDriver, LiveRecord, LiveReport
+
+
+def test_outcomes_classify_as_admitted_shed_failed():
+    def issue(client: int, seq: int) -> None:
+        if seq == 1:
+            raise QueueFull("busy")
+        if seq == 2:
+            raise TransportError("boom")
+
+    driver = LiveLoadDriver(issue)
+    records = [driver._one(0, seq) for seq in range(3)]
+    assert [r.ok for r in records] == [True, False, False]
+    assert [r.shed for r in records] == [False, True, False]
+    assert records[1].error == "QueueFull"
+    assert records[2].error == "TransportError"
+
+
+def test_unexpected_exceptions_propagate():
+    driver = LiveLoadDriver(lambda c, s: (_ for _ in ()).throw(ValueError("bug")))
+    with pytest.raises(ValueError):
+        driver._one(0, 0)
+
+
+def test_closed_loop_runs_every_client_and_never_hangs():
+    driver = LiveLoadDriver(lambda c, s: time.sleep(0.005))
+    report = driver.closed_loop(clients=3, duration_s=0.2)
+    assert report.hung == 0
+    assert {r.client for r in report.records} == {0, 1, 2}
+    assert all(r.ok for r in report.records)
+    assert report.summary()["admitted"] == len(report.records)
+
+
+def test_closed_loop_flags_hung_workers():
+    driver = LiveLoadDriver(lambda c, s: time.sleep(30))
+    report = driver.closed_loop(clients=2, duration_s=0.05, join_timeout_s=0.1)
+    assert report.hung == 2
+    assert report.summary()["hung"] == 2
+
+
+def test_open_loop_paces_arrivals_at_the_requested_rate():
+    driver = LiveLoadDriver(lambda c, s: None)
+    report = driver.open_loop(rate_rps=100.0, duration_s=0.25)
+    # ~25 arrivals at 100 rps for 0.25s; allow generous scheduler slack
+    assert 15 <= len(report.records) <= 35
+    assert report.hung == 0
+
+
+def test_percentiles_use_nearest_rank_on_sorted_latencies():
+    report = LiveReport(
+        records=[
+            LiveRecord(0, i, started=0.0, finished=ms / 1e3, ok=True, shed=False)
+            for i, ms in enumerate([10, 20, 30, 40])
+        ]
+    )
+    assert report.percentile_s(0.50) == pytest.approx(0.030)
+    assert report.percentile_s(0.99) == pytest.approx(0.040)
+    assert report.percentile_s(0.0) == pytest.approx(0.010)
+    assert report.percentile_s(0.99, "sheds") == 0.0  # empty class
+
+
+def test_summary_reports_all_gate_fields():
+    report = LiveReport(
+        records=[
+            LiveRecord(0, 0, 0.0, 0.010, ok=True, shed=False),
+            LiveRecord(0, 1, 0.0, 0.001, ok=False, shed=True),
+            LiveRecord(0, 2, 0.0, 0.002, ok=False, shed=False, error="E"),
+        ],
+        hung=1,
+    )
+    summary = report.summary()
+    assert summary["total"] == 3
+    assert summary["admitted"] == 1
+    assert summary["shed"] == 1
+    assert summary["failed"] == 1
+    assert summary["hung"] == 1
+    assert summary["shed_p99_ms"] == pytest.approx(1.0)
