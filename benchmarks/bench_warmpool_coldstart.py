@@ -1,0 +1,30 @@
+"""Warm-pool policies: cold-start elimination and scale-to-zero.
+
+The four fleet policies (no keep-alive, LCS, MRU, LCS+predictive)
+serve the Table III Poisson mix and the Figure 13 MMPP trace through
+the real :class:`~repro.warmpool.WarmPoolManager` in virtual time.
+Asserted floors mirror the CI gates: predictive LCS cuts the
+cold-start ratio by at least
+:data:`~repro.experiments.warmpool.REDUCTION_GATE` versus no
+keep-alive, and the janitor shrinks an idle fleet to ``min_warm``.
+"""
+
+from repro.experiments import warmpool
+
+
+def test_warmpool_coldstart(benchmark):
+    result = benchmark.pedantic(
+        warmpool.run, kwargs={"duration_s": 240.0}, rounds=1, iterations=1
+    )
+    print()
+    print(warmpool.format_report(result))
+    assert result["reduction"] >= warmpool.REDUCTION_GATE
+    assert result["scale_to_zero"]["scaled_to_floor"]
+    # keep-alive alone must already beat the no-keep-alive baseline on
+    # both workloads; predictive must never be worse than plain LCS
+    for workload in warmpool.WORKLOADS:
+        rows = result["workloads"][workload]
+        assert rows["lcs"]["cold_ratio"] < rows["none"]["cold_ratio"] / 3
+        assert (
+            rows["lcs+predictive"]["cold"] <= rows["lcs"]["cold"]
+        )

@@ -1,20 +1,23 @@
 #!/usr/bin/env python
-"""Enforce the routing package's layering rule.
+"""Enforce the twin-agnostic packages' layering rules.
 
-``repro.routing`` is the twin-agnostic routing plane: both the
-simulated cluster (``repro.core.packer_service``) and the functional
-gateway (``repro.core.gateway``) depend on it, so it may depend on
-nothing of theirs.  Every module under ``src/repro/routing/`` may
-import only the standard library and ``repro.errors`` -- in particular
-never ``repro.core``, ``repro.serverless``, or ``repro.faults`` (the
-latter reaches ``repro.core.wire`` transitively).
+Two packages are kept importable by both twins -- the simulated
+cluster (``repro.serverless``) and the functional runtime
+(``repro.core``) -- and so may depend on nothing of theirs:
+
+- ``repro.routing``: the routing plane.  Stdlib + ``repro.errors``
+  only; never ``repro.core``, ``repro.serverless``, or ``repro.faults``
+  (the latter reaches ``repro.core.wire`` transitively).
+- ``repro.warmpool``: warm-pool management.  Stdlib +
+  ``repro.errors`` + ``repro.routing`` types (it treats
+  ``ScaleOutPolicy`` as one fleet-shape strategy among several).
 
 Run from the repository root::
 
     python scripts/check_layering.py
 
 Exits non-zero listing every violating import.  CI runs this next to
-the test suite; see ``docs/routing.md``.
+the test suite; see ``docs/routing.md`` and ``docs/warmpool.md``.
 """
 
 from __future__ import annotations
@@ -23,65 +26,85 @@ import ast
 import sys
 from pathlib import Path
 
-ROUTING_DIR = Path(__file__).resolve().parent.parent / "src" / "repro" / "routing"
+SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: package name -> the only first-party prefixes it may import
+PACKAGES = {
+    "routing": ("repro.errors",),
+    "warmpool": ("repro.errors", "repro.routing"),
+}
+
+ROUTING_DIR = SRC_REPRO / "routing"
 
 #: the only first-party prefixes repro.routing may import
-ALLOWED_REPRO = ("repro.errors",)
+#: (kept as a module-level name for callers of ``check()``)
+ALLOWED_REPRO = PACKAGES["routing"]
 
 
-def _imported_modules(tree: ast.AST, module_name: str):
-    """Yield ``(lineno, dotted_module)`` for every import in ``tree``."""
+def _imported_modules(tree: ast.AST):
+    """Yield ``(lineno, dotted_module)`` for every absolute import."""
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 yield node.lineno, alias.name
         elif isinstance(node, ast.ImportFrom):
-            if node.level:  # relative: stays inside repro.routing
-                yield node.lineno, "repro.routing"
-            elif node.module:
+            if node.level:
+                continue  # relative: stays inside the package
+            if node.module:
                 yield node.lineno, node.module
 
 
-def _allowed(module: str) -> bool:
+def _allowed(module: str, package: str, allowed) -> bool:
     if not (module == "repro" or module.startswith("repro.")):
         return True  # stdlib (the tree has no third-party deps)
-    if module.startswith("repro.routing"):
-        return True
+    if module == f"repro.{package}" or module.startswith(f"repro.{package}."):
+        return True  # absolute self-imports
     return any(
-        module == allowed or module.startswith(allowed + ".")
-        for allowed in ALLOWED_REPRO
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in allowed
     )
 
 
-def check(routing_dir: Path = ROUTING_DIR):
+def check(routing_dir: Path = ROUTING_DIR, allowed=ALLOWED_REPRO):
     """All layering violations under ``routing_dir`` as printable strings."""
+    package = routing_dir.name
     violations = []
     for path in sorted(routing_dir.rglob("*.py")):
         tree = ast.parse(path.read_text(), filename=str(path))
-        for lineno, module in _imported_modules(tree, path.stem):
-            if not _allowed(module):
+        for lineno, module in _imported_modules(tree):
+            if not _allowed(module, package, allowed):
+                try:
+                    shown = path.relative_to(routing_dir.parent.parent.parent)
+                except ValueError:
+                    shown = path
                 violations.append(
-                    f"{path.relative_to(routing_dir.parent.parent.parent)}:"
-                    f"{lineno}: imports {module!r} "
-                    f"(repro.routing may import only the stdlib and "
-                    f"{', '.join(ALLOWED_REPRO)})"
+                    f"{shown}:{lineno}: imports {module!r} "
+                    f"(repro.{package} may import only the stdlib and "
+                    f"{', '.join(allowed)})"
                 )
     return violations
 
 
 def main() -> int:
     """CLI entry point; returns a process exit code."""
-    if not ROUTING_DIR.is_dir():
-        print(f"missing routing package: {ROUTING_DIR}", file=sys.stderr)
-        return 2
-    violations = check()
-    for violation in violations:
-        print(violation, file=sys.stderr)
-    if violations:
-        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
-        return 1
-    print("repro.routing layering OK")
-    return 0
+    exit_code = 0
+    for package, allowed in PACKAGES.items():
+        package_dir = SRC_REPRO / package
+        if not package_dir.is_dir():
+            print(f"missing package: {package_dir}", file=sys.stderr)
+            return 2
+        violations = check(package_dir, allowed)
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        if violations:
+            print(
+                f"repro.{package}: {len(violations)} layering violation(s)",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(f"repro.{package} layering OK")
+    return exit_code
 
 
 if __name__ == "__main__":

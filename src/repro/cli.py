@@ -42,6 +42,7 @@ from repro.experiments import (
     table1,
     table2,
     table34,
+    warmpool,
 )
 
 
@@ -194,6 +195,16 @@ def _run_gateway() -> dict:
 def _run_service() -> dict:
     """The service-tier saturation benchmark with its default knobs."""
     return service.run()
+
+
+@experiment(
+    "warmpool",
+    "Warm-pool policies: cold-start ratios, scale-to-zero, pre-warming",
+    warmpool.format_report,
+)
+def _run_warmpool() -> dict:
+    """The warm-pool policy sweep with its default knobs."""
+    return warmpool.run()
 
 
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
@@ -378,6 +389,8 @@ def _cmd_gateway(requests: int, paced_ms: float, as_json: bool) -> int:
 def _cmd_serve(
     host: str, port: int, tcs: int, endpoints: int,
     paced_ms: float, max_inflight: Optional[int],
+    keep_alive_s: Optional[float], min_warm: int,
+    warm_strategy: str, prewarm: bool,
 ) -> int:
     """Boot a live service tier in the foreground (``repro serve``)."""
     from repro.service import serve
@@ -390,13 +403,34 @@ def _cmd_serve(
         port=port,
         max_inflight=max_inflight,
         background=False,
+        keep_alive_s=keep_alive_s,
+        min_warm=min_warm,
+        warm_strategy=warm_strategy,
+        prewarm=prewarm,
     )
     print(f"models: {', '.join(sorted(svc.handles))}")
+    if svc.gateway.warm_pool is not None:
+        predictive = " +predictive" if prewarm else ""
+        print(
+            f"warm pool: strategy={warm_strategy}{predictive} "
+            f"keep_alive={keep_alive_s:.0f}s min_warm={min_warm} "
+            f"(state under /v1/stats -> warm_pool)"
+        )
     try:
         serve(svc)
     finally:
         svc.gateway.close()
     return 0
+
+
+def _cmd_warmpool(duration_s: float, keep_alive_s: float, as_json: bool) -> int:
+    """Run the warm-pool sweep (``repro warmpool``); exit 1 on gate fail."""
+    result = warmpool.run(duration_s=duration_s, keep_alive_s=keep_alive_s)
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(warmpool.format_report(result))
+    return 0 if result["pass"] else 1
 
 
 def _cmd_service(
@@ -536,6 +570,23 @@ def main(argv=None) -> int:
         "--max-inflight", type=int, default=None,
         help="admission bound (default: fleet TCS capacity)",
     )
+    serve_parser.add_argument(
+        "--keep-alive", type=float, default=None, metavar="SECONDS",
+        help="arm the warm pool: retire endpoints idle this long "
+             "(default: warm pool off)",
+    )
+    serve_parser.add_argument(
+        "--min-warm", type=int, default=1,
+        help="endpoints the janitor always keeps alive (0: scale to zero)",
+    )
+    serve_parser.add_argument(
+        "--warm-strategy", default="lcs", choices=("lcs", "mru", "affinity"),
+        help="warm-endpoint reuse policy",
+    )
+    serve_parser.add_argument(
+        "--prewarm", action="store_true",
+        help="launch endpoints ahead of predicted demand (EWMA rates)",
+    )
     service_parser = sub.add_parser(
         "service", help="run the service-tier saturation benchmark"
     )
@@ -554,6 +605,21 @@ def main(argv=None) -> int:
     service_parser.add_argument(
         "--json", action="store_true",
         help="emit the raw result dict (the BENCH_service.json artifact)",
+    )
+    warmpool_parser = sub.add_parser(
+        "warmpool", help="run the warm-pool cold-start policy sweep"
+    )
+    warmpool_parser.add_argument(
+        "--duration", type=float, default=240.0,
+        help="seconds of workload per policy run",
+    )
+    warmpool_parser.add_argument(
+        "--keep-alive", type=float, default=30.0,
+        help="keep-alive for the managed policies (seconds)",
+    )
+    warmpool_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result dict (the BENCH_warmpool.json artifact)",
     )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
@@ -578,11 +644,14 @@ def main(argv=None) -> int:
         return _cmd_serve(
             args.host, args.port, args.tcs, args.endpoints,
             args.paced_ms, args.max_inflight,
+            args.keep_alive, args.min_warm, args.warm_strategy, args.prewarm,
         )
     if args.command == "service":
         return _cmd_service(
             args.duration, args.paced_ms, args.clients, args.json
         )
+    if args.command == "warmpool":
+        return _cmd_warmpool(args.duration, args.keep_alive, args.json)
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

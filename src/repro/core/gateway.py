@@ -41,13 +41,23 @@ tried once per dispatch, surfaces as the ``batch_affinity`` attribute
 on the ``route`` span, and is dropped the moment the endpoint is
 excluded, saturated, or dead -- batching is a throughput hint, never a
 correctness constraint (``docs/batching.md``).
+
+Arming ``GatewayConfig.warm_pool`` puts a
+:class:`~repro.warmpool.WarmPoolManager` in charge of the fleet's
+temperature: warm-endpoint reuse follows the configured strategy (a
+one-shot hint, same discipline as batch affinity), every dispatch is
+classified cold/warm/hot, measured cold-start latency lands on the
+:class:`RouteDecision` and the ``route`` span, and periodic
+:meth:`InferenceGateway.maintain` calls run the scale-to-zero janitor
+and the predictive pre-warmer (``docs/warmpool.md``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.semirt import InferenceFuture, SemirtHost
 from repro.errors import (
@@ -69,6 +79,7 @@ from repro.routing import (
     ScaleOutPolicy,
     make_router,
 )
+from repro.warmpool import WarmPoolConfig, WarmPoolManager
 
 #: a host launcher: endpoint name -> live SemirtHost
 HostLauncher = Callable[[str], SemirtHost]
@@ -84,6 +95,13 @@ class GatewayConfig:
     resilience layer owns the retry decision).  ``breaker`` arms one
     :class:`CircuitBreaker` per endpoint; ``scale_out`` arms fleet
     growth under sustained backpressure.
+
+    ``warm_pool`` arms a :class:`~repro.warmpool.WarmPoolManager`: warm
+    endpoint reuse becomes strategy-driven, idle endpoints are retired
+    by the janitor through :meth:`InferenceGateway.maintain`, and when
+    ``warm_pool.scale_out`` is set the manager owns the pressure
+    tracker (reactive growth joins the warm-pool decision log) --
+    leave ``scale_out`` here ``None`` in that case.
     """
 
     strategy: str = "fnpacker"
@@ -93,6 +111,7 @@ class GatewayConfig:
     breaker: Optional[BreakerPolicy] = None
     redispatch_on_crash: bool = True
     max_redispatch: int = 2
+    warm_pool: Optional[WarmPoolConfig] = None
 
 
 @dataclass
@@ -104,7 +123,10 @@ class RouteDecision:
     reroutes: int = 0          # endpoint exclusions before this one landed
     redispatches: int = 0      # failed serving attempts before this one
     cold: bool = False         # the endpoint's host was launched for this request
+    cold_start_s: float = 0.0  # wall-clock launch duration when cold
+    temperature: str = ""      # cold/warm/hot (warm pool armed only)
     batch_affinity: bool = False  # endpoint chosen by the batch-affinity hint
+    warm_hint: bool = False    # endpoint chosen by the warm-pool strategy
 
 
 @dataclass
@@ -150,6 +172,11 @@ class InferenceGateway:
             if self.config.scale_out is not None
             else None
         )
+        self.warm_pool: Optional[WarmPoolManager] = (
+            WarmPoolManager(self.config.warm_pool)
+            if self.config.warm_pool is not None
+            else None
+        )
         self._in_flight = 0
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -172,6 +199,10 @@ class InferenceGateway:
         with self._lock:
             self._hosts[endpoint] = host
             self._owned.discard(endpoint)
+        if self.warm_pool is not None:
+            # attached hosts are warm from the start but never the
+            # janitor's to retire
+            self.warm_pool.on_launch(endpoint, self._now(), pinned=True)
 
     def host(self, endpoint: str) -> Optional[SemirtHost]:
         """The live host bound to ``endpoint`` (``None`` before launch)."""
@@ -213,6 +244,50 @@ class InferenceGateway:
             self._breakers[endpoint] = breaker
         return breaker
 
+    def _pressure_armed(self) -> bool:
+        return self._pressure is not None or (
+            self.warm_pool is not None and self.warm_pool.reactive is not None
+        )
+
+    def _observe_pressure(self, saw_pressure: bool) -> bool:
+        """One backpressure observation; ``True`` means grow the fleet.
+
+        When the warm pool is armed with ``scale_out`` the manager owns
+        the tracker (reactive growth joins the warm-pool decision log);
+        otherwise the gateway's own tracker decides.
+        """
+        if self.warm_pool is not None and self.warm_pool.reactive is not None:
+            return self.warm_pool.on_pressure(saw_pressure, self.endpoint_count)
+        if self._pressure is not None:
+            return self._pressure.observe(saw_pressure, self.endpoint_count)
+        return False
+
+    def _warm_suggestion(self, model_id: str, exclude: Set[str]) -> Optional[str]:
+        """The warm-pool strategy's reuse pick, validated for routing.
+
+        The suggestion must still be a live, idle, unexcluded endpoint
+        whose exclusivity pin (if any) matches ``model_id`` -- the warm
+        pool's view can lag the router's by a dispatch, so the router
+        state is the authority.
+        """
+        if self.warm_pool is None:
+            return None
+        suggestion = self.warm_pool.suggest(model_id, self._now())
+        if suggestion is None or suggestion in exclude:
+            return None
+        states = getattr(self.router, "_endpoints", None)
+        if states is None or suggestion not in states:
+            return None
+        state = states[suggestion]
+        if not state.available or state.pending > 0:
+            return None
+        if state.exclusive_for not in (None, model_id):
+            return None
+        host = self.host(suggestion)
+        if host is None or not host.enclave.alive:
+            return None  # nothing warm to reuse; let the router decide
+        return suggestion
+
     # -- dispatch ----------------------------------------------------------------
 
     def dispatch(
@@ -233,6 +308,8 @@ class InferenceGateway:
         decision = RouteDecision(endpoint="")
         saw_pressure = False
         pressure_observed = False
+        warm_hint_tried = False
+        grew_for_empty = False
         last_queue_full: Optional[QueueFull] = None
         #: one shot at the batch-affinity hint per dispatch -- if the
         #: remembered endpoint cannot take the request, the ordinary
@@ -242,6 +319,7 @@ class InferenceGateway:
         # consumes a redispatch, or returns.
         for _ in range(4 * (self.config.max_redispatch + self.pool.endpoint_count + 2)):
             decision.batch_affinity = False
+            decision.warm_hint = False
             endpoint = None
             if affinity_hint is not None:
                 hinted, affinity_hint = affinity_hint, None
@@ -250,6 +328,14 @@ class InferenceGateway:
                 ):
                     endpoint = hinted
                     decision.batch_affinity = True
+            if endpoint is None and not warm_hint_tried:
+                # one shot at the warm-pool strategy's pick, same
+                # discipline as the batch-affinity hint
+                warm_hint_tried = True
+                warm = self._warm_suggestion(model_id, exclude)
+                if warm is not None:
+                    endpoint = warm
+                    decision.warm_hint = True
             try:
                 if endpoint is None:
                     endpoint = self.router.route(
@@ -261,9 +347,9 @@ class InferenceGateway:
                     # observation per dispatch, spawning only under
                     # *sustained* backpressure.
                     grew = False
-                    if self._pressure is not None and not pressure_observed:
+                    if self._pressure_armed() and not pressure_observed:
                         pressure_observed = True
-                        if self._pressure.observe(True, self.endpoint_count):
+                        if self._observe_pressure(True):
                             grew = self._grow_fleet()
                     if grew:
                         last_queue_full = None
@@ -271,6 +357,16 @@ class InferenceGateway:
                     raise last_queue_full
                 endpoint = self._relaunch_candidate(exclude)
                 if endpoint is None:
+                    # a janitor-emptied fleet (scale-to-zero) regrows on
+                    # demand: the cold start is the request's price.
+                    if (
+                        self.warm_pool is not None
+                        and not grew_for_empty
+                        and not exclude
+                        and self._grow_fleet()
+                    ):
+                        grew_for_empty = True
+                        continue
                     raise
             breaker = self._breaker(endpoint)
             if breaker is not None and breaker.state == "open":
@@ -278,12 +374,13 @@ class InferenceGateway:
                 decision.reroutes += 1
                 continue
             try:
-                host, cold = self._ensure_host(endpoint, exclude)
+                host, cold, launch_s = self._ensure_host(endpoint, exclude)
             except _Reroute:
                 decision.reroutes += 1
                 continue
             decision.endpoint = endpoint
             decision.cold = cold
+            decision.cold_start_s = launch_s
             try:
                 ticket = host.submit(enc_request, user_id, model_id)
             except QueueFull as exc:
@@ -307,6 +404,10 @@ class InferenceGateway:
                 raise exc
             now = self._now()
             self.router.on_dispatch(endpoint, model_id, now)
+            if self.warm_pool is not None:
+                decision.temperature = self.warm_pool.on_dispatch(
+                    endpoint, model_id, now, launched=cold
+                )
             with self._lock:
                 self._in_flight += 1
             decision.exclusive = self._is_exclusive(endpoint, model_id)
@@ -320,7 +421,10 @@ class InferenceGateway:
                     reroutes=decision.reroutes,
                     redispatches=decision.redispatches,
                     cold=decision.cold,
+                    cold_start_s=decision.cold_start_s,
+                    temperature=decision.temperature,
                     batch_affinity=decision.batch_affinity,
+                    warm_hint=decision.warm_hint,
                 ):
                     output = ticket.result(timeout=timeout_s)
             except Exception as exc:
@@ -347,8 +451,8 @@ class InferenceGateway:
                 # the pair's traffic together; plain endpoints keep the
                 # router's packing decision unbiased
                 self._affinity.remember(user_id, model_id, endpoint)
-            if self._pressure is not None and not pressure_observed:
-                if self._pressure.observe(saw_pressure, self.endpoint_count):
+            if self._pressure_armed() and not pressure_observed:
+                if self._observe_pressure(saw_pressure):
                     self._grow_fleet()
             return GatewayReply(output=output, decision=decision, host=host)
         raise RoutingError(
@@ -377,10 +481,13 @@ class InferenceGateway:
         exclude: Set[str] = set()
         decision = RouteDecision(endpoint="")
         pressure_observed = False
+        warm_hint_tried = False
+        grew_for_empty = False
         last_queue_full: Optional[QueueFull] = None
         affinity_hint = self._affinity.lookup(user_id, model_id)
         for _ in range(4 * (self.config.max_redispatch + self.pool.endpoint_count + 2)):
             decision.batch_affinity = False
+            decision.warm_hint = False
             endpoint = None
             if affinity_hint is not None:
                 hinted, affinity_hint = affinity_hint, None
@@ -389,6 +496,12 @@ class InferenceGateway:
                 ):
                     endpoint = hinted
                     decision.batch_affinity = True
+            if endpoint is None and not warm_hint_tried:
+                warm_hint_tried = True
+                warm = self._warm_suggestion(model_id, exclude)
+                if warm is not None:
+                    endpoint = warm
+                    decision.warm_hint = True
             try:
                 if endpoint is None:
                     endpoint = self.router.route(
@@ -397,9 +510,9 @@ class InferenceGateway:
             except RoutingError:
                 if last_queue_full is not None:
                     grew = False
-                    if self._pressure is not None and not pressure_observed:
+                    if self._pressure_armed() and not pressure_observed:
                         pressure_observed = True
-                        if self._pressure.observe(True, self.endpoint_count):
+                        if self._observe_pressure(True):
                             grew = self._grow_fleet()
                     if grew:
                         last_queue_full = None
@@ -407,6 +520,14 @@ class InferenceGateway:
                     raise last_queue_full
                 endpoint = self._relaunch_candidate(exclude)
                 if endpoint is None:
+                    if (
+                        self.warm_pool is not None
+                        and not grew_for_empty
+                        and not exclude
+                        and self._grow_fleet()
+                    ):
+                        grew_for_empty = True
+                        continue
                     raise
             breaker = self._breaker(endpoint)
             if breaker is not None and breaker.state == "open":
@@ -414,12 +535,13 @@ class InferenceGateway:
                 decision.reroutes += 1
                 continue
             try:
-                host, cold = self._ensure_host(endpoint, exclude)
+                host, cold, launch_s = self._ensure_host(endpoint, exclude)
             except _Reroute:
                 decision.reroutes += 1
                 continue
             decision.endpoint = endpoint
             decision.cold = cold
+            decision.cold_start_s = launch_s
             try:
                 future = host.submit(enc_request, user_id, model_id)
             except QueueFull as exc:
@@ -439,6 +561,10 @@ class InferenceGateway:
                 raise exc
             now = self._now()
             self.router.on_dispatch(endpoint, model_id, now)
+            if self.warm_pool is not None:
+                decision.temperature = self.warm_pool.on_dispatch(
+                    endpoint, model_id, now, launched=cold
+                )
             with self._lock:
                 self._in_flight += 1
             decision.exclusive = self._is_exclusive(endpoint, model_id)
@@ -451,7 +577,10 @@ class InferenceGateway:
                 reroutes=decision.reroutes,
                 redispatches=decision.redispatches,
                 cold=decision.cold,
+                cold_start_s=decision.cold_start_s,
+                temperature=decision.temperature,
                 batch_affinity=decision.batch_affinity,
+                warm_hint=decision.warm_hint,
                 phase="admit",
             ):
                 pass  # admission-time decision span; serving runs async
@@ -472,8 +601,12 @@ class InferenceGateway:
         now = self._now()
         if ok:
             self.router.on_complete(endpoint, model_id, now)
+            if self.warm_pool is not None:
+                self.warm_pool.on_complete(endpoint, model_id, now)
         else:
             self.router.on_failure(endpoint, model_id, now)
+            if self.warm_pool is not None:
+                self.warm_pool.on_failure(endpoint, model_id, now)
         with self._lock:
             self._in_flight -= 1
             self._idle.notify_all()
@@ -498,19 +631,23 @@ class InferenceGateway:
             host = self._hosts.get(endpoint)
         if host is not None and host.enclave.alive:
             return host, False
-        return self._launch(endpoint)
+        host, cold, _ = self._launch(endpoint)
+        return host, cold
 
-    def _ensure_host(self, endpoint: str, exclude: Set[str]) -> Tuple[SemirtHost, bool]:
+    def _ensure_host(
+        self, endpoint: str, exclude: Set[str]
+    ) -> Tuple[SemirtHost, bool, float]:
         """The live host for ``endpoint``, launching it cold if needed.
 
-        If the bound host died and a healthy peer remains, the endpoint
-        is marked down and the request rerouted (raises ``_Reroute``);
-        as a last resort the endpoint is relaunched in place.
+        Returns ``(host, cold, launch_seconds)``.  If the bound host
+        died and a healthy peer remains, the endpoint is marked down
+        and the request rerouted (raises ``_Reroute``); as a last
+        resort the endpoint is relaunched in place.
         """
         with self._lock:
             host = self._hosts.get(endpoint)
         if host is not None and host.enclave.alive:
-            return host, False
+            return host, False, 0.0
         if host is not None:
             # bound host is dead: prefer rerouting over an in-request
             # relaunch when any other endpoint could take the traffic.
@@ -520,18 +657,29 @@ class InferenceGateway:
                 raise _Reroute()
         return self._launch(endpoint)
 
-    def _launch(self, endpoint: str) -> Tuple[SemirtHost, bool]:
+    def _launch(
+        self, endpoint: str, prewarmed: bool = False
+    ) -> Tuple[SemirtHost, bool, float]:
         with self._launch_lock:
             with self._lock:
                 host = self._hosts.get(endpoint)
             if host is not None and host.enclave.alive:
-                return host, False  # a concurrent request already launched it
+                return host, False, 0.0  # a concurrent request already launched it
+            started = time.perf_counter()
             host = self._launcher(endpoint)
+            launch_s = time.perf_counter() - started
             with self._lock:
                 self._hosts[endpoint] = host
                 self._owned.add(endpoint)
             self.router.mark_endpoint_up(endpoint)
-            return host, True
+            if self.warm_pool is not None:
+                self.warm_pool.on_launch(
+                    endpoint,
+                    self._now(),
+                    cold_start_s=launch_s,
+                    prewarmed=prewarmed,
+                )
+            return host, True, launch_s
 
     def _has_alternative(self, endpoint: str, exclude: Set[str]) -> bool:
         for name, _ in self.router.endpoints():
@@ -556,6 +704,8 @@ class InferenceGateway:
     ) -> None:
         self.router.mark_endpoint_down(endpoint)
         self._affinity.forget_endpoint(endpoint)
+        if self.warm_pool is not None:
+            self.warm_pool.on_down(endpoint, self._now())
         if breaker is not None:
             breaker.on_failure()
 
@@ -577,7 +727,9 @@ class InferenceGateway:
         """Stop routing new requests to ``endpoint``; in-flight finishes."""
         self.router.begin_drain(endpoint)
 
-    def retire(self, endpoint: str, timeout_s: float = 30.0) -> None:
+    def retire(
+        self, endpoint: str, timeout_s: float = 30.0, *, reason: str = "manual"
+    ) -> None:
         """Drain ``endpoint``, wait for its work, and tear it down."""
         self.drain(endpoint)
         with self._idle:
@@ -590,8 +742,77 @@ class InferenceGateway:
             host = self._hosts.pop(endpoint, None)
             owned = endpoint in self._owned
             self._owned.discard(endpoint)
+        if self.warm_pool is not None:
+            self.warm_pool.on_retire(endpoint, self._now(), reason=reason)
         if host is not None and owned and host.enclave.alive:
             host.destroy()
+
+    # -- warm-pool housekeeping ------------------------------------------------------
+
+    def maintain(
+        self, now: Optional[float] = None, retire_timeout_s: float = 5.0
+    ) -> Dict[str, List[str]]:
+        """One warm-pool housekeeping pass: janitor sweep + pre-warming.
+
+        Call it periodically (the service tier's sweeper does).  The
+        janitor's nominations are retired through the ordinary
+        drain-then-retire lifecycle; the pre-warmer launches ahead of
+        predicted demand, growing the fleet up to the warm pool's
+        ``max_endpoints`` when every known endpoint is already live.
+        A no-op unless ``GatewayConfig.warm_pool`` is armed.
+        """
+        result: Dict[str, List[str]] = {"retired": [], "prewarmed": []}
+        if self.warm_pool is None:
+            return result
+        if now is None:
+            now = self._now()
+        if self.warm_pool.sweep_due(now):
+            for victim in self.warm_pool.sweep(now):
+                with self._lock:
+                    owned = victim in self._owned
+                if not owned:
+                    continue  # attached/shared hosts are never ours to kill
+                try:
+                    self.retire(victim, timeout_s=retire_timeout_s, reason="janitor")
+                except RoutingError:
+                    # traffic landed between nomination and drain; the
+                    # endpoint stays draining and a later sweep retries
+                    continue
+                result["retired"].append(victim)
+        for _ in range(self.warm_pool.prewarm_count(now)):
+            endpoint = self._prewarm_target()
+            if endpoint is None:
+                break
+            self._launch(endpoint, prewarmed=True)
+            result["prewarmed"].append(endpoint)
+        return result
+
+    def _prewarm_target(self) -> Optional[str]:
+        """An endpoint slot a pre-warm launch can fill, if any.
+
+        Prefers re-warming a known endpoint without a live host; grows
+        the fleet only below the warm pool's ``max_endpoints``.
+        """
+        for name, _ in self.router.endpoints():
+            host = self.host(name)
+            if host is None or not host.enclave.alive:
+                return name
+        if (
+            self.warm_pool is not None
+            and self.endpoint_count < self.warm_pool.config.max_endpoints
+        ):
+            try:
+                endpoint, _ = self.router.add_endpoint()
+            except RoutingError:
+                return None
+            return endpoint
+        return None
+
+    def warm_stats(self) -> Optional[dict]:
+        """The warm pool's stats section (``None`` when not armed)."""
+        if self.warm_pool is None:
+            return None
+        return self.warm_pool.stats(self._now())
 
     def _endpoint_pending(self, endpoint: str) -> int:
         states = getattr(self.router, "_endpoints", None)

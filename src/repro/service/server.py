@@ -240,7 +240,7 @@ class InferenceService:
                 1 for e in self._entries.values() if e.state == "pending"
             )
             retained = len(self._entries)
-        return self._json(200, {
+        payload = {
             "admission": self.admission.stats(),
             "gateway": {
                 "in_flight": self.gateway.in_flight,
@@ -251,7 +251,11 @@ class InferenceService:
                 "results_pending": pending,
                 "results_retained": retained,
             },
-        })
+        }
+        warm = self.gateway.warm_stats()
+        if warm is not None:
+            payload["warm_pool"] = warm
+        return self._json(200, payload)
 
     def _meta(self) -> HttpResponse:
         models = {}
@@ -494,10 +498,21 @@ class InferenceService:
         return self._json(status, payload)
 
     async def _sweep_loop(self) -> None:
-        """Expire terminal/abandoned results so slots cannot leak."""
+        """Expire terminal/abandoned results so slots cannot leak.
+
+        The same cadence drives the gateway's warm-pool housekeeping
+        (janitor retirements + predictive pre-warming) when it is
+        armed; retiring can block on a drain, so it runs on the
+        executor, never the event loop.
+        """
         interval = max(0.5, self.config.result_ttl_s / 4)
+        if self.config.keep_alive_s is not None:
+            interval = min(interval, max(0.25, self.config.keep_alive_s / 4))
+        loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(interval)
+            if self.gateway.warm_pool is not None:
+                await loop.run_in_executor(self._executor, self.gateway.maintain)
             cutoff = time.monotonic() - self.config.result_ttl_s
             with self._entries_lock:
                 expired = [

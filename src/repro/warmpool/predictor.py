@@ -1,0 +1,158 @@
+"""Predictive pre-warming: EWMA arrival rates -> warm-fleet target.
+
+A keep-alive pool only avoids cold starts for traffic that *already*
+arrived; a flash crowd (the MMPP phase flip of Figure 13, 20 -> 40 rps)
+still lands on a fleet sized for the quiet phase.  The pre-warmer
+closes that gap: per-model :class:`EwmaRate` estimators are fed by
+``on_dispatch`` events, and :meth:`Prewarmer.desired_warm` converts the
+summed rate into a warm-fleet target via Little's law --
+
+    endpoints = ceil(rate * service_time * headroom / slots_per_endpoint)
+
+so the manager can launch endpoints *ahead* of predicted demand and the
+crowd lands warm.
+
+The rate estimator is an EWMA over inter-arrival gaps that also decays
+while traffic is absent: the *current* gap since the last arrival is
+folded into the estimate when it exceeds the learned interval, so a
+model that went quiet predicts toward zero instead of holding its peak
+rate forever (and the janitor can reclaim the fleet).
+
+Deterministic: pure arithmetic over the event times the caller passes
+in; no clocks, no randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PredictorPolicy:
+    """Knobs for the pre-warmer.
+
+    ``alpha`` weights new inter-arrival samples in the EWMA;
+    ``service_time_s`` seeds the per-request service-time estimate
+    until measured completions refine it; ``slots_per_endpoint`` is the
+    concurrency one endpoint offers (its TCS count); ``headroom``
+    over-provisions the Little's-law target; ``min_samples`` arrivals
+    must be seen for a model before it contributes to the target.
+    """
+
+    alpha: float = 0.3
+    service_time_s: float = 0.5
+    slots_per_endpoint: int = 1
+    headroom: float = 1.2
+    min_samples: int = 2
+    #: smallest predicted concurrency (in endpoint slots) worth keeping
+    #: an endpoint warm for: below it the target is zero, so a stream
+    #: that went quiet decays all the way to scale-to-zero instead of
+    #: ``ceil``-ing to one endpoint forever
+    floor_concurrency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ConfigError("alpha must be in (0, 1]")
+        if self.service_time_s <= 0:
+            raise ConfigError("service_time_s must be positive")
+        if self.slots_per_endpoint < 1:
+            raise ConfigError("slots_per_endpoint must be >= 1")
+        if self.headroom <= 0:
+            raise ConfigError("headroom must be positive")
+        if self.min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        if self.floor_concurrency < 0:
+            raise ConfigError("floor_concurrency must be >= 0")
+
+
+class EwmaRate:
+    """EWMA arrival-rate estimator for one model's dispatch stream."""
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+        self.samples = 0
+        self._interval: Optional[float] = None  # EWMA inter-arrival gap
+        self._last_at: Optional[float] = None
+
+    def observe(self, now: float) -> None:
+        """Fold one arrival at ``now`` into the estimate."""
+        if self._last_at is not None:
+            gap = max(now - self._last_at, 1e-9)
+            if self._interval is None:
+                self._interval = gap
+            else:
+                self._interval += self.alpha * (gap - self._interval)
+        self._last_at = now
+        self.samples += 1
+
+    def rate(self, now: float) -> float:
+        """Estimated arrivals/second at ``now`` (decays while quiet)."""
+        if self._interval is None or self._last_at is None:
+            return 0.0
+        # a silent stretch longer than the learned interval is evidence
+        # the rate dropped: use the larger of the two as the effective
+        # inter-arrival time so the estimate decays toward zero.
+        effective = max(self._interval, now - self._last_at)
+        return 1.0 / effective if effective > 0 else 0.0
+
+
+class Prewarmer:
+    """Per-model rate estimators plus the warm-fleet sizing rule."""
+
+    def __init__(self, policy: PredictorPolicy) -> None:
+        self.policy = policy
+        self._rates: Dict[str, EwmaRate] = {}
+        #: EWMA of measured per-request service time (None until sampled)
+        self._service_s: Optional[float] = None
+
+    def on_dispatch(self, model_id: str, now: float) -> None:
+        """Feed one dispatch event into the model's rate estimator."""
+        estimator = self._rates.get(model_id)
+        if estimator is None:
+            estimator = EwmaRate(self.policy.alpha)
+            self._rates[model_id] = estimator
+        estimator.observe(now)
+
+    def on_service_time(self, seconds: float) -> None:
+        """Fold one measured request service time into the estimate."""
+        if seconds <= 0:
+            return
+        if self._service_s is None:
+            self._service_s = seconds
+        else:
+            self._service_s += self.policy.alpha * (seconds - self._service_s)
+
+    @property
+    def service_time_s(self) -> float:
+        """Measured per-request service time, or the policy seed."""
+        return (
+            self._service_s
+            if self._service_s is not None
+            else self.policy.service_time_s
+        )
+
+    def rates(self, now: float) -> Dict[str, float]:
+        """Per-model estimated arrival rates (models past ``min_samples``)."""
+        return {
+            model_id: estimator.rate(now)
+            for model_id, estimator in sorted(self._rates.items())
+            if estimator.samples >= self.policy.min_samples
+        }
+
+    def desired_warm(self, now: float) -> int:
+        """Warm endpoints the predicted load needs (Little's law)."""
+        total_rate = sum(self.rates(now).values())
+        if total_rate <= 0:
+            return 0
+        concurrency = total_rate * self.service_time_s * self.policy.headroom
+        slots = self.policy.slots_per_endpoint
+        if concurrency < self.policy.floor_concurrency * slots:
+            return 0
+        return int(math.ceil(concurrency / slots))
+
+
+__all__ = ["EwmaRate", "PredictorPolicy", "Prewarmer"]

@@ -1,0 +1,66 @@
+"""Smoke + shape checks for the warm-pool benchmark harness.
+
+Short seeded traces through the real simulator: the paper-shape
+properties (keep-alive beats no-keep-alive, the janitor scales to the
+floor, the report renders) on grids small enough to stay fast.
+"""
+
+import numpy as np
+
+from repro.experiments import warmpool
+
+
+def _arrivals(duration_s=60.0, seed=5):
+    from repro.workloads.arrival import poisson
+
+    rng = np.random.default_rng(seed)
+    return poisson(4.0, duration_s, "m0", user_id="u", rng=rng)
+
+
+def test_no_keep_alive_pays_cold_starts_everywhere():
+    row = warmpool.run_policy("none", _arrivals(), until=600.0)
+    assert row["requests"] > 100
+    # at 4 rps with ~0.5 s cold service some arrivals overlap a live
+    # endpoint, but the vast majority land cold
+    assert row["cold_ratio"] > 0.5
+    assert row["janitor_retired"] == 0  # teardown, not janitor
+
+
+def test_keep_alive_turns_the_stream_hot():
+    none = warmpool.run_policy("none", _arrivals(), until=600.0)
+    lcs = warmpool.run_policy("lcs", _arrivals(), until=600.0)
+    assert lcs["cold_ratio"] < none["cold_ratio"] / 3
+    assert lcs["hot"] > lcs["warm"]  # single model: reuse is hot
+    assert lcs["p50_ms"] < none["p50_ms"]
+
+
+def test_mru_holds_a_smaller_fleet_than_lcs():
+    lcs = warmpool.run_policy("lcs", _arrivals(), until=600.0)
+    mru = warmpool.run_policy("mru", _arrivals(), until=600.0)
+    # MRU lets the idle tail expire: more janitor retires, never a
+    # larger peak fleet
+    assert mru["peak_fleet"] <= lcs["peak_fleet"]
+    assert mru["janitor_retired"] >= lcs["janitor_retired"]
+
+
+def test_scale_to_zero_reaches_the_floor():
+    demo = warmpool.run_scale_to_zero(
+        burst_rps=6.0, burst_s=10.0, idle_s=80.0, keep_alive_s=20.0
+    )
+    assert demo["peak_fleet"] > demo["min_warm"]
+    assert demo["scaled_to_floor"]
+    assert demo["final_fleet"] == demo["min_warm"]
+    assert demo["janitor_retired"] >= demo["peak_fleet"] - demo["min_warm"]
+
+
+def test_run_report_and_gates():
+    result = warmpool.run(duration_s=40.0)
+    assert result["pass"], result["gates"]
+    report = warmpool.format_report(result)
+    assert "scale-to-zero" in report
+    for policy in warmpool.POLICIES:
+        assert policy in report
+    # every sweep row is internally consistent
+    for workload in warmpool.WORKLOADS:
+        for row in result["workloads"][workload].values():
+            assert row["cold"] + row["warm"] + row["hot"] == row["requests"]

@@ -15,10 +15,12 @@ import numpy as np
 
 from repro.core.batching import BatchPolicy
 from repro.core.deployment import SeSeMIEnvironment
+from repro.core.gateway import GatewayConfig
 from repro.core.semirt import SchedulerConfig, default_semirt_config
 from repro.mlrt.zoo import build_mobilenet
 from repro.routing import FnPool
 from repro.service import InferenceService, RemoteEnvironment, ServiceConfig
+from repro.warmpool import WarmPoolConfig
 
 MODEL_ID = "svc-test"
 USER = "svc-user"
@@ -62,6 +64,7 @@ def launch_world(
     rate_rps: Optional[float] = None,
     result_ttl_s: float = 120.0,
     share_tracer: bool = False,
+    warm_pool: Optional[WarmPoolConfig] = None,
 ) -> World:
     """Boot a one-endpoint service world and connect a remote user."""
     env = SeSeMIEnvironment()
@@ -75,7 +78,14 @@ def launch_world(
     scheduler = SchedulerConfig(
         queue_depth=queue_depth, paced_service_s=paced_s, batch=policy
     )
-    gateway = env.gateway(pool, config=config, scheduler=scheduler)
+    gateway = env.gateway(
+        pool, config=config, scheduler=scheduler,
+        gateway_config=(
+            GatewayConfig(slots_per_endpoint=tcs_count, warm_pool=warm_pool)
+            if warm_pool is not None
+            else None
+        ),
+    )
     service = InferenceService(
         env, gateway, [handle],
         config=ServiceConfig(
