@@ -1,0 +1,26 @@
+"""Hot-path per-request overhead: codec, cipher, and key-memo caches.
+
+Two users alternate on one shared host.  The legacy lane reproduces
+the seed request path -- canonical-JSON frames, a fresh AES-GCM
+context per client call, and the paper's single-entry key cache --
+while the fast lane runs the shipped default: binary wire frames,
+cached session ciphers, and the multi-entry SeMIRT key memo.  The
+asserted floor mirrors the ``hotpath-bench`` CI gate
+(:data:`~repro.experiments.hotpath.SPEEDUP_GATE`).
+"""
+
+from repro.experiments import hotpath
+
+
+def test_hotpath_overhead(benchmark):
+    result = benchmark.pedantic(
+        hotpath.run, kwargs={"requests": 60}, rounds=1, iterations=1
+    )
+    print()
+    print(hotpath.format_report(result))
+    assert result["speedup"] >= hotpath.SPEEDUP_GATE
+    # the micro-sections must each show their own win: binary framing
+    # beats hex-doubled JSON, and the derived cipher beats per-call
+    # construction
+    assert result["codec_micro"]["speedup"] > 1.0
+    assert result["crypto_micro"]["speedup"] > 1.0

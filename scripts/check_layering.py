@@ -12,6 +12,13 @@ cluster (``repro.serverless``) and the functional runtime
   ``repro.errors`` + ``repro.routing`` types (it treats
   ``ScaleOutPolicy`` as one fleet-shape strategy among several).
 
+One single-file module is pinned the same way:
+
+- ``repro.core.wire``: the versioned wire codecs.  Stdlib +
+  ``repro.errors`` only -- every enclave boundary and the HTTP tier
+  frame through it, so it must never grow a dependency on the
+  runtime, the crypto stack, or numpy.
+
 Run from the repository root::
 
     python scripts/check_layering.py
@@ -32,6 +39,11 @@ SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
 PACKAGES = {
     "routing": ("repro.errors",),
     "warmpool": ("repro.errors", "repro.routing"),
+}
+
+#: single-file module (dotted, relative to repro) -> allowed prefixes
+MODULES = {
+    "core.wire": ("repro.errors",),
 }
 
 ROUTING_DIR = SRC_REPRO / "routing"
@@ -85,6 +97,30 @@ def check(routing_dir: Path = ROUTING_DIR, allowed=ALLOWED_REPRO):
     return violations
 
 
+def check_module(path: Path, dotted: str, allowed):
+    """All layering violations in one module file as printable strings."""
+    full = f"repro.{dotted}"
+    violations = []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for lineno, module in _imported_modules(tree):
+        if not (module == "repro" or module.startswith("repro.")):
+            continue  # stdlib
+        if module == full or any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in allowed
+        ):
+            continue
+        try:
+            shown = path.relative_to(SRC_REPRO.parent.parent)
+        except ValueError:
+            shown = path
+        violations.append(
+            f"{shown}:{lineno}: imports {module!r} "
+            f"({full} may import only the stdlib and {', '.join(allowed)})"
+        )
+    return violations
+
+
 def main() -> int:
     """CLI entry point; returns a process exit code."""
     exit_code = 0
@@ -104,6 +140,22 @@ def main() -> int:
             exit_code = 1
         else:
             print(f"repro.{package} layering OK")
+    for dotted, allowed in MODULES.items():
+        module_path = SRC_REPRO / (dotted.replace(".", "/") + ".py")
+        if not module_path.is_file():
+            print(f"missing module: {module_path}", file=sys.stderr)
+            return 2
+        violations = check_module(module_path, dotted, allowed)
+        for violation in violations:
+            print(violation, file=sys.stderr)
+        if violations:
+            print(
+                f"repro.{dotted}: {len(violations)} layering violation(s)",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(f"repro.{dotted} layering OK")
     return exit_code
 
 

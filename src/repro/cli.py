@@ -38,6 +38,7 @@ from repro.experiments import (
     fig13,
     fig15,
     fig17,
+    hotpath,
     service,
     table1,
     table2,
@@ -205,6 +206,16 @@ def _run_service() -> dict:
 def _run_warmpool() -> dict:
     """The warm-pool policy sweep with its default knobs."""
     return warmpool.run()
+
+
+@experiment(
+    "hotpath",
+    "Hot-path overhead: binary codec + session/key caches vs the seed path",
+    hotpath.format_report,
+)
+def _run_hotpath() -> dict:
+    """The hot-path per-request overhead benchmark with its default knobs."""
+    return hotpath.run()
 
 
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
@@ -433,6 +444,16 @@ def _cmd_warmpool(duration_s: float, keep_alive_s: float, as_json: bool) -> int:
     return 0 if result["pass"] else 1
 
 
+def _cmd_hotpath(requests: int, as_json: bool) -> int:
+    """Run the hot-path benchmark (``repro hotpath``); exit 1 on gate fail."""
+    result = hotpath.run(requests=requests)
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(hotpath.format_report(result))
+    return 0 if result["speedup"] >= result["gate"] else 1
+
+
 def _cmd_service(
     duration_s: float, paced_ms: float, clients: int, as_json: bool
 ) -> int:
@@ -621,6 +642,17 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the raw result dict (the BENCH_warmpool.json artifact)",
     )
+    hotpath_parser = sub.add_parser(
+        "hotpath", help="run the hot-path per-request overhead benchmark"
+    )
+    hotpath_parser.add_argument(
+        "--requests", type=int, default=60,
+        help="timed requests per lane (two users alternating)",
+    )
+    hotpath_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the raw result dict (the BENCH_hotpath.json artifact)",
+    )
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     args = parser.parse_args(argv)
@@ -652,6 +684,8 @@ def main(argv=None) -> int:
         )
     if args.command == "warmpool":
         return _cmd_warmpool(args.duration, args.keep_alive, args.json)
+    if args.command == "hotpath":
+        return _cmd_hotpath(args.requests, args.json)
     if args.command == "report":
         return _cmd_report(args.path)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core import wire
 from repro.core.semirt import REQUEST_AAD, RESPONSE_AAD
-from repro.crypto.gcm import AESGCM
+from repro.crypto.gcm import AESGCM, SessionCipher, evict_session
 from repro.crypto.keys import SymmetricKey
 from repro.errors import AccessDenied, InvocationError, SeSeMIError
 from repro.faults.injector import maybe_wire
@@ -65,11 +65,11 @@ class KeyServiceConnection:
 
     def call(self, message: dict) -> dict:
         """One encrypted request/response round trip (over a faulty wire)."""
-        ciphertext = self._channel.send(wire.encode(message))
+        ciphertext = self._channel.send(wire.dumps(message))
         ciphertext = maybe_wire(self._injector, "client->keyservice", ciphertext)
         reply_cipher = self._host.request(self._channel_id, ciphertext)
         reply_cipher = maybe_wire(self._injector, "keyservice->client", reply_cipher)
-        return wire.decode(self._channel.recv(reply_cipher))
+        return wire.loads(self._channel.recv(reply_cipher))
 
     def call_checked(self, message: dict) -> dict:
         """Like :meth:`call` but raises :class:`AccessDenied` on refusal."""
@@ -139,8 +139,11 @@ class _Principal:
 
     def _sealed(self, op: str, payload: dict) -> bytes:
         """Seal an operation payload under our long-term key (AAD = op)."""
-        return AESGCM(bytes(self.identity_key)).seal(
-            wire.encode(payload), aad=op.encode()
+        # control-plane ops stay on canonical JSON (debuggable, and the
+        # sealed bytes feed deterministic harnesses); the cipher context
+        # is derived once per identity key, not rebuilt per call
+        return AESGCM.derive(self.identity_key).seal(
+            wire.dumps(payload), aad=op.encode()
         )
 
 
@@ -166,9 +169,12 @@ class OwnerClient(_Principal):
 
     def encrypt_model(self, model: Model, model_id: str) -> bytes:
         """Generate a fresh model key and encrypt the serialised model."""
+        old = self._model_keys.get(model_id)
+        if old is not None:
+            evict_session(old)  # rotation: drop the retired key's context
         key = SymmetricKey.generate()
         self._model_keys[model_id] = key
-        return AESGCM(bytes(key)).seal(model.serialize(), aad=model_id.encode())
+        return AESGCM.derive(key).seal(model.serialize(), aad=model_id.encode())
 
     def deploy_model(self, model: Model, model_id: str, storage) -> None:
         """Encrypt and upload the model artifact (workflow step 2)."""
@@ -233,6 +239,9 @@ class UserClient(_Principal):
     ) -> None:
         super().__init__(name, tracer=tracer, identity_key=identity_key)
         self._request_keys: Dict[Tuple[str, str], SymmetricKey] = {}
+        #: per-(model, enclave) derived request ciphers -- the client half
+        #: of the session key cache (shared by UserSession/RemoteSession)
+        self._request_ciphers: Dict[Tuple[str, str], SessionCipher] = {}
 
     def request_key(self, model_id: str, enclave: EnclaveMeasurement) -> SymmetricKey:
         """The request key for ``(model, enclave)``; generated on first use."""
@@ -242,6 +251,38 @@ class UserClient(_Principal):
             key = SymmetricKey.generate()
             self._request_keys[slot] = key
         return key
+
+    def reset_request_key(
+        self, model_id: str, enclave: EnclaveMeasurement
+    ) -> None:
+        """Forget the request key for ``(model, enclave)``.
+
+        The re-grant invalidation hook: the next :meth:`request_key`
+        generates a fresh key, the derived session cipher is dropped
+        here, and enclaves holding the old key self-heal by refetching
+        when the first request under the new key fails to authenticate.
+        """
+        slot = (model_id, enclave.value)
+        key = self._request_keys.pop(slot, None)
+        self._request_ciphers.pop(slot, None)
+        if key is not None:
+            evict_session(key)
+
+    def _request_cipher(
+        self, model_id: str, enclave: EnclaveMeasurement
+    ) -> SessionCipher:
+        """The cached session cipher for ``(model, enclave)``.
+
+        Derived once per request key and reused across the hot session;
+        rebuilding GHASH tables per request was the dominant client-side
+        crypto cost (see docs/performance.md).
+        """
+        slot = (model_id, enclave.value)
+        cipher = self._request_ciphers.get(slot)
+        if cipher is None:
+            cipher = AESGCM.derive(self.request_key(model_id, enclave))
+            self._request_ciphers[slot] = cipher
+        return cipher
 
     def add_request_key(self, model_id: str, enclave: EnclaveMeasurement) -> None:
         """ADD_REQ_KEY: release the request key for one enclave identity."""
@@ -263,9 +304,10 @@ class UserClient(_Principal):
     ) -> bytes:
         """Encrypt an input tensor for ``model_id`` under the request key."""
         with maybe_span(self.tracer, "encrypt_request", model_id=model_id):
-            key = self.request_key(model_id, enclave)
-            payload = wire.encode({"input": x.astype(np.float32).tobytes()})
-            return AESGCM(bytes(key)).seal(
+            payload = wire.dumps(
+                {"input": x.astype(np.float32).tobytes()}, codec=wire.BINARY
+            )
+            return self._request_cipher(model_id, enclave).seal(
                 payload, aad=REQUEST_AAD + model_id.encode()
             )
 
@@ -274,10 +316,9 @@ class UserClient(_Principal):
     ) -> np.ndarray:
         """Authenticate and decrypt the inference result."""
         with maybe_span(self.tracer, "decrypt_response", model_id=model_id):
-            key = self.request_key(model_id, enclave)
             try:
-                payload = wire.decode(
-                    AESGCM(bytes(key)).open(
+                payload = wire.loads(
+                    self._request_cipher(model_id, enclave).unseal(
                         enc_response, aad=RESPONSE_AAD + model_id.encode()
                     )
                 )

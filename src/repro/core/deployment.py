@@ -33,6 +33,7 @@ in :mod:`repro.core.simbridge`.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -110,7 +111,16 @@ class ModelHandle:
         return self
 
     def revoke(self, user: Union[UserClient, str]) -> "ModelHandle":
-        """Withdraw a previous grant (extension: REVOKE_ACCESS)."""
+        """Withdraw a previous grant (extension: REVOKE_ACCESS).
+
+        Revocation is authoritative at KeyService; enclaves that have
+        *memoised* this user's keys keep serving until their memo is
+        dropped -- push that with
+        :meth:`~repro.core.semirt.SemirtHost.invalidate_keys` (or the
+        gateway-wide
+        :meth:`~repro.core.gateway.InferenceGateway.invalidate_keys`)
+        when immediate effect matters.
+        """
         client = self._env.user(user)
         if client.principal_id is None:
             raise SeSeMIError("user must be registered first")
@@ -230,7 +240,11 @@ class UserSession:
         return self._gateway.primary_host()
 
     def infer(
-        self, x: np.ndarray, deadline_s: Optional[float] = None
+        self,
+        x: np.ndarray,
+        timeout_s: Optional[float] = None,
+        *,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Encrypt ``x``, serve it, decrypt the result.
 
@@ -240,12 +254,24 @@ class UserSession:
 
         When the environment carries an enabled
         :class:`~repro.faults.resilience.ResiliencePolicy`, transport
-        failures are retried with backoff under a per-request deadline
-        (``deadline_s`` overrides the policy default), guarded by the
-        per-``(model, node)`` circuit breaker; a crashed SeMIRT enclave
-        is relaunched cold on the next attempt.  Retries appear as
-        ``retry`` events on the request's root span.
+        failures are retried with backoff under a per-request budget
+        (``timeout_s`` overrides the policy default -- the repo-wide
+        wait keyword, seconds, ``None`` meaning the policy default
+        here; see docs/service.md), guarded by the per-``(model,
+        node)`` circuit breaker; a crashed SeMIRT enclave is relaunched
+        cold on the next attempt.  Retries appear as ``retry`` events
+        on the request's root span.  ``deadline_s`` is the deprecated
+        spelling of ``timeout_s``.
         """
+        if deadline_s is not None:
+            warnings.warn(
+                "UserSession.infer(deadline_s=...) is deprecated; "
+                "use timeout_s=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if timeout_s is None:
+                timeout_s = deadline_s
         tracer = self._env.tracer
         policy = self._env.resilience
         with maybe_span(
@@ -261,7 +287,7 @@ class UserSession:
                 caller = self._resilient_caller()
                 deadline = Deadline(
                     caller.clock,
-                    policy.deadline_s if deadline_s is None else deadline_s,
+                    policy.deadline_s if timeout_s is None else timeout_s,
                 )
 
                 def record_retry(attempt, exc, delay):
@@ -539,13 +565,18 @@ class SessionFuture:
         """Cancel the request (releases its enclave execution context)."""
         return self.submission.cancel()
 
-    def result(self, timeout: Optional[float] = None) -> np.ndarray:
-        """Block for the decrypted output; re-raises the serving failure."""
+    def result(self, timeout_s: Optional[float] = None) -> np.ndarray:
+        """Block for the decrypted output; re-raises the serving failure.
+
+        ``timeout_s`` follows the repo-wide wait rule (seconds,
+        ``None`` = wait forever, :class:`~repro.errors.DeadlineExceeded`
+        on expiry; docs/service.md).
+        """
         session = self._session
         enc_response = maybe_wire(
             session._env.injector,
             "semirt->user",
-            self.submission.result(timeout),
+            self.submission.result(timeout_s=timeout_s),
         )
         return session.user.decrypt_response(
             session.model_id, session.measurement, enc_response

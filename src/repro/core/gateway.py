@@ -426,7 +426,7 @@ class InferenceGateway:
                     batch_affinity=decision.batch_affinity,
                     warm_hint=decision.warm_hint,
                 ):
-                    output = ticket.result(timeout=timeout_s)
+                    output = ticket.result(timeout_s=timeout_s)
             except Exception as exc:
                 self._finish(endpoint, model_id, ok=False)
                 if not host.enclave.alive:
@@ -820,6 +820,25 @@ class InferenceGateway:
             return 0
         return states[endpoint].pending
 
+    def invalidate_keys(
+        self, uid: Optional[str] = None, model_id: Optional[str] = None
+    ) -> int:
+        """Broadcast a key-memo invalidation to every live endpoint.
+
+        The fleet face of ``EC_INVALIDATE_KEYS``: after an owner
+        revokes a grant (or a user re-grants a fresh request key),
+        calling this drops the matching memoised provisioning verdicts
+        on every live host, so no enclave keeps serving the pair from
+        its memo.  Returns how many entries were dropped fleet-wide.
+        """
+        with self._lock:
+            hosts = list(self._hosts.values())
+        dropped = 0
+        for host in hosts:
+            if host.enclave.alive:
+                dropped += host.invalidate_keys(uid, model_id)
+        return dropped
+
     def close(self) -> None:
         """Tear down every owned host; attached hosts keep running."""
         with self._lock:
@@ -878,13 +897,13 @@ class GatewaySubmission:
         """True once the outcome is sealed (successfully or not)."""
         return self.future.done()
 
-    def wait(self, timeout: Optional[float] = None) -> bool:
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
         """Block until the outcome is sealed; ``False`` on timeout.
 
         Non-consuming (see :meth:`InferenceFuture.wait`): settle still
         happens in :meth:`result`/:meth:`cancel`.
         """
-        return self.future.wait(timeout)
+        return self.future.wait(timeout_s)
 
     def cancelled(self) -> bool:
         """True when cancellation was requested and won."""
@@ -904,16 +923,16 @@ class GatewaySubmission:
             self._settle(ok=True, touch_breaker=False)
         return ok
 
-    def result(self, timeout: Optional[float] = None) -> bytes:
+    def result(self, timeout_s: Optional[float] = None) -> bytes:
         """Block for the sealed output; re-raises the serving failure.
 
-        A ``timeout`` expiry raises
+        A ``timeout_s`` expiry raises
         :class:`~repro.errors.DeadlineExceeded` *without* settling the
         submission -- the request is still in flight and can be polled
-        again or cancelled.
+        again or cancelled (the repo-wide wait rule, docs/service.md).
         """
         try:
-            output = self.future.result(timeout)
+            output = self.future.result(timeout_s)
         except RequestCancelled:
             self._settle(ok=True, touch_breaker=False)
             raise

@@ -27,7 +27,7 @@ import itertools
 from typing import Dict, Optional, Set, Tuple
 
 from repro.core import wire
-from repro.crypto.gcm import AESGCM
+from repro.crypto.gcm import AESGCM, SessionCipher
 from repro.crypto.hashes import sha256
 from repro.errors import (
     AccessDenied,
@@ -93,6 +93,12 @@ class KeyServiceEnclaveCode(EnclaveCode):
         self._channels: Dict[int, SecureChannel] = {}
         self._channel_peer: Dict[int, Optional[Report]] = {}
         self._channel_ids = itertools.count(1)
+        # in-enclave per-principal identity ciphers: repeat operations
+        # from one principal reuse the derived AES-GCM state instead of
+        # rebuilding the key schedule + GHASH tables per op.  Built
+        # directly (not via the process-wide AESGCM.derive cache) so
+        # enclave-held key material never leaves the enclave object.
+        self._identity_ciphers: Dict[str, SessionCipher] = {}
 
     # -- ECALL surface ------------------------------------------------------------
 
@@ -125,9 +131,9 @@ class KeyServiceEnclaveCode(EnclaveCode):
         channel = self._channels.get(channel_id)
         if channel is None:
             raise EnclaveError(f"unknown channel {channel_id}")
-        message = wire.decode(channel.recv(ciphertext))
+        message = wire.loads(channel.recv(ciphertext))
         response = self._dispatch(channel_id, message)
-        return channel.send(wire.encode(response))
+        return channel.send(wire.dumps(response))
 
     @ecall
     def EC_SEAL_STATE(self) -> bytes:
@@ -146,7 +152,7 @@ class KeyServiceEnclaveCode(EnclaveCode):
             "ks_r": [[m, e, u, key] for (m, e, u), key in self._ks_r.items()],
             "ac_m": [[m, e, u] for (m, e, u) in sorted(self._ac_m)],
         }
-        return self._sealing.seal(self.enclave, wire.encode(state))
+        return self._sealing.seal(self.enclave, wire.dumps(state))
 
     @ecall
     def EC_RESTORE_STATE(self, sealed: bytes) -> int:
@@ -158,8 +164,9 @@ class KeyServiceEnclaveCode(EnclaveCode):
         """
         if self._sealing is None:
             raise SealingError("this platform provides no sealing service")
-        state = wire.decode(self._sealing.unseal(self.enclave, sealed))
+        state = wire.loads(self._sealing.unseal(self.enclave, sealed))
         self._ks_i = dict(state["ks_i"])
+        self._identity_ciphers.clear()
         self._ks_m = dict(state["ks_m"])
         self._ks_r = {(m, e, u): key for m, e, u, key in state["ks_r"]}
         self._ac_m = {(m, e, u) for m, e, u in state["ac_m"]}
@@ -185,21 +192,25 @@ class KeyServiceEnclaveCode(EnclaveCode):
         except (AccessDenied, UnknownIdentity) as exc:
             return {"ok": False, "error": str(exc)}
 
-    def _identity_cipher(self, principal_id: str) -> AESGCM:
+    def _identity_cipher(self, principal_id: str) -> SessionCipher:
         key = self._ks_i.get(principal_id)
         if key is None:
             raise UnknownIdentity(f"principal {principal_id[:12]}... is not registered")
-        return AESGCM(key)
+        cipher = self._identity_ciphers.get(principal_id)
+        if cipher is None:
+            cipher = SessionCipher(AESGCM(key))
+            self._identity_ciphers[principal_id] = cipher
+        return cipher
 
     @staticmethod
-    def _open_authenticated(cipher: AESGCM, blob: bytes, op: str) -> dict:
+    def _open_authenticated(cipher: SessionCipher, blob: bytes, op: str) -> dict:
         """Open a payload sealed under a principal's long-term key.
 
         The AAD pins the operation name, so a recorded ``add_req_key``
         payload cannot be replayed as a ``grant_access``.
         """
         try:
-            return wire.decode(cipher.open(blob, aad=op.encode()))
+            return wire.loads(cipher.unseal(blob, aad=op.encode()))
         except Exception as exc:
             raise AccessDenied(
                 f"payload for {op!r} is not authenticated by the claimed principal"

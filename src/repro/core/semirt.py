@@ -16,8 +16,16 @@ Cached state drives the cold/warm/hot invocation paths:
 - the decrypted **model** lives in the shared enclave heap (one per
   enclave, first thread decrypts under ``_model_lock``, later threads
   reuse);
-- the last ``<uid, M_oid>`` **key pair** is cached (one pair only,
-  guarded by its own lock, Section IV-B);
+- ``<uid, M_oid>`` **key pairs** are memoised for the *loaded* model
+  (Section IV-B generalised: the paper's single-pair cache is the
+  ``key_cache_entries=1`` case; a throughput build keeps one entry per
+  hot user, each carrying its derived request cipher, so repeat
+  requests skip both the KeyService round trip and the AES-GCM context
+  rebuild).  Switching models evicts every entry -- a reload can never
+  pair a stale key with a new artifact -- and the KeyService
+  re-attestation path (restart, ``EC_RESTORE_STATE``, shard failover)
+  flushes the whole cache.  ``EC_INVALIDATE_KEYS`` is the push-side
+  hook revocation/re-grant uses;
 - the **model runtime** is per-thread (thread-local storage, one per
   TCS -- the host binds one scheduler worker per TCS slot);
 - per-request **execution contexts** (the sealed outputs) live in a
@@ -47,6 +55,7 @@ import itertools
 import queue as queue_module
 import threading
 import time
+from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -57,7 +66,7 @@ from repro.core.batching import BatchPolicy
 from repro.core.stages import InvocationPlan, SemirtCacheState, Stage, plan_invocation
 from repro.core import wire
 from repro.core.wire import WireError
-from repro.crypto.gcm import AESGCM
+from repro.crypto.gcm import AESGCM, SessionCipher
 from repro.errors import (
     AccessDenied,
     CryptoError,
@@ -147,10 +156,19 @@ class SchedulerConfig:
     paced_service_s: Optional[float] = None
     batch: Optional[BatchPolicy] = None
     paced_busy: bool = False
+    #: how many <uid, M_oid> key entries the enclave memoises for the
+    #: loaded model.  1 reproduces the paper's single-pair cache; the
+    #: default keeps one entry per hot user so alternating users stop
+    #: paying a KeyService round trip each.  Host *sizing* policy, like
+    #: queue_depth -- whether keys may be cached at all stays the
+    #: measured IsolationSettings.key_cache bit.
+    key_cache_entries: int = 32
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
             raise EnclaveError("the admission queue needs a depth of at least 1")
+        if self.key_cache_entries < 1:
+            raise EnclaveError("key_cache_entries needs room for at least 1 entry")
         if self.paced_service_s is not None and self.paced_service_s < 0:
             raise EnclaveError("paced_service_s cannot be negative")
         if self.batch is not None and not isinstance(self.batch, BatchPolicy):
@@ -195,6 +213,29 @@ def _semirt_settings(
     }
 
 
+class _KeyCacheEntry:
+    """One memoised ``<uid, M_oid>`` provisioning verdict (trusted heap).
+
+    Holding an entry *is* the cached "KeyService authorised this pair"
+    verdict: it carries the two keys plus the request cipher derived
+    once (AES key schedule + GHASH tables), so a hot request reuses the
+    whole sealed context instead of rebuilding it per ECALL.
+    """
+
+    __slots__ = ("uid", "model_id", "model_key", "request_key", "cipher")
+
+    def __init__(
+        self, uid: str, model_id: str, model_key: bytes, request_key: bytes
+    ) -> None:
+        self.uid = uid
+        self.model_id = model_id
+        self.model_key = model_key
+        self.request_key = request_key
+        # derived in-enclave, deliberately NOT through the process-wide
+        # AESGCM.derive cache: enclave key state never leaves the enclave
+        self.cipher = SessionCipher(AESGCM(request_key))
+
+
 class SemirtEnclaveCode(EnclaveCode):
     """The trusted half of SeMIRT."""
 
@@ -205,6 +246,7 @@ class SemirtEnclaveCode(EnclaveCode):
         keyservice_measurement: EnclaveMeasurement,
         isolation: Optional[IsolationSettings] = None,
         tracer=None,
+        key_cache_entries: int = 32,
     ) -> None:
         super().__init__()
         isolation = isolation if isolation is not None else IsolationSettings()
@@ -218,12 +260,17 @@ class SemirtEnclaveCode(EnclaveCode):
         self.tracer = tracer
         # global (heap) state shared by all TCS threads.  The model is
         # switched under _model_lock (first thread decrypts, later
-        # threads reuse); the single key-pair cache has its own lock;
-        # the KeyService channel is serialised by _ks_lock because the
+        # threads reuse); the key-pair memo has its own lock; the
+        # KeyService channel is serialised by _ks_lock because the
         # SecureChannel nonce counters are not thread-safe.
         self._model: Optional[Model] = None
         self._model_id: Optional[str] = None
-        self._kc: Optional[Tuple[str, str, bytes, bytes]] = None  # (M_oid, uid, K_M, K_R)
+        # the <uid, M_oid> key memo: every entry belongs to the loaded
+        # model and carries the keys plus the derived request cipher
+        # (the memoised validation verdict -- holding an entry IS the
+        # cached "KeyService said yes" for that pair)
+        self._kc: "OrderedDict[Tuple[str, str], _KeyCacheEntry]" = OrderedDict()
+        self._kc_capacity = max(1, int(key_cache_entries))
         self._ks_session: Optional[Tuple[int, SecureChannel]] = None
         self._model_lock = threading.Lock()
         self._kc_lock = threading.Lock()
@@ -276,18 +323,18 @@ class SemirtEnclaveCode(EnclaveCode):
                     "pending outputs before submitting more requests"
                 )
         self.last_plan = plan_invocation(
-            self._observable_state(),
+            self._observable_state(uid, model_id),
             model_id,
             uid,
             key_cache_enabled=isolation.key_cache,
             reuse_runtime=isolation.reuse_runtime,
         )
-        model_key, request_key = self._obtain_keys(uid, model_id)
-        model = self._switch_model(model_id, model_key)
-        runtime = self._thread_runtime(model, model_id)
-        request_cipher = AESGCM(request_key)
-        output = self._serve_payload(
-            runtime, model, request_cipher, enc_request, model_id
+        output, runtime = self._serve_guarded(
+            uid,
+            model_id,
+            lambda entry, runtime, model: self._serve_payload(
+                runtime, model, entry.cipher, enc_request, model_id
+            ),
         )
         with self._context_lock:
             ticket = next(self._tickets)
@@ -333,23 +380,23 @@ class SemirtEnclaveCode(EnclaveCode):
                     "clear pending outputs before submitting more requests"
                 )
         self.last_plan = plan_invocation(
-            self._observable_state(),
+            self._observable_state(uid, model_id),
             model_id,
             uid,
             key_cache_enabled=isolation.key_cache,
             reuse_runtime=isolation.reuse_runtime,
         )
-        model_key, request_key = self._obtain_keys(uid, model_id)
-        model = self._switch_model(model_id, model_key)
-        runtime = self._thread_runtime(model, model_id)
-        request_cipher = AESGCM(request_key)
         # all-or-nothing: a payload that fails authentication aborts the
         # whole batch before any context is committed, so the host's
         # fallback can re-dispatch the members individually
-        outputs = [
-            self._serve_payload(runtime, model, request_cipher, enc, model_id)
-            for enc in enc_requests
-        ]
+        outputs, runtime = self._serve_guarded(
+            uid,
+            model_id,
+            lambda entry, runtime, model: [
+                self._serve_payload(runtime, model, entry.cipher, enc, model_id)
+                for enc in enc_requests
+            ],
+        )
         tickets: List[int] = []
         with self._context_lock:
             if len(self._contexts) + size > capacity:
@@ -382,6 +429,32 @@ class SemirtEnclaveCode(EnclaveCode):
             self._tls.runtime = None
             self._tls.runtime_model = None
 
+    @ecall
+    def EC_INVALIDATE_KEYS(
+        self, uid: Optional[str] = None, model_id: Optional[str] = None
+    ) -> int:
+        """Drop memoised key entries (the revocation/re-grant push hook).
+
+        An extension beyond the Figure 5 surface, like
+        ``EC_MODEL_INF_BATCH``: the untrusted host relays an owner's
+        revocation or a user's re-grant so the enclave forgets the
+        matching cached provisioning verdicts immediately instead of
+        waiting for the stale entries to fail authentication.  ``None``
+        matches everything.  Returns how many entries were dropped.
+        Dropping is always safe -- the next request refetches and
+        KeyService re-evaluates the grant (Algorithm 1).
+        """
+        with self._kc_lock:
+            victims = [
+                pair
+                for pair in self._kc
+                if (uid is None or pair[0] == uid)
+                and (model_id is None or pair[1] == model_id)
+            ]
+            for pair in victims:
+                del self._kc[pair]
+        return len(victims)
+
     # -- internals (trusted) -------------------------------------------------------------
 
     def _check_pinned(self, model_id: str) -> None:
@@ -391,27 +464,61 @@ class SemirtEnclaveCode(EnclaveCode):
                 f"this enclave build is pinned to model {isolation.pinned_model!r}"
             )
 
-    def _obtain_keys(self, uid: str, model_id: str) -> Tuple[bytes, bytes]:
-        """Algorithm 2 lines 6-10: keys from the cache or from KeyService."""
+    def _obtain_keys(self, uid: str, model_id: str) -> Tuple["_KeyCacheEntry", bool]:
+        """Algorithm 2 lines 6-10: keys from the memo or from KeyService.
+
+        Returns ``(entry, from_cache)``.  A memo hit skips the whole
+        KeyService round trip *and* the request-cipher derivation; a
+        miss provisions, derives, and (when the build's key_cache bit
+        allows caching at all) memoises the entry, LRU-bounded by
+        ``key_cache_entries``.
+        """
         isolation = self._isolation
-        with self._kc_lock:
-            cached = self._kc
-        if (
-            isolation.key_cache
-            and cached is not None
-            and cached[0] == model_id
-            and cached[1] == uid
-        ):
-            return cached[2], cached[3]
+        pair = (uid, model_id)
+        if isolation.key_cache:
+            with self._kc_lock:
+                entry = self._kc.get(pair)
+                if entry is not None:
+                    self._kc.move_to_end(pair)
+                    return entry, True
         with self._stage_span(Stage.KEY_RETRIEVAL, model_id=model_id):
             model_key, request_key = self._fetch_keys(uid, model_id)
+        entry = _KeyCacheEntry(uid, model_id, model_key, request_key)
+        if isolation.key_cache:
+            with self._kc_lock:
+                self._kc[pair] = entry
+                self._kc.move_to_end(pair)
+                while len(self._kc) > self._kc_capacity:
+                    self._kc.popitem(last=False)
+        return entry, False
+
+    def _invalidate_pair(self, uid: str, model_id: str) -> None:
         with self._kc_lock:
-            self._kc = (
-                (model_id, uid, model_key, request_key)
-                if isolation.key_cache
-                else None
-            )
-        return model_key, request_key
+            self._kc.pop((uid, model_id), None)
+
+    def _serve_guarded(self, uid: str, model_id: str, fn):
+        """Obtain keys/model/runtime and run ``fn``, self-healing stale memos.
+
+        When a memoised entry's keys no longer authenticate -- the user
+        re-granted a fresh request key, or the owner rotated the model
+        key -- the first failure drops the entry and retries exactly
+        once with freshly provisioned keys; a failure on fresh keys (a
+        genuinely forged request) propagates.  Returns ``(fn result,
+        runtime)``.
+        """
+        entry, from_cache = self._obtain_keys(uid, model_id)
+        try:
+            model = self._switch_model(model_id, entry.model_key)
+            runtime = self._thread_runtime(model, model_id)
+            return fn(entry, runtime, model), runtime
+        except InvocationError:
+            if not from_cache:
+                raise
+            self._invalidate_pair(uid, model_id)
+            entry, _ = self._obtain_keys(uid, model_id)
+            model = self._switch_model(model_id, entry.model_key)
+            runtime = self._thread_runtime(model, model_id)
+            return fn(entry, runtime, model), runtime
 
     def _switch_model(self, model_id: str, model_key: bytes) -> Model:
         """Lines 11-13: switch the shared model if needed.  Double-checked
@@ -422,6 +529,15 @@ class SemirtEnclaveCode(EnclaveCode):
                 if self._model_id != model_id:
                     self._model = self._model_load(model_id, model_key)
                     self._model_id = model_id
+                    # the memo only ever holds pairs for the loaded
+                    # model: evicting on switch guarantees a reload can
+                    # never pair a stale key with a new artifact (the
+                    # key-rotation safety rule)
+                    with self._kc_lock:
+                        for pair in [
+                            p for p in self._kc if p[1] != model_id
+                        ]:
+                            del self._kc[pair]
         return self._model
 
     def _thread_runtime(self, model: Model, model_id: str):
@@ -446,15 +562,15 @@ class SemirtEnclaveCode(EnclaveCode):
         self,
         runtime,
         model: Model,
-        request_cipher: AESGCM,
+        request_cipher: SessionCipher,
         enc_request: bytes,
         model_id: str,
     ) -> bytes:
         """Lines 16-19: decrypt one input, execute, seal the output."""
         with self._stage_span(Stage.REQUEST_DECRYPT, model_id=model_id):
             try:
-                payload = wire.decode(
-                    request_cipher.open(
+                payload = wire.loads(
+                    request_cipher.unseal(
                         enc_request, aad=REQUEST_AAD + model_id.encode()
                     )
                 )
@@ -471,8 +587,11 @@ class SemirtEnclaveCode(EnclaveCode):
             runtime.execute(x)
             result = runtime.prepare_output()
         with self._stage_span(Stage.RESULT_ENCRYPT, model_id=model_id):
+            # the hot-path payload rides the binary framing: the result
+            # tensor travels as a raw segment, never hex-doubled
             return request_cipher.seal(
-                wire.encode({"output": result}), aad=RESPONSE_AAD + model_id.encode()
+                wire.dumps({"output": result}, codec=wire.BINARY),
+                aad=RESPONSE_AAD + model_id.encode(),
             )
 
     def _maybe_clear_runtime(self, runtime) -> None:
@@ -487,12 +606,25 @@ class SemirtEnclaveCode(EnclaveCode):
             self.tracer, f"stage:{stage.value}", stage=stage.value, **attributes
         )
 
-    def _observable_state(self) -> SemirtCacheState:
-        """Current cache state in the shared planning representation."""
+    def _observable_state(
+        self, uid: Optional[str] = None, model_id: Optional[str] = None
+    ) -> SemirtCacheState:
+        """Current cache state in the shared planning representation.
+
+        The planning representation models one visible ``<M_oid, uid>``
+        pair; with the multi-entry memo the visible pair is the
+        *queried* one whenever it is memoised (plans stay exact for
+        every hot user), falling back to the most recently used entry.
+        """
         runtime_for = getattr(self._tls, "runtime_model", None)
         with self._kc_lock:
-            kc = self._kc
-        key_cache = (kc[0], kc[1]) if kc else None
+            if uid is not None and (uid, model_id) in self._kc:
+                key_cache = (model_id, uid)
+            elif self._kc:
+                last_uid, last_model = next(reversed(self._kc))
+                key_cache = (last_model, last_uid)
+            else:
+                key_cache = None
         return SemirtCacheState(
             enclave_ready=True,  # code running => enclave exists
             loaded_model=self._model_id,
@@ -564,6 +696,12 @@ class SemirtEnclaveCode(EnclaveCode):
                 # restart, or a mangled message.  Re-attest and retry exactly
                 # once -- a second failure means KeyService is really gone.
                 self._ks_session = None
+                # the KeyService we re-attest may have restarted from
+                # sealed state (EC_SEAL_STATE/EC_RESTORE_STATE) or be a
+                # failed-over shard replica: every memoised verdict
+                # predates that world, so the memo is flushed wholesale
+                with self._kc_lock:
+                    self._kc.clear()
                 if self.tracer is not None:
                     span = self.tracer.current_span()
                     if span is not None:
@@ -578,10 +716,10 @@ class SemirtEnclaveCode(EnclaveCode):
     def _provision_over_session(self, uid: str, model_id: str) -> dict:
         channel_id, channel = self._ensure_keyservice_session()
         request = channel.send(
-            wire.encode({"op": "provision", "uid": uid, "model_id": model_id})
+            wire.dumps({"op": "provision", "uid": uid, "model_id": model_id})
         )
         reply_cipher = self.ocall("OC_KS_REQUEST", channel_id, request)
-        return wire.decode(channel.recv(reply_cipher))
+        return wire.loads(channel.recv(reply_cipher))
 
 
 class InferenceFuture:
@@ -646,20 +784,26 @@ class InferenceFuture:
             self._cancelled = True
             return True
 
-    def wait(self, timeout: Optional[float] = None) -> bool:
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
         """Block until the outcome is sealed; ``False`` on timeout.
 
         Unlike :meth:`result` this neither consumes nor re-raises --
         the service tier long-polls with it before deciding whether to
         deliver the output or replay a terminal error.
         """
-        return self._done.wait(timeout)
+        return self._done.wait(timeout_s)
 
-    def result(self, timeout: Optional[float] = None) -> bytes:
-        """Block for the sealed output; re-raises the worker's failure."""
-        if not self._done.wait(timeout):
+    def result(self, timeout_s: Optional[float] = None) -> bytes:
+        """Block for the sealed output; re-raises the worker's failure.
+
+        ``timeout_s`` follows the repo-wide rule (docs/service.md):
+        every user-facing wait takes ``timeout_s``, seconds, ``None``
+        meaning wait forever, :class:`~repro.errors.DeadlineExceeded`
+        on expiry.
+        """
+        if not self._done.wait(timeout_s):
             raise DeadlineExceeded(
-                f"request for model {self.model_id!r} not served within {timeout}s"
+                f"request for model {self.model_id!r} not served within {timeout_s}s"
             )
         if self._error is not None:
             raise self._error
@@ -756,6 +900,7 @@ class SemirtHost:
             keyservice_measurement=keyservice_host.measurement,
             isolation=isolation,
             tracer=tracer,
+            key_cache_entries=self.scheduler.key_cache_entries,
         )
         with maybe_span(
             tracer,
@@ -832,8 +977,8 @@ class SemirtHost:
         apply to real bytes; a corrupted offer fails to decode (or fails
         attestation), which the enclave's re-attestation path absorbs.
         """
-        raw = maybe_wire(self._injector, "semirt->keyservice", wire.encode(offer_wire))
-        return self._keyservice.handshake(wire.decode(raw))
+        raw = maybe_wire(self._injector, "semirt->keyservice", wire.dumps(offer_wire))
+        return self._keyservice.handshake(wire.loads(raw))
 
     def _oc_ks_request(self, channel_id: int, ciphertext: bytes) -> bytes:
         """Relay one encrypted KeyService operation across faulty links."""
@@ -1190,7 +1335,7 @@ class SemirtHost:
         """Admit one request to the TCS scheduler; returns immediately.
 
         Returns an :class:`InferenceFuture`; resolve it with
-        ``future.result(timeout=...)``, poll with ``future.done()``, or
+        ``future.result(timeout_s=...)``, poll with ``future.done()``, or
         drop it with ``future.cancel()``.  Raises
         :class:`~repro.errors.QueueFull` when the admission queue is at
         its configured depth (backpressure), and
@@ -1222,7 +1367,7 @@ class SemirtHost:
     def result(
         self,
         future: InferenceFuture,
-        timeout: Optional[float] = None,
+        timeout_s: Optional[float] = None,
     ) -> bytes:
         """Block for a submitted request's sealed output.
 
@@ -1235,11 +1380,21 @@ class SemirtHost:
                 "SemirtHost.result takes the InferenceFuture returned by "
                 "submit(); the raw int-ticket surface was removed"
             )
-        return future.result(timeout)
+        return future.result(timeout_s)
 
     def infer(self, enc_request: bytes, uid: str, model_id: str) -> bytes:
         """Serve one request synchronously: submit + result."""
         return self.submit(enc_request, uid, model_id).result()
+
+    def invalidate_keys(
+        self, uid: Optional[str] = None, model_id: Optional[str] = None
+    ) -> int:
+        """Relay a revocation/re-grant to the enclave's key memo.
+
+        Drives ``EC_INVALIDATE_KEYS``; ``None`` matches everything.
+        Returns how many memoised entries the enclave dropped.
+        """
+        return self.enclave.ecall("EC_INVALIDATE_KEYS", uid, model_id)
 
     def destroy(self) -> None:
         """Tear down the enclave and the scheduler (sandbox reclaim).

@@ -9,6 +9,8 @@ NIST GCM test vectors in the test suite.
 from __future__ import annotations
 
 import struct
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -94,6 +96,14 @@ class AESGCM:
     key:
         16, 24, or 32 bytes of AES key material (or a
         :class:`~repro.crypto.keys.SymmetricKey`).
+
+    Constructing an ``AESGCM`` is the expensive step: it runs the AES
+    key-schedule expansion and builds Shoup's 8-bit GHASH tables (16
+    tables x 256 entries).  On the hot path, prefer
+    :meth:`AESGCM.derive`, which returns a cached
+    :class:`SessionCipher` wrapping that state so repeat requests under
+    the same key skip the rebuild; per-call construction is deprecated
+    there (cold-path and one-shot uses are fine).
     """
 
     def __init__(self, key) -> None:
@@ -172,6 +182,108 @@ class AESGCM:
         if len(blob) < NONCE_SIZE + TAG_SIZE:
             raise InvalidTag("sealed blob too short")
         return self.decrypt(blob[:NONCE_SIZE], blob[NONCE_SIZE:], aad)
+
+    # -- session contexts ------------------------------------------------------
+
+    @classmethod
+    def derive(cls, key) -> "SessionCipher":
+        """A cached :class:`SessionCipher` for ``key``.
+
+        The first derivation per key pays the key-schedule + GHASH
+        table build; later calls return the same immutable context from
+        a bounded process-wide LRU.  Sharing is sound because
+        :class:`AESGCM` is stateless after construction (every
+        ``seal``/``open`` draws a fresh nonce), so one context can
+        serve any number of threads and sessions.
+
+        Invalidation: the cache is keyed on the key *material*, so a
+        rotated or re-granted key derives a new context automatically;
+        callers that must drop a retired key's state promptly (re-grant,
+        rotation, key-shard failover) call :func:`evict_session` /
+        :func:`clear_session_cache`.
+        """
+        material = bytes(key)
+        with _SESSION_LOCK:
+            cached = _SESSION_CACHE.get(material)
+            if cached is not None:
+                _SESSION_CACHE.move_to_end(material)
+                return cached
+        # build outside the lock: table construction is the slow part
+        cipher = SessionCipher(cls(material))
+        with _SESSION_LOCK:
+            existing = _SESSION_CACHE.get(material)
+            if existing is not None:
+                return existing
+            _SESSION_CACHE[material] = cipher
+            while len(_SESSION_CACHE) > SESSION_CACHE_CAPACITY:
+                _SESSION_CACHE.popitem(last=False)
+        return cipher
+
+
+class SessionCipher:
+    """A reusable sealed-context handle over one derived :class:`AESGCM`.
+
+    Obtained from :meth:`AESGCM.derive`; carries the expanded key
+    schedule and GHASH tables across a hot session so only the first
+    request under a key pays their construction.  Immutable and
+    thread-safe.  ``seal``/``unseal`` are the random-nonce blob API the
+    hot path uses; ``encrypt``/``decrypt`` expose the explicit-nonce
+    primitives for callers that manage nonces themselves.
+    """
+
+    __slots__ = ("_gcm",)
+
+    def __init__(self, gcm: AESGCM) -> None:
+        self._gcm = gcm
+
+    def seal(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt with a fresh random nonce; returns ``nonce || ct || tag``."""
+        return self._gcm.seal(plaintext, aad)
+
+    def unseal(self, blob: bytes, aad: bytes = b"") -> bytes:
+        """Inverse of :meth:`seal`; raises :class:`InvalidTag`."""
+        return self._gcm.open(blob, aad)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Explicit-nonce :meth:`AESGCM.encrypt` on the derived state."""
+        return self._gcm.encrypt(nonce, plaintext, aad)
+
+    def decrypt(self, nonce: bytes, ciphertext: bytes, aad: bytes = b"") -> bytes:
+        """Explicit-nonce :meth:`AESGCM.decrypt` on the derived state."""
+        return self._gcm.decrypt(nonce, ciphertext, aad)
+
+
+#: process-wide derived-context LRU; key material -> SessionCipher
+SESSION_CACHE_CAPACITY = 128
+_SESSION_CACHE: "OrderedDict[bytes, SessionCipher]" = OrderedDict()
+_SESSION_LOCK = threading.Lock()
+
+
+def evict_session(key) -> bool:
+    """Drop the cached session context for ``key`` (if any).
+
+    The explicit-invalidation hook for re-grant, key rotation, and
+    key-shard failover: the retired key's expanded state is released
+    immediately instead of aging out of the LRU.  Returns whether an
+    entry was present.
+    """
+    material = bytes(key)
+    with _SESSION_LOCK:
+        return _SESSION_CACHE.pop(material, None) is not None
+
+
+def clear_session_cache() -> int:
+    """Drop every cached session context; returns how many were held."""
+    with _SESSION_LOCK:
+        count = len(_SESSION_CACHE)
+        _SESSION_CACHE.clear()
+    return count
+
+
+def session_cache_size() -> int:
+    """How many derived contexts the process-wide cache currently holds."""
+    with _SESSION_LOCK:
+        return len(_SESSION_CACHE)
 
 
 def _constant_time_eq(a: bytes, b: bytes) -> bool:

@@ -27,6 +27,7 @@ import http.client
 import socket
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Union
 from urllib.parse import urlencode, urlsplit
@@ -47,11 +48,20 @@ from repro.sgx.attestation import AttestationService
 from repro.sgx.measurement import EnclaveMeasurement
 
 
+#: media type of the binary wire framing (must match the server)
+BINARY_CONTENT_TYPE = "application/x-sesemi-wire"
+
+
 class ServiceClient:
     """A blocking HTTP/1.1 client for the service wire protocol.
 
     Stdlib :mod:`http.client` with one keep-alive connection per
-    thread; bodies are :mod:`repro.core.wire` dicts.  Network-level
+    thread; bodies are :mod:`repro.core.wire` frames.  ``codec``
+    selects the request framing per call: the inference hot path sends
+    binary frames (and asks for binary replies via ``Accept``), while
+    control-plane routes stay on JSON for debuggability.  Replies
+    decode through the versioned :func:`~repro.core.wire.loads`
+    dispatcher either way.  Network-level
     failures raise :class:`~repro.errors.TransportError`; HTTP error
     statuses re-raise the server's exception via
     :func:`~repro.errors.from_wire`.
@@ -88,11 +98,18 @@ class ServiceClient:
         payload: Optional[dict] = None,
         query: Optional[Dict[str, str]] = None,
         headers: Optional[Dict[str, str]] = None,
+        codec: wire.WireCodec = wire.JSON,
     ):
         """One round trip: ``(status, payload_dict, response_headers)``."""
-        body = wire.encode(payload) if payload is not None else b""
+        body = wire.dumps(payload, codec=codec) if payload is not None else b""
         target = path + ("?" + urlencode(query) if query else "")
-        send_headers = {"Content-Type": "application/json"}
+        if codec is wire.BINARY:
+            send_headers = {
+                "Content-Type": BINARY_CONTENT_TYPE,
+                "Accept": BINARY_CONTENT_TYPE,
+            }
+        else:
+            send_headers = {"Content-Type": "application/json"}
         if headers:
             send_headers.update(headers)
         for attempt in (0, 1):  # retry once over a stale keep-alive conn
@@ -110,7 +127,7 @@ class ServiceClient:
                         f"{method} {path} failed: {exc}"
                     ) from exc
         try:
-            reply = wire.decode(raw) if raw else {}
+            reply = wire.loads(raw) if raw else {}
         except wire.WireError:
             reply = {"error": "", "message": raw.decode("latin-1", "replace")}
         return response.status, reply, dict(response.getheaders())
@@ -122,10 +139,11 @@ class ServiceClient:
         payload: Optional[dict] = None,
         query: Optional[Dict[str, str]] = None,
         headers: Optional[Dict[str, str]] = None,
+        codec: wire.WireCodec = wire.JSON,
     ) -> dict:
         """Like :meth:`request` but raises the server's error on >= 400."""
         status, reply, _ = self.request(
-            method, path, payload, query, headers
+            method, path, payload, query, headers, codec=codec
         )
         if status >= 400:
             raise from_wire(reply, status)
@@ -303,9 +321,27 @@ class RemoteSession:
         return self._env.client
 
     def infer(
-        self, x: np.ndarray, deadline_s: Optional[float] = None
+        self,
+        x: np.ndarray,
+        timeout_s: Optional[float] = None,
+        *,
+        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
-        """Encrypt ``x``, POST it, decrypt the reply (one client span)."""
+        """Encrypt ``x``, POST it, decrypt the reply (one client span).
+
+        ``timeout_s`` is the repo-wide wait keyword (seconds; the
+        server clamps it to its configured maximum -- docs/service.md);
+        ``deadline_s`` is the deprecated spelling.
+        """
+        if deadline_s is not None:
+            warnings.warn(
+                "RemoteSession.infer(deadline_s=...) is deprecated; "
+                "use timeout_s=",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if timeout_s is None:
+                timeout_s = deadline_s
         tracer = self._env.tracer
         with maybe_span(
             tracer,
@@ -322,11 +358,12 @@ class RemoteSession:
                 "uid": self.user.principal_id,
                 "enc_request": enc_request,
             }
-            if deadline_s is not None:
-                payload["deadline_s"] = float(deadline_s)
+            if timeout_s is not None:
+                payload["timeout_s"] = float(timeout_s)
             status, reply, headers = self._client.request(
                 "POST", "/v1/infer", payload,
                 headers=self._span_headers(root),
+                codec=wire.BINARY,
             )
             self._join_trace(root, headers)
             if status >= 400:
@@ -356,6 +393,7 @@ class RemoteSession:
                     "enc_request": enc_request,
                 },
                 headers=self._span_headers(root),
+                codec=wire.BINARY,
             )
             self._join_trace(root, headers)
             if status >= 400:
@@ -464,9 +502,15 @@ class RemoteFuture:
         )
         return status == 409
 
-    def result(self, timeout: Optional[float] = None) -> np.ndarray:
-        """Long-poll for the output, decrypt, return the plaintext array."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+    def result(self, timeout_s: Optional[float] = None) -> np.ndarray:
+        """Long-poll for the output, decrypt, return the plaintext array.
+
+        ``timeout_s`` follows the repo-wide wait rule (seconds,
+        ``None`` = wait forever, DeadlineExceeded on expiry).
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
         session = self._session
         while True:
             chunk = self._POLL_CHUNK_S
@@ -474,11 +518,12 @@ class RemoteFuture:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise DeadlineExceeded(
-                        f"request {self.req_id} not served within {timeout}s"
+                        f"request {self.req_id} not served within {timeout_s}s"
                     )
                 chunk = min(chunk, remaining)
             status, reply, _ = session._client.request(
-                "GET", self._path, query={"timeout_s": f"{chunk:.3f}"}
+                "GET", self._path, query={"timeout_s": f"{chunk:.3f}"},
+                codec=wire.BINARY,
             )
             if status == 202:
                 continue  # still in flight; poll again

@@ -18,8 +18,13 @@ gateway fleet:
 ``GET  /v1/stats``         admission/shed counters, gateway state
 ========================== ==============================================
 
-Bodies are :mod:`repro.core.wire` JSON (bytes hex-tagged) -- the same
-codec every protocol layer uses.  Exceptions map to the canonical
+Bodies are :mod:`repro.core.wire` frames, decoded through the
+versioned :func:`~repro.core.wire.loads` dispatcher: clients may POST
+canonical JSON or the binary framing, and the response codec is
+negotiated per request -- binary when the request body was binary or
+the ``Accept`` header names ``application/x-sesemi-wire``, JSON
+otherwise (so curl and old SDKs keep JSON).  KeyService proxy routes
+are normally JSON end to end.  Exceptions map to the canonical
 taxonomy in :mod:`repro.errors` (``to_wire``/``from_wire``), so a
 :class:`~repro.errors.QueueFull` shed here and one raised by a
 saturated enclave queue look identical to the client.
@@ -37,6 +42,7 @@ span to it (``docs/service.md``).
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import itertools
 import threading
 import time
@@ -60,6 +66,17 @@ from repro.service.config import ServiceConfig
 from repro.service.httpd import AsyncHttpServer, HttpRequest, HttpResponse
 
 _RESULTS_PREFIX = "/v1/results/"
+
+#: media type of the binary wire framing (version byte 0x01)
+BINARY_CONTENT_TYPE = "application/x-sesemi-wire"
+
+#: per-request response codec, set by content negotiation in ``_handle``:
+#: binary when the client POSTed a binary frame or sent an ``Accept``
+#: naming the binary media type, canonical JSON otherwise -- so JSON
+#: clients (curl, old SDKs) keep JSON replies on every route.
+_RESPONSE_CODEC: "contextvars.ContextVar[wire.WireCodec]" = (
+    contextvars.ContextVar("sesemi_response_codec", default=wire.JSON)
+)
 
 
 @dataclass
@@ -187,6 +204,7 @@ class InferenceService:
     # -- routing ------------------------------------------------------------------
 
     async def _handle(self, request: HttpRequest) -> HttpResponse:
+        _RESPONSE_CODEC.set(self._negotiate_codec(request))
         method, path = request.method, request.path
         if path == "/v1/healthz" and method == "GET":
             return self._healthz()
@@ -214,6 +232,14 @@ class InferenceService:
             StorageError(f"no route {method} {path}")
         )
         return self._json(status, payload)
+
+    def _negotiate_codec(self, request: HttpRequest) -> wire.WireCodec:
+        """Pick the response codec for one request (see module notes)."""
+        if BINARY_CONTENT_TYPE in request.headers.get("accept", ""):
+            return wire.BINARY
+        if request.body[:1] == bytes([wire.BINARY.version]):
+            return wire.BINARY
+        return wire.JSON
 
     def _map_error(self, exc: BaseException) -> HttpResponse:
         """Last-resort mapper the HTTP layer calls for unhandled errors."""
@@ -327,8 +353,11 @@ class InferenceService:
         msg = self._decode(request, "model_id", "uid", "enc_request")
         model_id, uid = msg["model_id"], msg["uid"]
         self._handle_for(model_id)
+        # ``timeout_s`` is the wire field (docs/service.md); the legacy
+        # ``deadline_s`` spelling is honoured for one release
+        wait = msg.get("timeout_s", msg.get("deadline_s"))
         deadline = min(
-            float(msg.get("deadline_s") or self.config.default_deadline_s),
+            float(wait or self.config.default_deadline_s),
             self.config.default_deadline_s,
         )
         # admission is synchronous and O(1): a shed never leaves the loop
@@ -440,7 +469,7 @@ class InferenceService:
             if replayed is not None:
                 return replayed
             try:
-                output = entry.submission.result(timeout=5.0)
+                output = entry.submission.result(timeout_s=5.0)
             except RequestCancelled as exc:
                 entry.state = "cancelled"
                 entry.release()
@@ -539,7 +568,7 @@ class InferenceService:
 
     def _decode(self, request: HttpRequest, *required: str) -> dict:
         try:
-            msg = wire.decode(request.body)
+            msg = wire.loads(request.body)
         except wire.WireError as exc:
             raise InvocationError(f"malformed body: {exc}") from exc
         for key in required:
@@ -569,7 +598,16 @@ class InferenceService:
         return self._json(status, payload, span=span)
 
     def _json(self, status: int, payload: dict, span=None) -> HttpResponse:
-        response = HttpResponse(status=status, body=wire.encode(payload))
+        codec = _RESPONSE_CODEC.get()
+        response = HttpResponse(
+            status=status,
+            body=wire.dumps(payload, codec=codec),
+            content_type=(
+                BINARY_CONTENT_TYPE
+                if codec is wire.BINARY
+                else "application/json"
+            ),
+        )
         if span is not None:
             # lets the client join its span to the server-side trace
             response.headers["x-trace-id"] = span.trace_id

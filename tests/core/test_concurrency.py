@@ -300,7 +300,7 @@ def test_submit_backpressure_raises_queue_full(tiny_model):
         host.submit(enc, user.principal_id, "bp-model")
     release.set()
     for ticket in (first, second):
-        assert isinstance(host.result(ticket, timeout=30), bytes)
+        assert isinstance(host.result(ticket, timeout_s=30), bytes)
     host.destroy()
 
 
@@ -336,11 +336,11 @@ def test_crash_mid_batch_fails_only_in_flight(tiny_model):
     release.set()
     # the queued-but-unserved ticket dies with the enclave...
     with pytest.raises(EnclaveError, match="destroyed"):
-        queued.result(timeout=30)
+        queued.result(timeout_s=30)
     # ...the in-flight ones surface their own failure
     for ticket in in_flight:
         with pytest.raises((TransportError, EnclaveError)):
-            ticket.result(timeout=30)
+            ticket.result(timeout_s=30)
     with pytest.raises(EnclaveError, match="destroyed"):
         host.submit(enc, user.principal_id, "crash-model")
     # a session attached to the dead host relaunches its own, cold

@@ -27,7 +27,7 @@ class _FakeTicket:
     def __init__(self, outcome):
         self._outcome = outcome
 
-    def result(self, timeout=None):
+    def result(self, timeout_s=None):
         if isinstance(self._outcome, Exception):
             raise self._outcome
         return self._outcome

@@ -1,0 +1,240 @@
+"""Hot-path key caches: session ciphers, the SeMIRT key memo, invalidation.
+
+Three layers of cached key state ride the hot path (docs/performance.md):
+
+- the process-wide ``AESGCM.derive`` session-cipher LRU (client side),
+- the per-``UserClient`` request-cipher map,
+- the in-enclave per-``(uid, model)`` key memo in SeMIRT.
+
+These tests pin the *invalidation* contracts: re-grant, key rotation,
+``EC_INVALIDATE_KEYS`` push, and KeyService restart / shard-failover
+recovery must each drop exactly the stale state -- and a request under
+fresh keys must always succeed afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.deployment import SeSeMIEnvironment
+from repro.core.keyfleet import KeyServiceFleet
+from repro.core.semirt import SchedulerConfig
+from repro.core.stages import Stage
+from repro.crypto.gcm import (
+    AESGCM,
+    SessionCipher,
+    clear_session_cache,
+    evict_session,
+    session_cache_size,
+)
+from repro.crypto.keys import SymmetricKey
+from repro.errors import InvocationError, ReproError
+from repro.sgx.attestation import AttestationService
+
+
+def make_input(model, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(model.input_spec.shape).astype(np.float32)
+
+
+def infer_on(user, host, model_id, x):
+    enc = user.encrypt_request(model_id, host.measurement, x)
+    return user.decrypt_response(
+        model_id, host.measurement, host.infer(enc, user.principal_id, model_id)
+    )
+
+
+# -- session-cipher cache (crypto layer) --------------------------------------
+
+
+def test_derive_returns_cached_context():
+    key = SymmetricKey.generate()
+    first = AESGCM.derive(key)
+    assert isinstance(first, SessionCipher)
+    assert AESGCM.derive(key) is first
+    assert AESGCM.derive(bytes(key)) is first  # keyed on material
+
+
+def test_derived_cipher_interoperates_with_fresh_aesgcm():
+    key = SymmetricKey.generate()
+    cipher = AESGCM.derive(key)
+    blob = cipher.seal(b"payload", aad=b"ctx")
+    assert AESGCM(bytes(key)).open(blob, aad=b"ctx") == b"payload"
+    assert cipher.unseal(AESGCM(bytes(key)).seal(b"x", aad=b"a"), aad=b"a") == b"x"
+
+
+def test_evict_session_drops_exactly_one_key():
+    clear_session_cache()
+    keys = [SymmetricKey.generate() for _ in range(3)]
+    ciphers = [AESGCM.derive(k) for k in keys]
+    assert session_cache_size() == 3
+    assert evict_session(keys[1])
+    assert not evict_session(keys[1])  # already gone
+    assert session_cache_size() == 2
+    # the evicted key derives a NEW context; the others kept theirs
+    assert AESGCM.derive(keys[1]) is not ciphers[1]
+    assert AESGCM.derive(keys[0]) is ciphers[0]
+    assert AESGCM.derive(keys[2]) is ciphers[2]
+
+
+def test_clear_session_cache_reports_count():
+    clear_session_cache()
+    for _ in range(4):
+        AESGCM.derive(SymmetricKey.generate())
+    assert clear_session_cache() == 4
+    assert session_cache_size() == 0
+
+
+# -- client request-cipher cache + re-grant -----------------------------------
+
+
+@pytest.fixture()
+def world(tiny_model):
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user = env.connect_user()
+    semirt = env.launch_semirt("tvm")
+    env.deploy(tiny_model, "kc-model", owner=owner).grant(user)
+    return env, owner, user, semirt
+
+
+def test_client_reuses_one_request_cipher(world, tiny_model):
+    _, _, user, semirt = world
+    x = make_input(tiny_model)
+    user.encrypt_request("kc-model", semirt.measurement, x)
+    cipher = user._request_cipher("kc-model", semirt.measurement)
+    user.encrypt_request("kc-model", semirt.measurement, x)
+    assert user._request_cipher("kc-model", semirt.measurement) is cipher
+
+
+def test_regrant_self_heals_the_enclave_memo(world, tiny_model):
+    """A re-granted (fresh) request key invalidates client state at once
+    and the enclave's memoised entry on first contact."""
+    env, _, user, semirt = world
+    x = make_input(tiny_model)
+    before = infer_on(user, semirt, "kc-model", x)
+    old_key = user.request_key("kc-model", semirt.measurement)
+
+    # Re-grant: forget the old key, release a fresh one to KeyService.
+    user.reset_request_key("kc-model", semirt.measurement)
+    user.add_request_key("kc-model", semirt.measurement)
+    new_key = user.request_key("kc-model", semirt.measurement)
+    assert bytes(new_key) != bytes(old_key)
+
+    # The enclave memo still holds the OLD key; the request under the
+    # new key fails once in-enclave, drops the entry, refetches, serves.
+    after = infer_on(user, semirt, "kc-model", x)
+    assert np.allclose(before, after, atol=1e-5)
+
+    # Self-healing is not a bypass: a forged request (random key never
+    # released to KeyService) still fails after the refetch.
+    forged = AESGCM(bytes(SymmetricKey.generate())).seal(
+        b"junk", aad=b"sesemi-requestkc-model"
+    )
+    with pytest.raises((InvocationError, ReproError)):
+        semirt.infer(forged, user.principal_id, "kc-model")
+
+
+# -- the in-enclave key memo --------------------------------------------------
+
+
+def test_memo_keeps_multiple_users_hot(world, tiny_model):
+    """With the multi-entry memo, alternating users stay on the hot path."""
+    env, owner, user_a, semirt = world
+    user_b = env.connect_user("second-user")
+    env.deploy(tiny_model, "kc-model", owner=owner).grant(user_b)
+    x = make_input(tiny_model)
+    for u in (user_a, user_b, user_a, user_b):
+        infer_on(u, semirt, "kc-model", x)
+    # warm-up done; now both alternating users skip KEY_RETRIEVAL
+    for u in (user_a, user_b, user_a):
+        infer_on(u, semirt, "kc-model", x)
+        assert not semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+
+
+def test_capacity_one_restores_single_pair_semantics(tiny_model):
+    """key_cache_entries=1 is the paper's single-pair cache: every user
+    switch evicts and pays the KeyService round trip again."""
+    env = SeSeMIEnvironment()
+    owner = env.connect_owner()
+    user_a = env.connect_user("a")
+    user_b = env.connect_user("b")
+    semirt = env.launch_semirt(
+        "tvm", scheduler=SchedulerConfig(key_cache_entries=1)
+    )
+    handle = env.deploy(tiny_model, "m1", owner=owner)
+    handle.grant(user_a).grant(user_b)
+    x = make_input(tiny_model)
+    infer_on(user_a, semirt, "m1", x)
+    infer_on(user_b, semirt, "m1", x)  # evicts a's entry
+    infer_on(user_a, semirt, "m1", x)
+    assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+
+
+def test_ec_invalidate_keys_is_scoped(world, tiny_model):
+    env, owner, user, semirt = world
+    user_b = env.connect_user("scoped-user")
+    env.deploy(tiny_model, "kc-model", owner=owner).grant(user_b)
+    x = make_input(tiny_model)
+    infer_on(user, semirt, "kc-model", x)
+    infer_on(user_b, semirt, "kc-model", x)
+
+    # drop only user_b's entry
+    assert semirt.invalidate_keys(uid=user_b.principal_id) == 1
+    infer_on(user, semirt, "kc-model", x)
+    assert not semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+    infer_on(user_b, semirt, "kc-model", x)
+    assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+
+    # no-filter drop clears the rest
+    assert semirt.invalidate_keys() >= 1
+    infer_on(user, semirt, "kc-model", x)
+    assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+
+
+def test_gateway_invalidate_broadcasts_to_live_hosts(world, tiny_model):
+    env, _, user, _ = world
+    with env.session(user, "kc-model", node_id="bcast-node") as session:
+        session.infer(make_input(tiny_model))
+        dropped = session.gateway.invalidate_keys(uid=user.principal_id)
+        assert dropped == 1
+
+
+def test_keyservice_restart_flushes_the_whole_memo(tiny_model):
+    """Shard-failover recovery: the first key fetch after a KeyService
+    restart re-attests and flushes every memoised verdict (they predate
+    the restarted world)."""
+    attestation = AttestationService()
+    fleet = KeyServiceFleet(1, attestation)
+    env = SeSeMIEnvironment(
+        keyservice=fleet.shards[0], attestation=attestation
+    )
+    owner = env.connect_owner()
+    user_a = env.connect_user("fa")
+    user_b = env.connect_user("fb")
+    semirt = env.launch_semirt("tvm")
+    handle = env.deploy(tiny_model, "fm", owner=owner)
+    handle.grant(user_a).grant(user_b)
+    x = make_input(tiny_model)
+
+    infer_on(user_a, semirt, "fm", x)
+    infer_on(user_a, semirt, "fm", x)
+    assert not semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+
+    # crash-stop + sealed-state restart (the failover/restore path)
+    fleet.kill_shard(0)
+    fleet.restart_shard(0)
+
+    # user_b's first fetch hits the dead channel, re-attests, and
+    # flushes the memo wholesale...
+    infer_on(user_b, semirt, "fm", x)
+    assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+    # ...so user_a's memoised verdict is gone too: one refetch, then hot.
+    infer_on(user_a, semirt, "fm", x)
+    assert semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+    infer_on(user_a, semirt, "fm", x)
+    assert not semirt.code.last_plan.needs(Stage.KEY_RETRIEVAL)
+
+
+def test_key_cache_entries_validation():
+    with pytest.raises(ReproError):
+        SchedulerConfig(key_cache_entries=0)

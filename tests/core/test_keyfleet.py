@@ -53,7 +53,7 @@ def test_shards_isolate_principals(fleet):
     from repro.core import wire
 
     blob = AESGCM(bytes(owner.identity_key)).seal(
-        wire.encode({"model_id": "m", "model_key": b"k" * 16}),
+        wire.dumps({"model_id": "m", "model_key": b"k" * 16}),
         aad=b"add_model_key",
     )
     reply = stranger.connection.call(

@@ -78,7 +78,7 @@ def test_add_model_key_requires_authenticated_blob(ks):
     )["id"]
     # Blob sealed under a DIFFERENT key: the owner did not authorise this.
     forged = AESGCM(bytes(SymmetricKey.generate())).seal(
-        wire.encode({"model_id": "m", "model_key": b"k" * 16}),
+        wire.dumps({"model_id": "m", "model_key": b"k" * 16}),
         aad=b"add_model_key",
     )
     reply = connection.call({"op": "add_model_key", "oid": oid, "blob": forged})
@@ -95,7 +95,7 @@ def test_op_payload_cannot_be_replayed_as_other_op(ks):
         {"op": "register", "identity_key": bytes(key)}
     )["id"]
     blob = AESGCM(bytes(key)).seal(
-        wire.encode({"model_id": "m", "enclave_id": "e" * 64, "uid": oid}),
+        wire.dumps({"model_id": "m", "enclave_id": "e" * 64, "uid": oid}),
         aad=b"add_req_key",
     )
     reply = connection.call({"op": "grant_access", "oid": oid, "blob": blob})

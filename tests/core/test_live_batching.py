@@ -97,7 +97,7 @@ def test_mixed_pairs_never_share_a_batch_ecall(tiny_model, tiny_input):
             )
         )
     for name, future in futures:
-        plain = _decrypt(env, host, name, future.result(timeout=30))
+        plain = _decrypt(env, host, name, future.result(timeout_s=30))
         assert np.allclose(plain, expected, atol=1e-5), name
 
     assert host.code.batch_log, "the hot burst never produced a batch ECALL"
@@ -182,7 +182,7 @@ def test_leader_crash_mid_batch_leaves_no_follower_hung(tiny_model, tiny_input):
     # resolve promptly -- a hang here is the bug this test exists for
     for future in futures:
         with pytest.raises((FaultInjected, EnclaveError)):
-            future.result(timeout=30)
+            future.result(timeout_s=30)
     assert all(future.done() for future in futures)
     assert not host.enclave.alive
     assert any(
@@ -206,7 +206,7 @@ def test_batch_of_one_takes_the_single_request_path(tiny_model, tiny_input):
 
     env.tracer.clear()
     future = host.submit(_encrypt(env, host, "user", tiny_input), uid, MODEL_ID)
-    plain = _decrypt(env, host, "user", future.result(timeout=30))
+    plain = _decrypt(env, host, "user", future.result(timeout_s=30))
 
     names = [span.name for span in env.tracer.finished_spans()]
     assert "ecall:EC_MODEL_INF" in names
@@ -229,7 +229,7 @@ def test_cancel_clears_the_execution_context(tiny_model, tiny_input):
     time.sleep(0.15)  # inside the paced serve: the context exists now
     assert future.cancel() is True
     with pytest.raises(RequestCancelled):
-        future.result(timeout=30)
+        future.result(timeout_s=30)
     assert future.done()
     assert future.cancelled()
     assert future.cancel() is False  # the outcome is sealed
@@ -250,9 +250,9 @@ def test_cancel_before_the_worker_never_touches_the_enclave(
     victim = host.submit(_encrypt(env, host, "user", tiny_input), uid, MODEL_ID)
     assert victim.cancel() is True
     with pytest.raises(RequestCancelled):
-        victim.result(timeout=30)
+        victim.result(timeout_s=30)
     for blocker in blockers:
-        blocker.result(timeout=30)
+        blocker.result(timeout_s=30)
     assert host.code.pending_outputs == 0
     host.destroy()
 
@@ -265,8 +265,8 @@ def test_int_ticket_surface_is_gone(tiny_model, tiny_input):
     future = host.submit(_encrypt(env, host, "user", tiny_input), uid, MODEL_ID)
     assert isinstance(future.ticket, int)  # observability id only
     with pytest.raises(InvocationError, match="int-ticket surface was removed"):
-        host.result(future.ticket, timeout=1)
+        host.result(future.ticket, timeout_s=1)
     # the future itself (directly or via the host composition) resolves
-    plain = _decrypt(env, host, "user", host.result(future, timeout=30))
+    plain = _decrypt(env, host, "user", host.result(future, timeout_s=30))
     assert np.allclose(plain, expected, atol=1e-5)
     host.destroy()

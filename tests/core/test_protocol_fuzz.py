@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.deployment import SeSeMIEnvironment
-from repro.core.wire import WireError, decode, encode
+from repro.core.wire import WireError, dumps, loads
 from repro.errors import ReproError
 from repro.mlrt.zoo import build_mobilenet
 
@@ -117,13 +117,13 @@ def test_wire_rejects_reserved_bytes_tag_key(payload, hex_value):
     hostile = dict(payload)
     hostile["__bytes_hex__"] = hex_value
     with pytest.raises(WireError):
-        encode({"field": hostile})
+        dumps({"field": hostile})
     if payload:  # tag mixed with other keys never decodes either
-        forged = encode({"field": dict(payload)}).replace(
+        forged = dumps({"field": dict(payload)}).replace(
             b"{", b'{"__bytes_hex__": "00", ', 1
         )
         with pytest.raises(WireError):
-            decode(forged)
+            loads(forged)
 
 
 @settings(max_examples=25, deadline=None)
@@ -137,9 +137,9 @@ def test_wire_rejects_non_finite_floats(value, depth):
     for _ in range(depth):
         payload = [payload]
     with pytest.raises(WireError):
-        encode({"field": payload})
+        dumps({"field": payload})
     assert math.isfinite(3.25)  # finite floats still pass
-    assert decode(encode({"field": 3.25})) == {"field": 3.25}
+    assert loads(dumps({"field": 3.25})) == {"field": 3.25}
 
 
 def test_system_still_healthy_after_fuzzing(world):

@@ -86,7 +86,7 @@ def test_forged_grant_rejected(world):
         {"op": "register", "identity_key": bytes(attacker_key)}
     )["id"]
     forged_blob = AESGCM(bytes(attacker_key)).seal(
-        wire.encode(
+        wire.dumps(
             {
                 "model_id": "ehr-model",
                 "enclave_id": semirt.measurement.value,

@@ -71,12 +71,16 @@ def test_model_switch_takes_warm_path(setup):
 
 
 def test_ecall_surface_is_figure5(setup):
+    # The Figure 5 surface plus the two extensions: EC_MODEL_INF_BATCH
+    # (micro-batching) and EC_INVALIDATE_KEYS (revocation/re-grant push
+    # for the key memo).  Anything else appearing here is a surface leak.
     _, _, _, semirt = setup
     assert semirt.enclave.exported_ecalls == {
         "EC_MODEL_INF",
         "EC_MODEL_INF_BATCH",
         "EC_GET_OUTPUT",
         "EC_CLEAR_EXEC_CTX",
+        "EC_INVALIDATE_KEYS",
     }
 
 

@@ -47,9 +47,9 @@ def test_cancel_a_queued_request_before_it_reaches_the_enclave(paced_world):
     victim = world.session.submit(world.x)  # both TCS busy: queued
     assert victim.cancel() is True
     with pytest.raises(RequestCancelled):
-        victim.result(timeout=30)
+        victim.result(timeout_s=30)
     for blocker in blockers:
-        blocker.result(timeout=30)
+        blocker.result(timeout_s=30)
     assert_context_released(world)
 
 
@@ -59,7 +59,7 @@ def test_cancel_mid_serve_releases_the_execution_context(paced_world):
     time.sleep(0.15)  # inside the paced ECALL: the context exists now
     assert future.cancel() is True
     with pytest.raises(RequestCancelled):
-        future.result(timeout=30)
+        future.result(timeout_s=30)
     assert_context_released(world)
 
 
@@ -70,9 +70,9 @@ def test_cancel_is_sticky_409_on_every_later_poll(paced_world):
     assert future.cancelled() is True
     assert future.done() is True  # sealed counts as done
     with pytest.raises(RequestCancelled):
-        future.result(timeout=5)
+        future.result(timeout_s=5)
     with pytest.raises(RequestCancelled):
-        future.result(timeout=5)
+        future.result(timeout_s=5)
     # cancelling again is idempotent, not an error
     assert future.cancel() is True
 
@@ -80,7 +80,7 @@ def test_cancel_is_sticky_409_on_every_later_poll(paced_world):
 def test_cancel_after_consume_is_refused(paced_world):
     world = paced_world
     future = world.session.submit(world.x)
-    future.result(timeout=30)
+    future.result(timeout_s=30)
     assert future.cancel() is False
     assert future.cancelled() is False
 
@@ -107,12 +107,12 @@ def test_cancel_one_batch_member_leaves_the_rest_correct(batch_world):
     futures = [world.session.submit(x) for x in xs]
     assert futures[1].cancel() is True
     with pytest.raises(RequestCancelled):
-        futures[1].result(timeout=30)
+        futures[1].result(timeout_s=30)
     from repro.mlrt.zoo import build_mobilenet
 
     model = build_mobilenet(seed=11)
     for index in (0, 2):
-        y = futures[index].result(timeout=30)
+        y = futures[index].result(timeout_s=30)
         assert np.allclose(
             y, model.run_reference(xs[index]).ravel(), atol=1e-5
         )

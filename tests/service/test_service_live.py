@@ -49,12 +49,12 @@ def test_the_service_never_sees_plaintext(world):
 
 def test_submit_then_poll_consumes_exactly_once(world):
     future = world.session.submit(world.x)
-    y = future.result(timeout=30)
+    y = future.result(timeout_s=30)
     assert np.allclose(y, expected(world), atol=1e-5)
     assert future.done()
     # the result was consumed: every further poll replays a sticky 410
     with pytest.raises(ReproError, match="already fetched"):
-        future.result(timeout=5)
+        future.result(timeout_s=5)
     assert future.cancel() is False
 
 
@@ -64,9 +64,9 @@ def test_admission_shed_is_queue_full_client_side(world):
     with pytest.raises(QueueFull):
         world.session.submit(world.x)
     # draining the slots reopens admission
-    first.result(timeout=30)
-    second.result(timeout=30)
-    world.session.submit(world.x).result(timeout=30)
+    first.result(timeout_s=30)
+    second.result(timeout_s=30)
+    world.session.submit(world.x).result(timeout_s=30)
 
 
 def test_infer_many_pipelines_through_the_feed_window(world):
