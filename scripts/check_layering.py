@@ -11,13 +11,23 @@ cluster (``repro.serverless``) and the functional runtime
 - ``repro.warmpool``: warm-pool management.  Stdlib +
   ``repro.errors`` + ``repro.routing`` types (it treats
   ``ScaleOutPolicy`` as one fleet-shape strategy among several).
+- ``repro.scenarios``: the scenario registry.  The package ceiling
+  admits both twins (its runner executes specs against them) but
+  never the CLI or the service tier; on top of that the *read side*
+  is pinned per module below, so stored manifests stay listable and
+  diffable with nothing but the stdlib on the import path.
 
-One single-file module is pinned the same way:
+Single-file modules pinned the same way:
 
 - ``repro.core.wire``: the versioned wire codecs.  Stdlib +
   ``repro.errors`` only -- every enclave boundary and the HTTP tier
   frame through it, so it must never grow a dependency on the
   runtime, the crypto stack, or numpy.
+- ``repro.scenarios.spec`` / ``.store`` / ``.compare`` / ``.table`` /
+  ``.registry``: the scenario read side.  Stdlib + ``repro.errors`` +
+  each other -- everything that *executes* a spec belongs in
+  ``repro.scenarios.runner``, the one module of the package allowed
+  to (lazily) import the twins.
 
 Run from the repository root::
 
@@ -36,14 +46,33 @@ from pathlib import Path
 SRC_REPRO = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: package name -> the only first-party prefixes it may import
+#: (the AST walk below sees *lazy* function-level imports too, so the
+#: scenarios ceiling must cover everything its runner defers)
 PACKAGES = {
     "routing": ("repro.errors",),
     "warmpool": ("repro.errors", "repro.routing"),
+    "scenarios": (
+        "repro.errors",
+        "repro.core",
+        "repro.experiments",
+        "repro.faults",
+        "repro.mlrt",
+        "repro.routing",
+        "repro.serverless",
+        "repro.sgx",
+        "repro.workloads",
+    ),
 }
 
 #: single-file module (dotted, relative to repro) -> allowed prefixes
 MODULES = {
     "core.wire": ("repro.errors",),
+    # the scenario read side: loadable without numpy or either twin
+    "scenarios.spec": ("repro.errors",),
+    "scenarios.table": (),
+    "scenarios.store": ("repro.errors", "repro.scenarios.spec"),
+    "scenarios.compare": ("repro.scenarios.store", "repro.scenarios.table"),
+    "scenarios.registry": ("repro.errors", "repro.scenarios.spec"),
 }
 
 ROUTING_DIR = SRC_REPRO / "routing"

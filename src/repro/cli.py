@@ -10,9 +10,21 @@ Usage::
     python -m repro trace fig8           # dump a chrome://tracing file
     python -m repro report [PATH]        # regenerate EXPERIMENTS.md
 
+    python -m repro scenario list        # registered specs + stored runs
+    python -m repro scenario run NAME    # execute + persist one scenario
+    python -m repro scenario compare A B # diff two stored runs
+    python -m repro scenario report      # markdown summary of the store
+
 Experiments self-register through the :func:`experiment` decorator into
 the :data:`EXPERIMENTS` registry; trace sources register through
 :func:`trace_source` into :data:`TRACES`.
+
+The benchmark subcommands (``chaos``, ``warmpool``, ...) share their
+common flags (``--json``, ``--seed``, ``--requests``, ``--paced-ms``)
+through argparse parent parsers built by the ``_*_parent`` helpers, and
+every subparser binds its handler with ``set_defaults(handler=...)`` --
+adding a command means adding one parser and one handler, not another
+arm of an if-chain.
 """
 
 from __future__ import annotations
@@ -301,49 +313,59 @@ def _json_default(value):
         return str(value)
 
 
-def _cmd_list() -> int:
+def _emit(result: dict, as_json: bool, render: Callable[[dict], str]) -> None:
+    """Print a benchmark result: sorted JSON or its paper-style table."""
+    if as_json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
+    else:
+        print(render(result))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
     width = max(len(name) for name in EXPERIMENTS)
     for name, entry in EXPERIMENTS.items():
         print(f"  {name:<{width}}  {entry.description}")
     return 0
 
 
-def _cmd_run(names: List[str], as_json: bool, seed: Optional[int]) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = args.names
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print("run `python -m repro list` to see what exists", file=sys.stderr)
         return 2
-    _seed_rngs(seed)
+    _seed_rngs(args.seed)
     collected: Dict[str, dict] = {}
     for name in names:
         entry = EXPERIMENTS[name]
-        if as_json:
+        if args.json:
             collected[name] = entry.run()
             continue
         print(f"=== {name}: {entry.description} ===")
         started = time.time()
         print(entry.report())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
-    if as_json:
+    if args.json:
         print(json.dumps(collected, indent=2, default=_json_default))
     return 0
 
 
-def _cmd_trace(name: str, out: Optional[str]) -> int:
-    if name not in TRACES:
-        print(f"unknown trace source: {name}", file=sys.stderr)
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.name not in TRACES:
+        print(f"unknown trace source: {args.name}", file=sys.stderr)
         print(
             f"traceable: {', '.join(sorted(TRACES))}", file=sys.stderr
         )
         return 2
     from repro.obs.export import write_chrome_trace
 
-    description, collect = TRACES[name]
-    path = out or f"trace-{name}.json"
+    description, collect = TRACES[args.name]
+    path = args.out or f"trace-{args.name}.json"
     started = time.time()
     spans = collect()
-    write_chrome_trace(spans, path, service=f"sesemi:{name}")
+    write_chrome_trace(spans, path, service=f"sesemi:{args.name}")
     print(
         f"wrote {len(spans)} spans ({description}) to {path} "
         f"in {time.time() - started:.1f}s -- open with chrome://tracing"
@@ -351,80 +373,60 @@ def _cmd_trace(name: str, out: Optional[str]) -> int:
     return 0
 
 
-def _cmd_chaos(seed: int, requests: int, quick: bool, as_json: bool) -> int:
+def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run the chaos sweep with explicit knobs (``repro chaos``)."""
-    result = chaos.run(seed=seed, requests=requests, quick=quick)
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(chaos.format_report(result))
+    result = chaos.run(seed=args.seed, requests=args.requests, quick=args.quick)
+    _emit(result, args.json, chaos.format_report)
     return 0
 
 
-def _cmd_concurrency(
-    requests: int, paced_ms: float, as_json: bool
-) -> int:
+def _cmd_concurrency(args: argparse.Namespace) -> int:
     """Run the TCS-scheduler benchmark (``repro concurrency``)."""
-    result = concurrency.run(requests=requests, paced_ms=paced_ms)
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(concurrency.format_report(result))
+    result = concurrency.run(requests=args.requests, paced_ms=args.paced_ms)
+    _emit(result, args.json, concurrency.format_report)
     return 0
 
 
-def _cmd_batching(
-    requests: int, paced_ms: float, max_batch: int, as_json: bool
-) -> int:
+def _cmd_batching(args: argparse.Namespace) -> int:
     """Run the live micro-batching benchmark (``repro batching``)."""
     result = batching.run(
-        requests=requests, paced_ms=paced_ms, max_batch=max_batch
+        requests=args.requests, paced_ms=args.paced_ms,
+        max_batch=args.max_batch,
     )
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(batching.format_report(result))
+    _emit(result, args.json, batching.format_report)
     return 0
 
 
-def _cmd_gateway(requests: int, paced_ms: float, as_json: bool) -> int:
+def _cmd_gateway(args: argparse.Namespace) -> int:
     """Run the routed-throughput benchmark (``repro gateway``)."""
-    result = gateway.run(requests=requests, paced_ms=paced_ms)
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(gateway.format_report(result))
+    result = gateway.run(requests=args.requests, paced_ms=args.paced_ms)
+    _emit(result, args.json, gateway.format_report)
     return 0
 
 
-def _cmd_serve(
-    host: str, port: int, tcs: int, endpoints: int,
-    paced_ms: float, max_inflight: Optional[int],
-    keep_alive_s: Optional[float], min_warm: int,
-    warm_strategy: str, prewarm: bool,
-) -> int:
+def _cmd_serve(args: argparse.Namespace) -> int:
     """Boot a live service tier in the foreground (``repro serve``)."""
     from repro.service import serve
 
     _, svc = service.build_world(
-        tcs_count=tcs,
-        num_endpoints=endpoints,
-        paced_s=paced_ms / 1e3 if paced_ms > 0 else None,
-        host=host,
-        port=port,
-        max_inflight=max_inflight,
+        tcs_count=args.tcs,
+        num_endpoints=args.endpoints,
+        paced_s=args.paced_ms / 1e3 if args.paced_ms > 0 else None,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
         background=False,
-        keep_alive_s=keep_alive_s,
-        min_warm=min_warm,
-        warm_strategy=warm_strategy,
-        prewarm=prewarm,
+        keep_alive_s=args.keep_alive,
+        min_warm=args.min_warm,
+        warm_strategy=args.warm_strategy,
+        prewarm=args.prewarm,
     )
     print(f"models: {', '.join(sorted(svc.handles))}")
     if svc.gateway.warm_pool is not None:
-        predictive = " +predictive" if prewarm else ""
+        predictive = " +predictive" if args.prewarm else ""
         print(
-            f"warm pool: strategy={warm_strategy}{predictive} "
-            f"keep_alive={keep_alive_s:.0f}s min_warm={min_warm} "
+            f"warm pool: strategy={args.warm_strategy}{predictive} "
+            f"keep_alive={args.keep_alive:.0f}s min_warm={args.min_warm} "
             f"(state under /v1/stats -> warm_pool)"
         )
     try:
@@ -434,48 +436,305 @@ def _cmd_serve(
     return 0
 
 
-def _cmd_warmpool(duration_s: float, keep_alive_s: float, as_json: bool) -> int:
+def _cmd_warmpool(args: argparse.Namespace) -> int:
     """Run the warm-pool sweep (``repro warmpool``); exit 1 on gate fail."""
-    result = warmpool.run(duration_s=duration_s, keep_alive_s=keep_alive_s)
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(warmpool.format_report(result))
+    result = warmpool.run(duration_s=args.duration, keep_alive_s=args.keep_alive)
+    _emit(result, args.json, warmpool.format_report)
     return 0 if result["pass"] else 1
 
 
-def _cmd_hotpath(requests: int, as_json: bool) -> int:
+def _cmd_hotpath(args: argparse.Namespace) -> int:
     """Run the hot-path benchmark (``repro hotpath``); exit 1 on gate fail."""
-    result = hotpath.run(requests=requests)
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(hotpath.format_report(result))
+    result = hotpath.run(requests=args.requests)
+    _emit(result, args.json, hotpath.format_report)
     return 0 if result["speedup"] >= result["gate"] else 1
 
 
-def _cmd_service(
-    duration_s: float, paced_ms: float, clients: int, as_json: bool
-) -> int:
+def _cmd_service(args: argparse.Namespace) -> int:
     """Run the saturation benchmark (``repro service``); exit 1 on gate fail."""
     result = service.run(
-        duration_s=duration_s, paced_ms=paced_ms, saturated_clients=clients
+        duration_s=args.duration, paced_ms=args.paced_ms,
+        saturated_clients=args.clients,
     )
-    if as_json:
-        print(json.dumps(result, indent=2, sort_keys=True, default=_json_default))
-    else:
-        print(service.format_report(result))
+    _emit(result, args.json, service.format_report)
     return 0 if result["pass"] else 1
 
 
-def _cmd_report(path: str) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
     started = time.time()
-    with open(path, "w") as handle:
+    with open(args.path, "w") as handle:
         handle.write(build_report())
-    print(f"wrote {path} in {time.time() - started:.1f}s")
+    print(f"wrote {args.path} in {time.time() - started:.1f}s")
     return 0
+
+
+# -- scenario commands -------------------------------------------------------------
+
+
+def _load_spec(name: str):
+    """A spec by registry name, or from a JSON file path."""
+    from pathlib import Path
+
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    if name.endswith(".json") or "/" in name:
+        return ScenarioSpec.from_json(Path(name).read_text())
+    return get_scenario(name)
+
+
+def _scenario_summary(metrics: dict) -> str:
+    """The executor's headline ``summary`` block as a small table."""
+    from repro.scenarios import format_table
+
+    summary = metrics.get("summary")
+    if not isinstance(summary, dict) or not summary:
+        return "(no summary metrics)"
+    rows = [(key, summary[key]) for key in sorted(summary)]
+    return format_table(["metric", "value"], rows)
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Execute one scenario; persist manifest (+ trace) under its run ID."""
+    from repro.errors import ConfigError
+    from repro.scenarios import RunStore, current_git_sha, run_scenario
+
+    try:
+        spec = _load_spec(args.name)
+        updates: Dict[str, str] = {}
+        for item in args.set:
+            path, sep, value = item.partition("=")
+            if not sep:
+                print(f"--set expects PATH=VALUE, got {item!r}", file=sys.stderr)
+                return 2
+            updates[path] = value
+        if args.seed is not None:
+            updates["seed"] = str(args.seed)
+        if updates:
+            spec = spec.with_updates(updates)
+    except (ConfigError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    started = time.time()
+    result = run_scenario(spec, traced=args.trace)
+    trace_json = None
+    if args.trace and result.spans:
+        from repro.obs.export import to_chrome_trace
+
+        trace_json = to_chrome_trace(
+            result.spans, service=f"sesemi:{spec.name}"
+        )
+    if args.no_save:
+        if args.json:
+            print(json.dumps(
+                result.metrics, indent=2, sort_keys=True,
+                default=_json_default,
+            ))
+        else:
+            print(f"run {spec.run_id} ({spec.executor}) "
+                  f"in {time.time() - started:.1f}s (not saved)")
+            print(_scenario_summary(result.metrics))
+        return 0
+    store = RunStore(args.store)
+    record = store.save(
+        spec, result.metrics, git_sha=current_git_sha(),
+        trace_json=trace_json,
+    )
+    if args.json:
+        print(store.manifest_path(record.run_id).read_text(), end="")
+        return 0
+    print(f"run {record.run_id} ({spec.executor}) "
+          f"in {time.time() - started:.1f}s")
+    print(f"manifest: {store.manifest_path(record.run_id)}")
+    if trace_json is not None:
+        print(f"trace:    {store.trace_path(record.run_id)}")
+    print(_scenario_summary(result.metrics))
+    return 0
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    """Registered scenario specs, then the stored runs (if any)."""
+    from repro.scenarios import RunStore, named_scenarios
+
+    specs = named_scenarios()
+    width = max(len(name) for name in specs)
+    print("registered scenarios:")
+    for name, spec in specs.items():
+        print(f"  {name:<{width}}  [{spec.executor}] {spec.notes}")
+    store = RunStore(args.store)
+    runs = store.list_runs()
+    print()
+    if runs:
+        print(f"stored runs under {store.root}:")
+        for run_id in runs:
+            print(f"  {run_id}")
+    else:
+        print(f"no stored runs under {store.root}")
+    return 0
+
+
+def _cmd_scenario_compare(args: argparse.Namespace) -> int:
+    """Diff two stored runs: spec deltas, then metric deltas."""
+    from repro.errors import ConfigError
+    from repro.scenarios import RunStore, format_compare, metric_diff, spec_diff
+
+    store = RunStore(args.store)
+    try:
+        a, b = store.load(args.run_a), store.load(args.run_b)
+    except ConfigError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.json:
+        diff = metric_diff(a, b)
+        payload = {
+            "run_a": a.run_id,
+            "run_b": b.run_id,
+            "spec": [list(row) for row in spec_diff(a, b)],
+            "metrics": {
+                "common": [list(row) for row in diff["common"]],
+                "only_a": diff["only_a"],
+                "only_b": diff["only_b"],
+            },
+        }
+        print(json.dumps(payload, indent=2, default=_json_default))
+    else:
+        print(format_compare(a, b, changed_only=args.changed_only))
+    return 0
+
+
+def _cmd_scenario_report(args: argparse.Namespace) -> int:
+    """A markdown summary of every run in the store."""
+    from repro.scenarios import RunStore, format_store_report
+
+    store = RunStore(args.store)
+    records = [store.load(run_id) for run_id in store.list_runs()]
+    text = format_store_report(records)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({len(records)} runs)")
+    else:
+        print(text, end="")
+    return 0
+
+
+# -- parser assembly ---------------------------------------------------------------
+
+
+def _json_parent(help_text: str = "emit the raw result dict as JSON"):
+    """A reusable ``--json`` flag (the parent-parser idiom)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--json", action="store_true", help=help_text)
+    return parent
+
+
+def _seed_parent(default: Optional[int], help_text: str):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=default, help=help_text)
+    return parent
+
+
+def _requests_parent(default: int, help_text: str):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--requests", type=int, default=default, help=help_text)
+    return parent
+
+
+def _paced_parent(
+    default: float,
+    help_text: str = "per-request service-time floor in ms (0 disables pacing)",
+):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--paced-ms", type=float, default=default, help=help_text
+    )
+    return parent
+
+
+def _duration_parent(default: float, help_text: str):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--duration", type=float, default=default, help=help_text
+    )
+    return parent
+
+
+def _keep_alive_parent(default: Optional[float], help_text: str):
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--keep-alive", type=float, default=default, metavar="SECONDS",
+        help=help_text,
+    )
+    return parent
+
+
+def _add_scenario_parsers(sub) -> None:
+    """The ``repro scenario`` command group (run/list/compare/report)."""
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="declarative scenario registry: run, list, compare, report",
+    )
+    scen_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    store_parent = argparse.ArgumentParser(add_help=False)
+    store_parent.add_argument(
+        "--store", default="runs",
+        help="run-store directory (default: runs/)",
+    )
+    run_parser = scen_sub.add_parser(
+        "run",
+        parents=[store_parent,
+                 _json_parent("print the persisted manifest as JSON")],
+        help="execute one scenario and persist its manifest",
+    )
+    run_parser.add_argument(
+        "name", help="registered scenario name, or a path to a spec JSON file"
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec's seed (changes the run ID)",
+    )
+    run_parser.add_argument(
+        "--set", action="append", default=[], metavar="PATH=VALUE",
+        help="dotted spec override, e.g. --set workload.duration_s=60",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="capture spans and write trace.json next to the manifest",
+    )
+    run_parser.add_argument(
+        "--no-save", action="store_true",
+        help="run without writing to the store",
+    )
+    run_parser.set_defaults(handler=_cmd_scenario_run)
+    list_parser = scen_sub.add_parser(
+        "list", parents=[store_parent],
+        help="registered scenarios and stored runs",
+    )
+    list_parser.set_defaults(handler=_cmd_scenario_list)
+    compare_parser = scen_sub.add_parser(
+        "compare",
+        parents=[store_parent,
+                 _json_parent("emit the structured diff as JSON")],
+        help="diff two stored runs (spec fields, then metrics)",
+    )
+    compare_parser.add_argument("run_a", help="first stored run ID")
+    compare_parser.add_argument("run_b", help="second stored run ID")
+    compare_parser.add_argument(
+        "--changed-only", action="store_true",
+        help="hide metrics with zero delta",
+    )
+    compare_parser.set_defaults(handler=_cmd_scenario_compare)
+    report_parser = scen_sub.add_parser(
+        "report", parents=[store_parent],
+        help="markdown summary of every stored run",
+    )
+    report_parser.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    report_parser.set_defaults(handler=_cmd_scenario_report)
 
 
 def main(argv=None) -> int:
@@ -485,17 +744,18 @@ def main(argv=None) -> int:
         description="SeSeMI reproduction: run the paper's experiments.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
-    run_parser = sub.add_parser("run", help="run one or more experiments")
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+    run_parser = sub.add_parser(
+        "run",
+        parents=[
+            _json_parent("emit raw result dicts as JSON instead of tables"),
+            _seed_parent(None, "seed the global RNGs before running"),
+        ],
+        help="run one or more experiments",
+    )
     run_parser.add_argument("names", nargs="+", help="experiment names")
-    run_parser.add_argument(
-        "--json", action="store_true",
-        help="emit raw result dicts as JSON instead of tables",
-    )
-    run_parser.add_argument(
-        "--seed", type=int, default=None,
-        help="seed the global RNGs before running",
-    )
+    run_parser.set_defaults(handler=_cmd_run)
     trace_parser = sub.add_parser(
         "trace", help="run a traced workload and dump a chrome://tracing file"
     )
@@ -503,72 +763,71 @@ def main(argv=None) -> int:
     trace_parser.add_argument(
         "--out", default=None, help="output path (default: trace-<name>.json)"
     )
+    trace_parser.set_defaults(handler=_cmd_trace)
     chaos_parser = sub.add_parser(
-        "chaos", help="run the deterministic fault-injection sweep"
-    )
-    chaos_parser.add_argument(
-        "--seed", type=int, default=2025,
-        help="fault-plan seed (same seed => identical schedule and numbers)",
-    )
-    chaos_parser.add_argument(
-        "--requests", type=int, default=40, help="requests per run"
+        "chaos",
+        parents=[
+            _seed_parent(
+                2025,
+                "fault-plan seed (same seed => identical schedule and numbers)",
+            ),
+            _requests_parent(40, "requests per run"),
+            _json_parent(
+                "emit the raw result as sorted JSON (byte-stable per seed)"
+            ),
+        ],
+        help="run the deterministic fault-injection sweep",
     )
     chaos_parser.add_argument(
         "--quick", action="store_true",
         help="small sweep grid and request count (CI smoke)",
     )
-    chaos_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result as sorted JSON (byte-stable per seed)",
-    )
+    chaos_parser.set_defaults(handler=_cmd_chaos)
     conc_parser = sub.add_parser(
-        "concurrency", help="run the TCS-scheduler throughput benchmark"
+        "concurrency",
+        parents=[
+            _requests_parent(24, "batch size per throughput run"),
+            _paced_parent(50.0),
+            _json_parent(),
+        ],
+        help="run the TCS-scheduler throughput benchmark",
     )
-    conc_parser.add_argument(
-        "--requests", type=int, default=24, help="batch size per throughput run"
-    )
-    conc_parser.add_argument(
-        "--paced-ms", type=float, default=50.0,
-        help="per-request service-time floor in ms (0 disables pacing)",
-    )
-    conc_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result dict as JSON",
-    )
+    conc_parser.set_defaults(handler=_cmd_concurrency)
     batch_parser = sub.add_parser(
-        "batching", help="run the live micro-batching throughput benchmark"
-    )
-    batch_parser.add_argument(
-        "--requests", type=int, default=24, help="burst size per throughput run"
-    )
-    batch_parser.add_argument(
-        "--paced-ms", type=float, default=80.0,
-        help="per-request busy service-time floor in ms",
+        "batching",
+        parents=[
+            _requests_parent(24, "burst size per throughput run"),
+            _paced_parent(80.0, "per-request busy service-time floor in ms"),
+            _json_parent(),
+        ],
+        help="run the live micro-batching throughput benchmark",
     )
     batch_parser.add_argument(
         "--max-batch", type=int, default=4,
         help="batch bound for the batched run (clamped to the TCS count)",
     )
-    batch_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result dict as JSON",
-    )
+    batch_parser.set_defaults(handler=_cmd_batching)
     gw_parser = sub.add_parser(
-        "gateway", help="run the routed-throughput gateway benchmark"
+        "gateway",
+        parents=[
+            _requests_parent(24, "requests per fleet width"),
+            _paced_parent(150.0),
+            _json_parent(),
+        ],
+        help="run the routed-throughput gateway benchmark",
     )
-    gw_parser.add_argument(
-        "--requests", type=int, default=24, help="requests per fleet width"
-    )
-    gw_parser.add_argument(
-        "--paced-ms", type=float, default=150.0,
-        help="per-request service-time floor in ms (0 disables pacing)",
-    )
-    gw_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result dict as JSON",
-    )
+    gw_parser.set_defaults(handler=_cmd_gateway)
     serve_parser = sub.add_parser(
-        "serve", help="boot the HTTP service tier over a live gateway"
+        "serve",
+        parents=[
+            _paced_parent(0.0),
+            _keep_alive_parent(
+                None,
+                "arm the warm pool: retire endpoints idle this long "
+                "(default: warm pool off)",
+            ),
+        ],
+        help="boot the HTTP service tier over a live gateway",
     )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", help="bind address"
@@ -584,17 +843,8 @@ def main(argv=None) -> int:
         "--endpoints", type=int, default=1, help="endpoints in the pool"
     )
     serve_parser.add_argument(
-        "--paced-ms", type=float, default=0.0,
-        help="per-request service-time floor in ms (0 disables pacing)",
-    )
-    serve_parser.add_argument(
         "--max-inflight", type=int, default=None,
         help="admission bound (default: fleet TCS capacity)",
-    )
-    serve_parser.add_argument(
-        "--keep-alive", type=float, default=None, metavar="SECONDS",
-        help="arm the warm pool: retire endpoints idle this long "
-             "(default: warm pool off)",
     )
     serve_parser.add_argument(
         "--min-warm", type=int, default=1,
@@ -608,87 +858,56 @@ def main(argv=None) -> int:
         "--prewarm", action="store_true",
         help="launch endpoints ahead of predicted demand (EWMA rates)",
     )
+    serve_parser.set_defaults(handler=_cmd_serve)
     service_parser = sub.add_parser(
-        "service", help="run the service-tier saturation benchmark"
-    )
-    service_parser.add_argument(
-        "--duration", type=float, default=3.0,
-        help="seconds per load phase",
-    )
-    service_parser.add_argument(
-        "--paced-ms", type=float, default=200.0,
-        help="per-request service-time floor in ms",
+        "service",
+        parents=[
+            _duration_parent(3.0, "seconds per load phase"),
+            _paced_parent(200.0, "per-request service-time floor in ms"),
+            _json_parent(
+                "emit the raw result dict (the BENCH_service.json artifact)"
+            ),
+        ],
+        help="run the service-tier saturation benchmark",
     )
     service_parser.add_argument(
         "--clients", type=int, default=8,
         help="closed-loop clients in the saturated phase",
     )
-    service_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result dict (the BENCH_service.json artifact)",
-    )
+    service_parser.set_defaults(handler=_cmd_service)
     warmpool_parser = sub.add_parser(
-        "warmpool", help="run the warm-pool cold-start policy sweep"
+        "warmpool",
+        parents=[
+            _duration_parent(240.0, "seconds of workload per policy run"),
+            _keep_alive_parent(
+                30.0, "keep-alive for the managed policies (seconds)"
+            ),
+            _json_parent(
+                "emit the raw result dict (the BENCH_warmpool.json artifact)"
+            ),
+        ],
+        help="run the warm-pool cold-start policy sweep",
     )
-    warmpool_parser.add_argument(
-        "--duration", type=float, default=240.0,
-        help="seconds of workload per policy run",
-    )
-    warmpool_parser.add_argument(
-        "--keep-alive", type=float, default=30.0,
-        help="keep-alive for the managed policies (seconds)",
-    )
-    warmpool_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result dict (the BENCH_warmpool.json artifact)",
-    )
+    warmpool_parser.set_defaults(handler=_cmd_warmpool)
     hotpath_parser = sub.add_parser(
-        "hotpath", help="run the hot-path per-request overhead benchmark"
+        "hotpath",
+        parents=[
+            _requests_parent(
+                60, "timed requests per lane (two users alternating)"
+            ),
+            _json_parent(
+                "emit the raw result dict (the BENCH_hotpath.json artifact)"
+            ),
+        ],
+        help="run the hot-path per-request overhead benchmark",
     )
-    hotpath_parser.add_argument(
-        "--requests", type=int, default=60,
-        help="timed requests per lane (two users alternating)",
-    )
-    hotpath_parser.add_argument(
-        "--json", action="store_true",
-        help="emit the raw result dict (the BENCH_hotpath.json artifact)",
-    )
+    hotpath_parser.set_defaults(handler=_cmd_hotpath)
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    report_parser.set_defaults(handler=_cmd_report)
+    _add_scenario_parsers(sub)
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args.names, args.json, args.seed)
-    if args.command == "trace":
-        return _cmd_trace(args.name, args.out)
-    if args.command == "chaos":
-        return _cmd_chaos(args.seed, args.requests, args.quick, args.json)
-    if args.command == "concurrency":
-        return _cmd_concurrency(args.requests, args.paced_ms, args.json)
-    if args.command == "batching":
-        return _cmd_batching(
-            args.requests, args.paced_ms, args.max_batch, args.json
-        )
-    if args.command == "gateway":
-        return _cmd_gateway(args.requests, args.paced_ms, args.json)
-    if args.command == "serve":
-        return _cmd_serve(
-            args.host, args.port, args.tcs, args.endpoints,
-            args.paced_ms, args.max_inflight,
-            args.keep_alive, args.min_warm, args.warm_strategy, args.prewarm,
-        )
-    if args.command == "service":
-        return _cmd_service(
-            args.duration, args.paced_ms, args.clients, args.json
-        )
-    if args.command == "warmpool":
-        return _cmd_warmpool(args.duration, args.keep_alive, args.json)
-    if args.command == "hotpath":
-        return _cmd_hotpath(args.requests, args.json)
-    if args.command == "report":
-        return _cmd_report(args.path)
-    return 2  # pragma: no cover - argparse enforces the choices
+    return args.handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

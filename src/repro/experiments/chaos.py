@@ -201,34 +201,20 @@ def run(
     """Sweep fault rate against availability/latency, both modes.
 
     Every number in the result is a pure function of ``seed`` and the
-    arguments -- run it twice and the JSON matches byte for byte.
+    arguments -- run it twice and the JSON matches byte for byte.  The
+    sweep is declared as a :class:`~repro.scenarios.ScenarioSpec`
+    (``chaos_spec``) whose fault grid is data; the scenario runner
+    executes it through :func:`_run_mode` above.
     """
-    sweep = QUICK_SWEEP if quick else SWEEP
-    if quick:
-        requests = min(requests, 24)
-    points = []
-    for wire_rate, crash_rate, outages in sweep:
-        plan = FaultPlan.from_seed(
-            seed,
-            requests,
-            wire_rate=wire_rate,
-            crash_rate=crash_rate,
-            shard_outages=outages,
-            num_shards=2,
-            target_shard=_user_primary_shard(),
-        )
-        points.append(
-            {
-                "wire_rate": wire_rate,
-                "crash_rate": crash_rate,
-                "plan": plan.to_mapping(),
-                "modes": {
-                    "resilient": _run_mode(seed, requests, plan, resilient=True)[0],
-                    "baseline": _run_mode(seed, requests, plan, resilient=False)[0],
-                },
-            }
-        )
-    return {"seed": seed, "requests": requests, "points": points}
+    from repro.scenarios import chaos_spec, run_scenario
+
+    spec = chaos_spec(seed=seed, requests=requests, quick=quick)
+    result = run_scenario(spec)
+    return {
+        "seed": seed,
+        "requests": spec.workload.requests,
+        "points": result.metrics["points"],
+    }
 
 
 def collect_trace(seed: int = 2025, requests: int = 24) -> list:

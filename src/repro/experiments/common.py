@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.costs import CostModel
+from repro.errors import RoutingError
 from repro.routing import Router
+from repro.scenarios.table import _fmt, format_table  # noqa: F401 (re-export)
 from repro.core.simbridge import (
     ServableModel,
     iso_reuse_factory,
@@ -147,7 +149,18 @@ class DirectRouter(Router):
         return [(self._endpoint, ())]
 
     def route(self, model_id: str, now: float, exclude=frozenset()) -> str:
-        """Always the fixed endpoint."""
+        """The fixed endpoint -- unless the caller has excluded it.
+
+        ``exclude`` is the retry contract of :class:`~repro.routing.Router`:
+        the caller already knows those endpoints cannot take the request,
+        so returning one anyway would send the retry straight back into
+        the failure.  With a single endpoint there is nowhere else to go.
+        """
+        if self._endpoint in exclude:
+            raise RoutingError(
+                f"endpoint {self._endpoint!r} is excluded and "
+                "DirectRouter has no alternative"
+            )
         return self._endpoint
 
 
@@ -157,19 +170,5 @@ def make_driver(bed: Testbed, router: Optional[Router] = None,
     return WorkloadDriver(bed.sim, bed.controller, router or DirectRouter(endpoint))
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
-    """Render rows as a fixed-width text table for bench output."""
-    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
-    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
-    lines = []
-    for index, row in enumerate(cells):
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-        if index == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.2f}" if abs(value) >= 100 else f"{value:.3f}"
-    return str(value)
+# format_table/_fmt live in repro.scenarios.table (stdlib-only, shared with
+# the scenario compare/report CLI); re-exported above for the experiments.

@@ -23,18 +23,13 @@ from typing import Dict
 import numpy as np
 
 from repro.core.simbridge import servable_map, semirt_factory
-from repro.experiments.common import (
-    action_budget,
-    deploy_single_model,
-    format_table,
-    make_driver,
-    make_testbed,
-)
+from repro.experiments.common import format_table, make_driver, make_testbed
 from repro.mlrt.zoo import profile
+from repro.scenarios import fig13_latency_spec, run_scenario
 from repro.serverless.action import ActionSpec
 from repro.sgx.epc import MB
 from repro.workloads.arrival import merge_arrivals, mmpp, poisson
-from repro.workloads.metrics import LatencyStats, gb_seconds, latency_timeline
+from repro.workloads.metrics import LatencyStats, gb_seconds
 
 NUM_NODES = 8
 WARMUP_S = 60.0
@@ -65,23 +60,30 @@ def run_latency(
     systems=("Native", "Iso-reuse", "SeSeMI"),
     duration_s: float = 240.0,
 ) -> Dict[str, dict]:
-    """Figure 13: per-system mean latency + timeline under MMPP."""
+    """Figure 13: per-system mean latency + timeline under MMPP.
+
+    The experiment is declared as a :class:`~repro.scenarios.ScenarioSpec`
+    (``fig13_latency_spec``) and executed by the scenario runner; this
+    wrapper only reshapes the metrics into the report's historical form.
+    """
+    spec = fig13_latency_spec(
+        model_name, systems=systems, duration_s=duration_s
+    )
+    result = run_scenario(spec)
     out: Dict[str, dict] = {}
     for system in systems:
-        # Section VI-C: invoker memory is set so the number of enclave
-        # threads per node never exceeds the 12 physical cores.
-        servable = servable_map([("m", profile(model_name), "tvm")])["m"]
-        node_memory = 12 * action_budget(servable)
-        bed = make_testbed(num_nodes=NUM_NODES, node_memory=node_memory)
-        deploy_single_model(bed, system, model_name, "tvm")
-        driver = make_driver(bed)
-        driver.submit_arrivals(_mmpp_arrivals(duration_s))
-        report = driver.run(until=WARMUP_S + duration_s + 3000.0)
-        measured = [r for r in report.results if r.submitted_at >= WARMUP_S]
+        metrics = result.metrics["systems"][system]
         out[system] = {
-            "stats": LatencyStats.of(measured),
-            "timeline": latency_timeline(measured, bucket_s=20.0),
-            "completed": len(measured),
+            "stats": LatencyStats(
+                count=metrics["count"],
+                mean=metrics["mean_s"],
+                p50=metrics["p50_s"],
+                p95=metrics["p95_s"],
+                p99=metrics["p99_s"],
+                max=metrics["max_s"],
+            ),
+            "timeline": [(t, v) for t, v in metrics["timeline"]],
+            "completed": metrics["completed"],
         }
     return out
 

@@ -31,7 +31,7 @@ construction vs derived session cipher).
 from __future__ import annotations
 
 import time
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -159,17 +159,23 @@ def run(
     model_seed: int = 7,
     micro_payload: int = 4096,
     micro_rounds: int = 200,
+    fast_scheduler: Optional[SchedulerConfig] = None,
 ) -> dict:
     """End-to-end legacy vs fast lanes plus the codec/crypto micro-sections.
 
     Returns the two lane rows, ``speedup`` (legacy p50 over fast p50;
     the CI gate is :data:`SPEEDUP_GATE`), and the micro decompositions.
+    ``fast_scheduler`` overrides the fast lane's scheduler so scenario
+    specs can size the key memo or arm micro-batching; the legacy lane
+    always runs the seed's single-entry configuration.
     """
     legacy = _lane(
         SchedulerConfig(key_cache_entries=1), requests, model_seed,
         _legacy_serve,
     )
-    fast = _lane(SchedulerConfig(), requests, model_seed, _fast_serve)
+    fast = _lane(
+        fast_scheduler or SchedulerConfig(), requests, model_seed, _fast_serve
+    )
     return {
         "requests": requests,
         "legacy": legacy,

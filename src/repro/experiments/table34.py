@@ -21,68 +21,55 @@ the per-model latency inside each session.
 from __future__ import annotations
 
 
-from repro.routing import AllInOneRouter, FnPackerRouter, FnPool, OneToOneRouter
-from repro.core.simbridge import servable_map, semirt_factory
-from repro.experiments.common import action_budget, format_table, make_testbed
-from repro.mlrt.zoo import profile
-from repro.serverless.action import ActionSpec
-from repro.workloads.driver import WorkloadDriver
+from repro.experiments.common import format_table
+from repro.scenarios import run_scenario, table34_spec
 from repro.workloads.metrics import LatencyStats
-from repro.workloads.mlperf import build_fnpacker_workload
 
 MODEL_IDS = ("m0", "m1", "m2", "m3", "m4")
 STRATEGIES = ("All-in-one", "One-to-one", "FnPacker")
 
 
-def _make_router(strategy: str, pool: FnPool, idle_interval_s: float = 10.0):
-    if strategy == "FnPacker":
-        return FnPackerRouter(pool, idle_interval_s=idle_interval_s)
-    if strategy == "One-to-one":
-        return OneToOneRouter(pool)
-    if strategy == "All-in-one":
-        return AllInOneRouter(pool)
-    raise ValueError(strategy)
+def _reshape(metrics: dict) -> dict:
+    """One strategy's runner metrics in the report's historical form."""
+    poisson = metrics["poisson"]
+    return {
+        "poisson_stats": LatencyStats(
+            count=poisson["count"],
+            mean=poisson["mean_s"],
+            p50=poisson["p50_s"],
+            p95=poisson["p95_s"],
+            p99=poisson["p99_s"],
+            max=poisson["max_s"],
+        ),
+        "sessions": {
+            (int(key.split(":", 1)[0]), key.split(":", 1)[1]): latency
+            for key, latency in metrics["sessions"].items()
+        },
+        "cold_starts": metrics["cold_starts"],
+    }
 
 
 def run_strategy(strategy: str, duration_s: float = 480.0, seed: int = 2025,
                  idle_interval_s: float = 10.0) -> dict:
-    """Run the mixed workload under one deployment strategy."""
-    bed = make_testbed(num_nodes=8)
-    prof = profile("RSNET")
-    pool = FnPool(name="pool", models=MODEL_IDS, memory_budget=0)
-    router = _make_router(strategy, pool, idle_interval_s)
-    models = servable_map([(m, prof, "tvm") for m in MODEL_IDS])
-    for endpoint, servable_ids in router.endpoints():
-        subset = {m: models[m] for m in servable_ids} if servable_ids else models
-        spec = ActionSpec(
-            name=endpoint,
-            image="semirt",
-            memory_budget=action_budget(next(iter(subset.values()))),
-            concurrency=1,
-        )
-        bed.platform.deploy(spec, semirt_factory(subset, bed.cost))
-    workload = build_fnpacker_workload(duration_s=duration_s, seed=seed)
-    driver = WorkloadDriver(bed.sim, bed.controller, router)
-    driver.submit_arrivals(workload.arrivals)
-    for index, session in enumerate(workload.sessions, start=1):
-        driver.submit_session(session, index=index)
-    report = driver.run(until=duration_s + 3000.0)
-    poisson_results = [
-        r for r in report.results if r.request.user_id in ("alice", "bob")
-    ]
-    return {
-        "poisson_stats": LatencyStats.of(poisson_results),
-        "sessions": {
-            key: result.latency for key, result in report.session_results.items()
-        },
-        "cold_starts": bed.controller.cold_starts,
-    }
+    """Run the mixed workload under one deployment strategy.
+
+    Declared as a single-router :class:`~repro.scenarios.ScenarioSpec`
+    (``table34_spec``) and executed by the scenario runner.
+    """
+    spec = table34_spec(
+        duration_s=duration_s, seed=seed, strategies=(strategy,),
+        idle_interval_s=idle_interval_s,
+    )
+    result = run_scenario(spec)
+    return _reshape(result.metrics["strategies"][strategy])
 
 
 def run(duration_s: float = 480.0) -> dict:
-    """Run the workload under all three strategies."""
+    """Run the workload under all three strategies (one spec, one sweep)."""
+    spec = table34_spec(duration_s=duration_s, strategies=STRATEGIES)
+    result = run_scenario(spec)
     return {
-        strategy: run_strategy(strategy, duration_s=duration_s)
+        strategy: _reshape(result.metrics["strategies"][strategy])
         for strategy in STRATEGIES
     }
 

@@ -367,20 +367,33 @@ def run(
     (``BENCH_warmpool.json``): ``reduction`` (no-keep-alive cold ratio
     over predictive-LCS cold ratio on the Poisson workload) >=
     ``REDUCTION_GATE``, and ``scale_to_zero.scaled_to_floor``.
+
+    Each workload's policy sweep is declared as a
+    :class:`~repro.scenarios.ScenarioSpec` (``warmpool_poisson_spec`` /
+    ``warmpool_mmpp_spec``) and executed by the scenario runner, which
+    drives :func:`run_policy` above.
     """
+    from repro.scenarios import (
+        run_scenario,
+        warmpool_mmpp_spec,
+        warmpool_poisson_spec,
+    )
+
     until = duration_s + 3600.0
-    workloads = {
-        "poisson": _poisson_arrivals(duration_s, seed),
-        "mmpp": _mmpp_arrivals(min(duration_s, 120.0), seed),
+    specs = {
+        "poisson": warmpool_poisson_spec(
+            duration_s=duration_s, seed=seed, keep_alive_s=keep_alive_s,
+            horizon_s=until,
+        ),
+        "mmpp": warmpool_mmpp_spec(
+            duration_s=min(duration_s, 120.0), seed=seed,
+            keep_alive_s=keep_alive_s, horizon_s=until,
+        ),
     }
-    sweep: Dict[str, Dict[str, dict]] = {}
-    for workload_name, arrivals in workloads.items():
-        sweep[workload_name] = {
-            policy: run_policy(
-                policy, arrivals, keep_alive_s=keep_alive_s, until=until
-            )
-            for policy in POLICIES
-        }
+    sweep: Dict[str, Dict[str, dict]] = {
+        workload_name: run_scenario(spec).metrics["policies"]
+        for workload_name, spec in specs.items()
+    }
     baseline = sweep["poisson"]["none"]["cold_ratio"]
     predictive = sweep["poisson"]["lcs+predictive"]["cold_ratio"]
     reduction = baseline / predictive if predictive > 0 else float("inf")

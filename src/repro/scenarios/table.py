@@ -1,0 +1,29 @@
+"""The fixed-width text table every bench report renders through.
+
+Moved here from ``repro.experiments.common`` so the scenario compare
+and report tools (which must stay importable without numpy or either
+twin) can share one implementation; ``repro.experiments.common``
+re-exports it unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as a fixed-width text table for bench output."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) >= 100 else f"{value:.3f}"
+    return str(value)

@@ -3,15 +3,18 @@
 import pytest
 
 from repro.core.simbridge import ServableModel
+from repro.errors import RoutingError
 from repro.experiments.common import (
     DirectRouter,
     action_budget,
     deploy_single_model,
     format_table,
+    make_driver,
     make_testbed,
     sgx1_testbed,
     system_factory,
 )
+from repro.workloads.driver import WorkloadDriver
 from repro.mlrt.zoo import profile
 from repro.serverless.action import MEMORY_GRANULE
 from repro.sgx.epc import MB
@@ -62,9 +65,55 @@ def test_deploy_single_model_registers_action():
 def test_direct_router():
     router = DirectRouter("ep")
     assert router.route("anything", 0.0) == "ep"
+    assert router.endpoints() == [("ep", ())]
+
+
+def test_direct_router_ignores_other_exclusions():
+    router = DirectRouter("ep")
+    assert router.route("m", 0.0, exclude=frozenset({"other"})) == "ep"
+
+
+def test_direct_router_rejects_excluded_endpoint():
+    # Regression: route() used to ignore ``exclude`` entirely, so a retry
+    # that had just failed on "ep" was routed straight back to "ep".
+    router = DirectRouter("ep")
+    with pytest.raises(RoutingError):
+        router.route("m", 0.0, exclude=frozenset({"ep"}))
+
+
+def test_make_driver_binds_testbed_and_router():
+    bed = make_testbed(num_nodes=1)
+    driver = make_driver(bed, endpoint="x")
+    assert isinstance(driver, WorkloadDriver)
+    assert driver.router.route("m", 0.0) == "x"
+    router = DirectRouter("elsewhere")
+    assert make_driver(bed, router=router).router is router
 
 
 def test_format_table_handles_mixed_types():
     text = format_table(["name", "value"], [("a", 1.23456), ("b", 1000.5)])
     assert "1.235" in text
     assert "1000.50" in text
+
+
+def test_format_table_float_width_branches():
+    # floats with |value| >= 100 get two decimals, smaller ones three;
+    # ints and strings pass through str() untouched.
+    text = format_table(
+        ["v"], [(100.0,), (99.9999,), (-100.5,), (-0.1,), (7,), ("x",)]
+    )
+    lines = text.splitlines()
+    assert lines[2].strip() == "100.00"
+    assert lines[3].strip() == "100.000"  # rounds up, still the small branch
+    assert lines[4].strip() == "-100.50"
+    assert lines[5].strip() == "-0.100"
+    assert lines[6].strip() == "7"
+    assert lines[7].strip() == "x"
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [("xx", 1)])
+    header, rule, row = text.splitlines()
+    assert header == "a   bbbb"
+    assert rule == "--  ----"
+    assert row == "xx  1   "

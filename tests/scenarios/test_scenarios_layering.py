@@ -1,0 +1,66 @@
+"""The layering gate: the scenario read side stays stdlib-loadable."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO / "scripts" / "check_layering.py"
+SCENARIOS = REPO / "src" / "repro" / "scenarios"
+
+
+def _load_checker():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_scenarios_package_passes_the_gate():
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT)], cwd=REPO, capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+    assert "repro.scenarios layering OK" in result.stdout
+    assert "repro.scenarios.spec layering OK" in result.stdout
+
+
+def test_read_side_modules_are_pinned():
+    checker = _load_checker()
+    for dotted in ("scenarios.spec", "scenarios.table", "scenarios.store",
+                   "scenarios.compare", "scenarios.registry"):
+        assert dotted in checker.MODULES, dotted
+    # the runner is deliberately NOT pinned: it may import the twins
+    assert "scenarios.runner" not in checker.MODULES
+
+
+def test_gate_sees_lazy_imports_in_function_bodies():
+    """The AST walk must catch deferred imports -- the runner relies on
+    the *package* ceiling covering them, and the per-module pins would
+    be meaningless if a lazy import could hide from the checker."""
+    checker = _load_checker()
+    tree = __import__("ast").parse(
+        "def f():\n    from repro.core.semirt import SchedulerConfig\n"
+    )
+    found = [m for _lineno, m in checker._imported_modules(tree)]
+    assert found == ["repro.core.semirt"]
+
+
+def test_gate_catches_a_cli_import_from_spec(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "spec.py"
+    bad.write_text("from repro.cli import main\n")
+    violations = checker.check_module(
+        bad, "scenarios.spec", checker.MODULES["scenarios.spec"]
+    )
+    assert len(violations) == 1
+    assert "repro.cli" in violations[0]
+
+
+def test_package_ceiling_excludes_cli_and_service():
+    checker = _load_checker()
+    allowed = checker.PACKAGES["scenarios"]
+    for banned in ("repro.cli", "repro.service", "repro.obs"):
+        assert not any(prefix.startswith(banned) for prefix in allowed)
