@@ -52,6 +52,7 @@ from repro.experiments import (
     fig17,
     hotpath,
     service,
+    streaming,
     table1,
     table2,
     table34,
@@ -228,6 +229,16 @@ def _run_warmpool() -> dict:
 def _run_hotpath() -> dict:
     """The hot-path per-request overhead benchmark with its default knobs."""
     return hotpath.run()
+
+
+@experiment(
+    "streaming",
+    "Streaming decode: continuous batching vs per-request, TTFT + tokens/sec",
+    streaming.format_report,
+)
+def _run_streaming() -> dict:
+    """The streaming continuous-batching benchmark with its default knobs."""
+    return streaming.run()
 
 
 @trace_source("fig8", "one cold SeSeMI request on the simulated testbed")
@@ -448,6 +459,13 @@ def _cmd_hotpath(args: argparse.Namespace) -> int:
     result = hotpath.run(requests=args.requests)
     _emit(result, args.json, hotpath.format_report)
     return 0 if result["speedup"] >= result["gate"] else 1
+
+
+def _cmd_streaming(args: argparse.Namespace) -> int:
+    """Run the streaming benchmark (``repro streaming``); exit 1 on gate fail."""
+    result = streaming.run(streams=args.streams, tokens=args.tokens)
+    _emit(result, args.json, streaming.format_report)
+    return 0 if result["pass"] else 1
 
 
 def _cmd_service(args: argparse.Namespace) -> int:
@@ -902,6 +920,24 @@ def main(argv=None) -> int:
         help="run the hot-path per-request overhead benchmark",
     )
     hotpath_parser.set_defaults(handler=_cmd_hotpath)
+    streaming_parser = sub.add_parser(
+        "streaming",
+        parents=[
+            _json_parent(
+                "emit the raw result dict (the BENCH_streaming.json artifact)"
+            ),
+        ],
+        help="run the streaming continuous-batching decode benchmark",
+    )
+    streaming_parser.add_argument(
+        "--streams", type=int, default=4,
+        help="concurrent streams per lane (one user, one model)",
+    )
+    streaming_parser.add_argument(
+        "--tokens", type=int, default=32,
+        help="tokens decoded per stream",
+    )
+    streaming_parser.set_defaults(handler=_cmd_streaming)
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     report_parser.set_defaults(handler=_cmd_report)

@@ -7,7 +7,12 @@ from repro.core.batching import (
 )
 from repro.core.client import KeyServiceConnection, OwnerClient, UserClient
 from repro.core.costs import CostModel
-from repro.core.deployment import ModelHandle, SeSeMIEnvironment, UserSession
+from repro.core.deployment import (
+    ModelHandle,
+    SeSeMIEnvironment,
+    SessionStream,
+    UserSession,
+)
 from repro.core.fnpacker import (
     AllInOneRouter,
     FnPackerRouter,
@@ -15,9 +20,12 @@ from repro.core.fnpacker import (
     OneToOneRouter,
     Router,
 )
+from repro.core.futures import Future
 from repro.core.gateway import (
     GatewayConfig,
     GatewayReply,
+    GatewayStream,
+    GatewaySubmission,
     InferenceGateway,
     RouteDecision,
 )
@@ -31,6 +39,7 @@ from repro.core.keyservice import (
 from repro.core.packer_service import FnPackerService, make_router
 from repro.core.semirt import (
     InferenceFuture,
+    InferenceStream,
     IsolationSettings,
     SchedulerConfig,
     SemirtEnclaveCode,
@@ -67,10 +76,14 @@ __all__ = [
     "FnPackerRouter",
     "FnPackerService",
     "FnPool",
+    "Future",
     "GatewayConfig",
     "GatewayReply",
+    "GatewayStream",
+    "GatewaySubmission",
     "InferenceFuture",
     "InferenceGateway",
+    "InferenceStream",
     "InvocationKind",
     "InvocationPlan",
     "IsoReuseSimActor",
@@ -92,6 +105,7 @@ __all__ = [
     "SemirtHost",
     "SemirtSimActor",
     "ServableModel",
+    "SessionStream",
     "Stage",
     "UntrustedSimActor",
     "UserClient",

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core import wire
-from repro.core.semirt import REQUEST_AAD, RESPONSE_AAD
+from repro.core.semirt import FRAME_AAD, REQUEST_AAD, RESPONSE_AAD, STREAM_AAD
 from repro.crypto.gcm import AESGCM, SessionCipher, evict_session
 from repro.crypto.keys import SymmetricKey
 from repro.errors import AccessDenied, InvocationError, SeSeMIError
@@ -310,6 +310,53 @@ class UserClient(_Principal):
             return self._request_cipher(model_id, enclave).seal(
                 payload, aad=REQUEST_AAD + model_id.encode()
             )
+
+    def encrypt_stream_request(
+        self,
+        model_id: str,
+        enclave: EnclaveMeasurement,
+        prompt,
+        max_new_tokens: int,
+    ) -> bytes:
+        """Encrypt a streaming prompt for ``EC_MODEL_INF_STREAM``.
+
+        ``prompt`` is a sequence of token ids.  The payload is sealed
+        under the same request key as one-shot requests but with the
+        stream AAD, so a stream request can never be replayed into
+        ``EC_MODEL_INF`` (and vice versa).
+        """
+        with maybe_span(self.tracer, "encrypt_stream_request", model_id=model_id):
+            payload = wire.dumps(
+                {
+                    "prompt": np.asarray(prompt, dtype=np.float32).tobytes(),
+                    "max_new_tokens": int(max_new_tokens),
+                },
+                codec=wire.BINARY,
+            )
+            return self._request_cipher(model_id, enclave).seal(
+                payload, aad=STREAM_AAD + model_id.encode()
+            )
+
+    def decrypt_frame(
+        self, model_id: str, enclave: EnclaveMeasurement, frame: bytes
+    ) -> dict:
+        """Authenticate and decrypt one sealed token frame.
+
+        Returns ``{"token": int, "index": int, "done": bool}``; the
+        index lets the client detect a host that drops, reorders or
+        replays frames.
+        """
+        with maybe_span(self.tracer, "decrypt_frame", model_id=model_id):
+            try:
+                return wire.loads(
+                    self._request_cipher(model_id, enclave).unseal(
+                        frame, aad=FRAME_AAD + model_id.encode()
+                    )
+                )
+            except Exception as exc:
+                raise InvocationError(
+                    "token frame does not authenticate under the request key"
+                ) from exc
 
     def decrypt_response(
         self, model_id: str, enclave: EnclaveMeasurement, enc_response: bytes

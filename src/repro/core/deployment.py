@@ -33,7 +33,6 @@ in :mod:`repro.core.simbridge`.
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -50,7 +49,7 @@ from repro.core.semirt import (
     expected_semirt_measurement,
 )
 from repro.core.stages import Stage
-from repro.errors import QueueFull, SeSeMIError
+from repro.errors import InvocationError, QueueFull, SeSeMIError
 from repro.faults.injector import maybe_wire
 from repro.faults.resilience import (
     CircuitBreaker,
@@ -243,8 +242,6 @@ class UserSession:
         self,
         x: np.ndarray,
         timeout_s: Optional[float] = None,
-        *,
-        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Encrypt ``x``, serve it, decrypt the result.
 
@@ -260,18 +257,8 @@ class UserSession:
         here; see docs/service.md), guarded by the per-``(model,
         node)`` circuit breaker; a crashed SeMIRT enclave is relaunched
         cold on the next attempt.  Retries appear as ``retry`` events
-        on the request's root span.  ``deadline_s`` is the deprecated
-        spelling of ``timeout_s``.
+        on the request's root span.
         """
-        if deadline_s is not None:
-            warnings.warn(
-                "UserSession.infer(deadline_s=...) is deprecated; "
-                "use timeout_s=",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if timeout_s is None:
-                timeout_s = deadline_s
         tracer = self._env.tracer
         policy = self._env.resilience
         with maybe_span(
@@ -330,6 +317,34 @@ class UserSession:
             enc_request, self.user.principal_id, self.model_id
         )
         return SessionFuture(self, submission)
+
+    def stream(
+        self, prompt: Sequence[int], max_new_tokens: int
+    ) -> "SessionStream":
+        """Open an autoregressive stream; iterate decrypted token ids.
+
+        The streaming face of :meth:`submit`: the prompt is sealed with
+        the stream AAD, admitted through the gateway's stream plane
+        (stream-affinity routing keeps one user's streams on one
+        continuous batch), and the returned :class:`SessionStream`
+        yields token ids as the enclave decodes them.  ``result()``
+        blocks for the whole sequence -- the
+        :class:`~repro.core.futures.Future` view.  Like :meth:`submit`,
+        streams do not run under the resilience layer; a mid-decode
+        failure raises from the iterator.
+        """
+        injector = self._env.injector
+        enc_request = maybe_wire(
+            injector,
+            "user->semirt",
+            self.user.encrypt_stream_request(
+                self.model_id, self.measurement, prompt, max_new_tokens
+            ),
+        )
+        handle = self._gateway.open_stream(
+            enc_request, self.user.principal_id, self.model_id
+        )
+        return SessionStream(self, handle)
 
     def infer_many(
         self, xs: Sequence[np.ndarray], window: Optional[int] = None
@@ -581,6 +596,83 @@ class SessionFuture:
         return session.user.decrypt_response(
             session.model_id, session.measurement, enc_response
         )
+
+
+class SessionStream:
+    """An async session stream: yields the **decrypted** token sequence.
+
+    Returned by :meth:`UserSession.stream`.  Wraps the gateway's stream
+    handle and adds the client half of the streaming protocol: per-frame
+    wire fault injection, AEAD frame authentication, and frame-index
+    verification -- a host that drops, reorders or replays sealed frames
+    surfaces as :class:`~repro.errors.InvocationError` here, not as a
+    silently wrong sequence.  Satisfies the
+    :class:`~repro.core.futures.Future` protocol (``result()`` returns
+    the full token list).
+    """
+
+    def __init__(self, session: UserSession, handle) -> None:
+        self._session = session
+        #: the underlying gateway/host stream of sealed frames
+        self.handle = handle
+
+    @property
+    def ticket(self) -> Optional[int]:
+        """The endpoint-assigned observability id."""
+        return self.handle.ticket
+
+    def done(self) -> bool:
+        """True once the stream has drained, failed, or been cancelled."""
+        return self.handle.done()
+
+    def cancelled(self) -> bool:
+        """True when cancellation was requested and won."""
+        return self.handle.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel the stream (releases its enclave KV/stream context)."""
+        return self.handle.cancel()
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Seconds from submission to the first token frame."""
+        return self.handle.ttft_s
+
+    @property
+    def tokens_per_s(self) -> Optional[float]:
+        """Decode throughput over the frames delivered so far."""
+        return self.handle.tokens_per_s
+
+    def _decode_frame(self, frame: bytes, expected_index: int) -> dict:
+        session = self._session
+        frame = maybe_wire(session._env.injector, "semirt->user", frame)
+        payload = session.user.decrypt_frame(
+            session.model_id, session.measurement, frame
+        )
+        if payload["index"] != expected_index:
+            raise InvocationError(
+                f"stream frame out of order: expected index {expected_index}, "
+                f"got {payload['index']} (dropped, reordered or replayed frame)"
+            )
+        return payload
+
+    def __iter__(self):
+        """Yield decrypted token ids in decode order."""
+        for index, frame in enumerate(self.handle):
+            yield self._decode_frame(frame, index)["token"]
+
+    def result(self, timeout_s: Optional[float] = None) -> List[int]:
+        """Block for the full decrypted token sequence.
+
+        ``timeout_s`` follows the repo-wide wait rule (seconds,
+        ``None`` = wait forever, :class:`~repro.errors.DeadlineExceeded`
+        on expiry; docs/service.md).
+        """
+        frames = self.handle.result(timeout_s=timeout_s)
+        return [
+            self._decode_frame(frame, index)["token"]
+            for index, frame in enumerate(frames)
+        ]
 
 
 class SeSeMIEnvironment:

@@ -1,0 +1,68 @@
+"""The unified Future protocol for every asynchronous result handle.
+
+Four layers of the stack hand back "a result you can wait on": the TCS
+scheduler's ``InferenceFuture``, the session tier's ``SessionFuture``,
+the gateway's ``GatewaySubmission`` and the service client's
+``RemoteFuture``.  They grew independently and converged on the same
+shape; :class:`Future` pins that shape down as a structural protocol so
+callers can be written against *one* contract and handed any of them
+(``tests/core/test_futures.py`` runs the contract against all four, plus
+the streaming handles).
+
+The contract:
+
+- ``result(timeout_s=None)`` blocks for the outcome.  It returns the
+  (layer-specific) payload on success, re-raises the failure exception,
+  and raises :class:`~repro.errors.DeadlineExceeded` if ``timeout_s``
+  elapses first.  Calling it again returns/raises the same outcome.
+- ``done()`` is a non-blocking terminal check: ``True`` once the handle
+  has a payload, a failure, or a delivered cancellation.
+- ``cancel()`` *requests* cancellation and returns whether the request
+  was accepted (``False`` once the handle is already terminal).
+  Acceptance is best-effort -- work already executing may still
+  complete; a cancelled handle's ``result()`` raises
+  :class:`~repro.errors.RequestCancelled`.
+
+Streams extend rather than replace the contract:
+:class:`~repro.core.semirt.InferenceStream` (and its gateway / session /
+remote wrappers) satisfies :class:`Future` -- ``result()`` returns the
+full frame sequence -- and additionally iterates frames as they are
+decoded.
+
+This is a :func:`typing.runtime_checkable` protocol: ``isinstance(x,
+Future)`` checks method presence only, which is exactly the guarantee a
+structural type can give.  The semantics above are enforced by the
+contract test, not the type system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+try:  # pragma: no cover - typing fallback exercised only on old runtimes
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+@runtime_checkable
+class Future(Protocol):
+    """Structural type of every asynchronous result handle (see module docs)."""
+
+    def result(self, timeout_s: Optional[float] = None) -> Any:
+        """Block for the outcome; re-raise its failure; honour ``timeout_s``."""
+        ...  # pragma: no cover - protocol
+
+    def done(self) -> bool:
+        """Non-blocking: has the handle reached a terminal state?"""
+        ...  # pragma: no cover - protocol
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``False`` if already terminal."""
+        ...  # pragma: no cover - protocol
+
+
+__all__ = ["Future"]

@@ -59,7 +59,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.semirt import InferenceFuture, SemirtHost
+from repro.core.semirt import InferenceFuture, InferenceStream, SemirtHost
 from repro.errors import (
     DeadlineExceeded,
     EnclaveError,
@@ -478,6 +478,48 @@ class InferenceGateway:
         Raises :class:`QueueFull` when the whole fleet is saturated,
         exactly like :meth:`dispatch`.
         """
+        handle, endpoint, decision, host, breaker = self._admit(
+            user_id,
+            model_id,
+            lambda host: host.submit(enc_request, user_id, model_id),
+            phase="admit",
+        )
+        return GatewaySubmission(
+            self, handle, endpoint, model_id, decision, host, breaker
+        )
+
+    def open_stream(
+        self, enc_request: bytes, user_id: str, model_id: str
+    ) -> "GatewayStream":
+        """Admit one autoregressive stream and return its frame handle.
+
+        The streaming face of :meth:`submit`: the identical admission
+        walk routes the sealed prompt, and the affinity hint doubles as
+        **stream-affinity routing** -- later streams for the same
+        ``<uid, model_id>`` pair are offered to the endpoint already
+        decoding that pair, which is what lets the endpoint's continuous
+        batcher merge them into its running group.  Rerouting is
+        admission-time only; once decoding starts, a mid-stream endpoint
+        death surfaces through the stream's iterator.
+        """
+        handle, endpoint, decision, host, breaker = self._admit(
+            user_id,
+            model_id,
+            lambda host: host.open_stream(enc_request, user_id, model_id),
+            phase="stream",
+        )
+        return GatewayStream(
+            self, handle, endpoint, model_id, decision, host, breaker
+        )
+
+    def _admit(self, user_id: str, model_id: str, admit, phase: str):
+        """The shared admission-time routing walk of submit/open_stream.
+
+        ``admit(host)`` performs the endpoint-local admission (enqueue a
+        future or open a stream) and its result is returned along with
+        the routing decision.  Raises :class:`QueueFull` when the whole
+        fleet is saturated.
+        """
         exclude: Set[str] = set()
         decision = RouteDecision(endpoint="")
         pressure_observed = False
@@ -543,7 +585,7 @@ class InferenceGateway:
             decision.cold = cold
             decision.cold_start_s = launch_s
             try:
-                future = host.submit(enc_request, user_id, model_id)
+                handle = admit(host)
             except QueueFull as exc:
                 last_queue_full = exc
                 exclude.add(endpoint)
@@ -581,19 +623,18 @@ class InferenceGateway:
                 temperature=decision.temperature,
                 batch_affinity=decision.batch_affinity,
                 warm_hint=decision.warm_hint,
-                phase="admit",
+                phase=phase,
             ):
                 pass  # admission-time decision span; serving runs async
             if getattr(host, "batch_policy", None) is not None:
                 # remember at *admission*: followers submitted while this
                 # request is still queued are exactly the ones the
-                # accumulator can merge with it
+                # accumulator can merge with it -- and for streams, the
+                # ones its continuous batcher can absorb mid-decode
                 self._affinity.remember(user_id, model_id, endpoint)
-            return GatewaySubmission(
-                self, future, endpoint, model_id, decision, host, breaker
-            )
+            return handle, endpoint, decision, host, breaker
         raise RoutingError(
-            f"submit for {model_id!r} exhausted rerouting in pool "
+            f"{phase} for {model_id!r} exhausted rerouting in pool "
             f"{self.pool.name!r}"
         )
 
@@ -965,6 +1006,147 @@ class GatewaySubmission:
             self._breaker.on_failure()
 
 
+class GatewayStream:
+    """An admitted autoregressive stream: iterate frames, wait, or cancel.
+
+    Returned by :meth:`InferenceGateway.open_stream`.  Wraps the
+    endpoint's :class:`~repro.core.semirt.InferenceStream` and settles
+    the gateway's routing state exactly once, the same accounting rule
+    as :class:`GatewaySubmission`: whichever of iterator exhaustion /
+    :meth:`result` / :meth:`cancel` resolves the stream first marks the
+    dispatch complete (or the endpoint dead).  Satisfies the
+    :class:`~repro.core.futures.Future` protocol -- ``result()`` blocks
+    for the full sealed frame sequence.
+    """
+
+    def __init__(
+        self,
+        gateway: InferenceGateway,
+        stream: InferenceStream,
+        endpoint: str,
+        model_id: str,
+        decision: RouteDecision,
+        host: SemirtHost,
+        breaker: Optional[CircuitBreaker],
+    ) -> None:
+        self._gateway = gateway
+        self.stream = stream
+        self.endpoint = endpoint
+        self.model_id = model_id
+        self.decision = decision
+        self.host = host
+        self._breaker = breaker
+        self._settled = False
+        self._settle_lock = threading.Lock()
+
+    @property
+    def ticket(self) -> Optional[int]:
+        """The endpoint-assigned observability id (service request ids)."""
+        return self.stream.ticket
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Admission-to-first-frame latency, once the first frame landed."""
+        return self.stream.ttft_s
+
+    @property
+    def tokens_per_s(self) -> Optional[float]:
+        """Decode throughput over the frames delivered so far."""
+        return self.stream.tokens_per_s
+
+    @property
+    def token_count(self) -> int:
+        return self.stream.token_count
+
+    def done(self) -> bool:
+        """True once the stream is terminal (finished, failed, cancelled)."""
+        return self.stream.done()
+
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until the stream is terminal; ``False`` on timeout."""
+        return self.stream.wait(timeout_s)
+
+    def cancelled(self) -> bool:
+        """True when cancellation was requested and won."""
+        return self.stream.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel the stream; ``False`` once it is already terminal.
+
+        The endpoint's continuous batcher drops the member at the next
+        decode step and closes its enclave stream context
+        (``EC_STREAM_CLOSE``), releasing the KV cache.  A cancel is not
+        an endpoint failure: the router sees a completion and the
+        breaker is left untouched.
+        """
+        ok = self.stream.cancel()
+        if ok:
+            self._settle(ok=True, touch_breaker=False)
+        return ok
+
+    def __iter__(self):
+        """Yield sealed token frames as the endpoint decodes them.
+
+        Exhaustion settles the dispatch as a success; a mid-stream
+        failure settles it as an endpoint failure and re-raises.
+        """
+        frames = iter(self.stream)
+        while True:
+            try:
+                frame = next(frames)
+            except StopIteration:
+                self._settle(ok=True)
+                return
+            except RequestCancelled:
+                self._settle(ok=True, touch_breaker=False)
+                raise
+            except Exception:
+                self._settle(ok=False)
+                raise
+            yield frame
+
+    def result(self, timeout_s: Optional[float] = None) -> List[bytes]:
+        """Block for the full frame sequence; re-raises the failure.
+
+        A ``timeout_s`` expiry raises
+        :class:`~repro.errors.DeadlineExceeded` *without* settling --
+        the stream is still decoding and can be polled again or
+        cancelled (the repo-wide wait rule, docs/service.md).
+        """
+        try:
+            frames = self.stream.result(timeout_s)
+        except RequestCancelled:
+            self._settle(ok=True, touch_breaker=False)
+            raise
+        except DeadlineExceeded:
+            if not self.stream.done():
+                raise  # poll timeout: still decoding, nothing settles
+            self._settle(ok=False)
+            raise
+        except Exception:
+            self._settle(ok=False)
+            raise
+        self._settle(ok=True)
+        return frames
+
+    def _settle(self, ok: bool, touch_breaker: bool = True) -> None:
+        with self._settle_lock:
+            if self._settled:
+                return
+            self._settled = True
+        gateway = self._gateway
+        gateway._finish(self.endpoint, self.model_id, ok=ok)
+        if not touch_breaker:
+            return
+        if ok:
+            if self._breaker is not None:
+                self._breaker.on_success()
+        elif not self.host.enclave.alive:
+            gateway._note_endpoint_death(self.endpoint, self._breaker)
+        elif self._breaker is not None:
+            self._breaker.on_failure()
+
+
 class _Reroute(Exception):
     """Internal: the chosen endpoint is unusable, pick another."""
 
@@ -972,6 +1154,7 @@ class _Reroute(Exception):
 __all__ = [
     "GatewayConfig",
     "GatewayReply",
+    "GatewayStream",
     "GatewaySubmission",
     "HostLauncher",
     "InferenceGateway",

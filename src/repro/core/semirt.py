@@ -74,11 +74,13 @@ from repro.errors import (
     EnclaveError,
     FaultInjected,
     InvocationError,
+    ModelError,
     QueueFull,
     RequestCancelled,
     TransportError,
 )
 from repro.faults.injector import maybe_wire
+from repro.mlrt.decoder import DecoderSession, greedy
 from repro.mlrt.framework import get_framework
 from repro.mlrt.model import Model
 from repro.obs.tracer import maybe_span
@@ -90,6 +92,16 @@ from repro.sgx.ratls import HandshakeOffer, RatlsPeer, SecureChannel, complete_h
 
 REQUEST_AAD = b"sesemi-request"
 RESPONSE_AAD = b"sesemi-response"
+# the streaming surface gets its own AAD pair: a sealed stream request
+# can never be replayed into EC_MODEL_INF (and vice versa), and a token
+# frame can never masquerade as a one-shot response -- cross-protocol
+# confusion fails AEAD authentication (docs/streaming.md)
+STREAM_AAD = b"sesemi-stream"
+FRAME_AAD = b"sesemi-frame"
+
+#: upper bound on tokens one stream may generate; bounds how long a
+#: stream context (and its KV cache) can pin enclave heap
+MAX_STREAM_TOKENS = 1024
 
 
 @dataclass(frozen=True)
@@ -236,6 +248,42 @@ class _KeyCacheEntry:
         self.cipher = SessionCipher(AESGCM(request_key))
 
 
+class _StreamContext:
+    """One live autoregressive stream's trusted state (enclave heap).
+
+    The per-ticket streaming sibling of the execution-context table:
+    where ``_contexts`` holds one sealed output per one-shot request, a
+    stream context holds the :class:`~repro.mlrt.decoder.DecoderSession`
+    whose KV caches *are* the stream's enclave-heap footprint, plus the
+    user's request cipher captured when the stream authenticated and the
+    remaining generation budget.  Released when the budget is spent, by
+    ``EC_STREAM_CLOSE`` (the cancel path), or with the enclave itself.
+    """
+
+    __slots__ = (
+        "uid", "model_id", "decoder", "cipher", "last_token", "index", "remaining"
+    )
+
+    def __init__(
+        self,
+        uid: str,
+        model_id: str,
+        decoder: DecoderSession,
+        cipher: SessionCipher,
+        last_token: int,
+        remaining: int,
+    ) -> None:
+        self.uid = uid
+        self.model_id = model_id
+        self.decoder = decoder
+        self.cipher = cipher
+        self.last_token = last_token
+        #: frames sealed so far (the next frame's index)
+        self.index = 0
+        #: tokens still allowed after the ones already emitted
+        self.remaining = remaining
+
+
 class SemirtEnclaveCode(EnclaveCode):
     """The trusted half of SeMIRT."""
 
@@ -289,6 +337,15 @@ class SemirtEnclaveCode(EnclaveCode):
         #: observability for tests/benchmarks: one (uid, model_id, size)
         #: row per EC_MODEL_INF_BATCH served
         self.batch_log: List[Tuple[str, str, int]] = []
+        # per-ticket stream contexts (the streaming sibling of
+        # _contexts): each holds a decoder whose KV caches live in the
+        # enclave heap until the stream drains or is closed.  Bounded by
+        # the TCS count like the execution-context table.
+        self._streams: Dict[int, _StreamContext] = {}
+        self._stream_lock = threading.Lock()
+        #: observability for tests/benchmarks: one (uid, model_id, size)
+        #: row per EC_STREAM_STEP served
+        self.stream_log: List[Tuple[str, str, int]] = []
 
     def settings(self) -> dict:
         """Build settings covered by MRENCLAVE (framework, E_K, isolation)."""
@@ -301,6 +358,12 @@ class SemirtEnclaveCode(EnclaveCode):
         """Execution contexts awaiting ``EC_GET_OUTPUT``/``EC_CLEAR_EXEC_CTX``."""
         with self._context_lock:
             return len(self._contexts)
+
+    @property
+    def open_streams(self) -> int:
+        """Live stream contexts (KV caches pinned in the enclave heap)."""
+        with self._stream_lock:
+            return len(self._streams)
 
     # -- ECALLs (Figure 5) -----------------------------------------------------------
 
@@ -430,6 +493,120 @@ class SemirtEnclaveCode(EnclaveCode):
             self._tls.runtime_model = None
 
     @ecall
+    def EC_MODEL_INF_STREAM(
+        self, enc_request: bytes, uid: str, model_id: str
+    ) -> Tuple[int, bytes, bool]:
+        """Open an autoregressive stream; returns ``(ticket, frame, done)``.
+
+        The streaming flavour of ``EC_MODEL_INF``: the sealed prompt
+        must authenticate under ``uid``'s request key ``K_R`` (the same
+        per-user rule as ``EC_MODEL_INF_BATCH``), the whole prompt is
+        prefilled, and the first token comes back immediately as a
+        sealed frame -- time-to-first-token is one enclave transition.
+        The decoder's KV caches stay in the enclave heap as a per-ticket
+        stream context beside the execution-context table; neither
+        prompt, KV state nor tokens ever cross the boundary in
+        plaintext.  ``done`` is true when the generation budget was one
+        token (no context is kept).  Later tokens come from
+        ``EC_STREAM_STEP``; ``EC_STREAM_CLOSE`` abandons the stream.
+        """
+        isolation = self._isolation
+        self._check_pinned(model_id)
+        capacity = self.enclave.config.tcs_count
+        with self._stream_lock:
+            if len(self._streams) >= capacity:
+                raise EnclaveError(
+                    f"all {capacity} stream contexts are in use; drain or "
+                    "close running streams before opening more"
+                )
+        self.last_plan = plan_invocation(
+            self._observable_state(uid, model_id),
+            model_id,
+            uid,
+            key_cache_enabled=isolation.key_cache,
+            reuse_runtime=isolation.reuse_runtime,
+        )
+        ctx = self._stream_guarded(
+            uid,
+            model_id,
+            lambda entry, model: self._open_stream(entry, model, enc_request, model_id),
+        )
+        frame = self._seal_frame(ctx)
+        done = ctx.remaining == 0
+        with self._stream_lock:
+            ticket = next(self._tickets)
+            if not done:
+                if len(self._streams) >= capacity:
+                    raise EnclaveError(
+                        "stream contexts were exhausted while the prompt prefetched"
+                    )
+                self._streams[ticket] = ctx
+        return ticket, frame, done
+
+    @ecall
+    def EC_STREAM_STEP(self, tickets: Sequence[int]) -> List[Tuple[bytes, bool]]:
+        """Advance several streams one decode step in a single transition.
+
+        The continuous-batching core: the host's group leader names the
+        tickets of every live member and each decoder advances one
+        token, so one enclave transition (and one service-time floor)
+        amortises across the group.  The batching **security rule**
+        matches ``EC_MODEL_INF_BATCH``: every ticket must belong to a
+        single ``<uid, M_oid>`` pair (each stream already authenticated
+        under that user's ``K_R`` at open time), the mix is refused as a
+        unit, and sequential builds refuse co-stepping more than one
+        stream.  Returns one ``(sealed_frame, done)`` per ticket in
+        order; a drained stream's context -- KV cache included -- is
+        released before returning.
+        """
+        if not tickets:
+            raise InvocationError("refusing an empty stream step")
+        if self._isolation.sequential and len(tickets) > 1:
+            raise InvocationError(
+                "sequential builds never co-execute requests; stream step refused"
+            )
+        with self._stream_lock:
+            contexts: List[_StreamContext] = []
+            for ticket in tickets:
+                ctx = self._streams.get(ticket)
+                if ctx is None:
+                    raise EnclaveError(f"no stream open for ticket {ticket!r}")
+                contexts.append(ctx)
+            pairs = {(ctx.uid, ctx.model_id) for ctx in contexts}
+            if len(pairs) > 1:
+                raise InvocationError(
+                    "a stream step must name a single <uid, model_id> pair; "
+                    "step refused"
+                )
+        results: List[Tuple[bytes, bool]] = []
+        for ticket, ctx in zip(tickets, contexts):
+            with self._stage_span(
+                Stage.MODEL_INFERENCE, model_id=ctx.model_id, component="mlrt"
+            ):
+                ctx.last_token = greedy(ctx.decoder.step(ctx.last_token))
+            ctx.remaining -= 1
+            frame = self._seal_frame(ctx)
+            done = ctx.remaining == 0
+            if done:
+                with self._stream_lock:
+                    self._streams.pop(ticket, None)
+            results.append((frame, done))
+        first = contexts[0]
+        self.stream_log.append((first.uid, first.model_id, len(contexts)))
+        return results
+
+    @ecall
+    def EC_STREAM_CLOSE(self, ticket: int) -> None:
+        """Release ``ticket``'s stream context and KV cache (idempotent).
+
+        The streaming sibling of ``EC_CLEAR_EXEC_CTX``: the host calls
+        it when a stream is cancelled so an abandoned decode never pins
+        enclave heap.
+        """
+        with self._stream_lock:
+            self._streams.pop(ticket, None)
+
+    @ecall
     def EC_INVALIDATE_KEYS(
         self, uid: Optional[str] = None, model_id: Optional[str] = None
     ) -> int:
@@ -519,6 +696,91 @@ class SemirtEnclaveCode(EnclaveCode):
             model = self._switch_model(model_id, entry.model_key)
             runtime = self._thread_runtime(model, model_id)
             return fn(entry, runtime, model), runtime
+
+    def _stream_guarded(self, uid: str, model_id: str, fn):
+        """:meth:`_serve_guarded`'s streaming twin: keys + model, no runtime.
+
+        A stream decodes through a :class:`DecoderSession` rather than a
+        per-TCS runtime (its state is per-*stream*, not per-thread), so
+        this skips the thread-runtime step while keeping the same
+        stale-memo self-healing: one retry with fresh keys when a cached
+        entry no longer authenticates.
+        """
+        entry, from_cache = self._obtain_keys(uid, model_id)
+        try:
+            model = self._switch_model(model_id, entry.model_key)
+            return fn(entry, model)
+        except InvocationError:
+            if not from_cache:
+                raise
+            self._invalidate_pair(uid, model_id)
+            entry, _ = self._obtain_keys(uid, model_id)
+            model = self._switch_model(model_id, entry.model_key)
+            return fn(entry, model)
+
+    def _open_stream(
+        self,
+        entry: _KeyCacheEntry,
+        model: Model,
+        enc_request: bytes,
+        model_id: str,
+    ) -> _StreamContext:
+        """Authenticate a stream request, prefill, emit the first token."""
+        with self._stage_span(Stage.REQUEST_DECRYPT, model_id=model_id):
+            try:
+                payload = wire.loads(
+                    entry.cipher.unseal(
+                        enc_request, aad=STREAM_AAD + model_id.encode()
+                    )
+                )
+            except Exception as exc:
+                raise InvocationError(
+                    "stream request does not authenticate under the user's "
+                    "request key"
+                ) from exc
+        prompt = np.frombuffer(payload["prompt"], dtype=np.float32)
+        if prompt.size == 0:
+            raise InvocationError("refusing an empty prompt")
+        max_new = int(payload["max_new_tokens"])
+        if not 1 <= max_new <= MAX_STREAM_TOKENS:
+            raise InvocationError(
+                f"max_new_tokens must be between 1 and {MAX_STREAM_TOKENS}"
+            )
+        try:
+            decoder = DecoderSession(model)
+        except ModelError as exc:
+            # a non-streamable model (e.g. the CNN zoo) is a bad request,
+            # not an enclave failure
+            raise InvocationError(str(exc)) from exc
+        with self._stage_span(
+            Stage.MODEL_INFERENCE, model_id=model_id, component="mlrt"
+        ):
+            first = greedy(decoder.prefill(int(t) for t in prompt))
+        return _StreamContext(
+            entry.uid, model_id, decoder, entry.cipher, first, max_new - 1
+        )
+
+    def _seal_frame(self, ctx: _StreamContext) -> bytes:
+        """Seal one token frame under the stream's request cipher.
+
+        Frames carry their index and a done marker inside the sealed
+        payload, so a host that drops, reorders or replays frames is
+        detectable by the client, not just by the enclave.
+        """
+        with self._stage_span(Stage.RESULT_ENCRYPT, model_id=ctx.model_id):
+            frame = ctx.cipher.seal(
+                wire.dumps(
+                    {
+                        "token": ctx.last_token,
+                        "index": ctx.index,
+                        "done": ctx.remaining == 0,
+                    },
+                    codec=wire.BINARY,
+                ),
+                aad=FRAME_AAD + ctx.model_id.encode(),
+            )
+        ctx.index += 1
+        return frame
 
     def _switch_model(self, model_id: str, model_key: bytes) -> Model:
         """Lines 11-13: switch the shared model if needed.  Double-checked
@@ -832,6 +1094,175 @@ class InferenceFuture:
             self._done.set()
 
 
+class InferenceStream:
+    """A live autoregressive stream: sealed token frames as they decode.
+
+    Returned immediately by :meth:`SemirtHost.open_stream`.  Iterating
+    yields sealed frames in order as the decode loop emits them (the
+    consumer decrypts each with
+    :meth:`~repro.core.client.UserClient.decrypt_frame`);
+    :meth:`result` blocks for the complete frame sequence, which makes a
+    stream satisfy the :class:`~repro.core.futures.Future` protocol --
+    the one-shot view of a streaming request.
+
+    :meth:`cancel` stops generation between decode steps: the group
+    leader closes the enclave stream context (``EC_STREAM_CLOSE``
+    releases the KV cache) before :class:`~repro.errors.RequestCancelled`
+    surfaces to iterators and waiters.
+
+    ``ttft_s`` and ``tokens_per_s`` are measured host-side from frame
+    arrival times -- the observability the streaming benchmark reports.
+    """
+
+    def __init__(self, enc_request: bytes, uid: str, model_id: str) -> None:
+        self.uid = uid
+        self.model_id = model_id
+        self._enc_request = enc_request
+        self._cv = threading.Condition()
+        self._frames: List[bytes] = []
+        self._finished = False
+        self._error: Optional[BaseException] = None
+        self._cancelled = False
+        #: monotonic id for observability (set by :meth:`SemirtHost.open_stream`)
+        self.ticket: Optional[int] = None
+        #: ambient span at submit time; the leader re-parents under it
+        self._parent = None
+        self._enqueued_at = time.monotonic()
+        #: the TCS slot whose leader admitted this stream
+        self.tcs_slot: Optional[int] = None
+        #: seconds spent in the admission queue (set by the worker)
+        self.queue_wait: Optional[float] = None
+        self._first_frame_at: Optional[float] = None
+        self._last_frame_at: Optional[float] = None
+
+    # -- the Future protocol -------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the stream has drained, failed, or been cancelled."""
+        with self._cv:
+            return self._terminal()
+
+    def cancelled(self) -> bool:
+        """True when cancellation was requested (and not lost to completion)."""
+        with self._cv:
+            return self._cancelled
+
+    def cancel(self) -> bool:
+        """Request cancellation; ``False`` when the stream already ended.
+
+        Returning ``True`` guarantees iteration/:meth:`result` raises
+        :class:`~repro.errors.RequestCancelled` and the stream's enclave
+        context (KV cache included) has been -- or will be, before the
+        error surfaces -- released via ``EC_STREAM_CLOSE``.
+        """
+        with self._cv:
+            if self._terminal():
+                return False
+            self._cancelled = True
+            return True
+
+    def wait(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until the stream is terminal; ``False`` on timeout."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._cv:
+            while not self._terminal():
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+            return True
+
+    def result(self, timeout_s: Optional[float] = None) -> List[bytes]:
+        """Block for the full sealed-frame sequence; re-raise any failure.
+
+        The ``Future`` view of a stream: where ``InferenceFuture.result``
+        returns one sealed output, this returns the ordered list of
+        sealed token frames.  ``timeout_s`` follows the repo-wide rule
+        (:class:`~repro.errors.DeadlineExceeded` on expiry).
+        """
+        if not self.wait(timeout_s):
+            raise DeadlineExceeded(
+                f"stream for model {self.model_id!r} not drained within {timeout_s}s"
+            )
+        with self._cv:
+            if self._error is not None:
+                raise self._error
+            return list(self._frames)
+
+    # -- streaming consumption -----------------------------------------------------
+
+    def __iter__(self):
+        """Yield sealed frames in decode order, blocking between steps."""
+        index = 0
+        while True:
+            with self._cv:
+                while index >= len(self._frames) and not self._terminal():
+                    self._cv.wait()
+                if index < len(self._frames):
+                    frame = self._frames[index]
+                elif self._error is not None:
+                    raise self._error
+                else:
+                    return
+            index += 1
+            yield frame
+
+    @property
+    def token_count(self) -> int:
+        """Frames delivered so far (grows while the stream decodes)."""
+        with self._cv:
+            return len(self._frames)
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Seconds from submission to the first frame (None before it)."""
+        with self._cv:
+            if self._first_frame_at is None:
+                return None
+            return self._first_frame_at - self._enqueued_at
+
+    @property
+    def tokens_per_s(self) -> Optional[float]:
+        """Decode throughput over the frames delivered so far."""
+        with self._cv:
+            if self._first_frame_at is None or self._last_frame_at is None:
+                return None
+            elapsed = self._last_frame_at - self._enqueued_at
+            if elapsed <= 0:
+                return None
+            return len(self._frames) / elapsed
+
+    # -- scheduler side ------------------------------------------------------------
+
+    def _terminal(self) -> bool:
+        return self._finished or self._error is not None
+
+    def _cancel_requested(self) -> bool:
+        with self._cv:
+            return self._cancelled
+
+    def _push(self, frame: bytes) -> None:
+        with self._cv:
+            now = time.monotonic()
+            if self._first_frame_at is None:
+                self._first_frame_at = now
+            self._last_frame_at = now
+            self._frames.append(frame)
+            self._cv.notify_all()
+
+    def _finish(self) -> None:
+        with self._cv:
+            if not self._terminal():
+                self._finished = True
+            self._cv.notify_all()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._cv:
+            if not self._terminal():
+                self._error = error
+            self._cv.notify_all()
+
+
 class _FormingBatch:
     """One accumulating hot-path batch: the leader plus joined followers.
 
@@ -845,6 +1276,27 @@ class _FormingBatch:
         self.uid = leader.uid
         self.model_id = leader.model_id
         self.members: List[InferenceFuture] = [leader]
+        self.closed = False
+
+
+class _StreamGroup:
+    """One running continuous batch of streams (host bookkeeping only).
+
+    Unlike :class:`_FormingBatch` -- which collects, closes, executes
+    once -- a stream group stays open while it decodes: new streams land
+    in ``joiners`` and the leader absorbs them *between* decode steps,
+    and a drained or cancelled member leaves without stopping the rest.
+    The enclave re-checks the same-pair rule on every ``EC_STREAM_STEP``
+    regardless of what the host grouped.
+    """
+
+    def __init__(self, leader: InferenceStream) -> None:
+        self.uid = leader.uid
+        self.model_id = leader.model_id
+        #: streams waiting for the leader to open them in-enclave
+        self.joiners: List[InferenceStream] = [leader]
+        #: ``(enclave ticket, stream)`` pairs currently decoding
+        self.members: List[Tuple[int, InferenceStream]] = []
         self.closed = False
 
 
@@ -936,6 +1388,9 @@ class SemirtHost:
         )
         self._batch_cv = threading.Condition()
         self._forming: Optional[_FormingBatch] = None
+        #: the running continuous batch of streams (one per host; guarded
+        #: by _batch_cv like the forming batch)
+        self._stream_group: Optional[_StreamGroup] = None
         #: enclave execution contexts reserved by in-flight serves; a
         #: batch holds several contexts with one worker thread, so the
         #: host must account for them across workers (the enclave's own
@@ -1008,7 +1463,7 @@ class SemirtHost:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            future: InferenceFuture = item
+            future = item
             future.tcs_slot = slot
             future.queue_wait = time.monotonic() - future._enqueued_at
             if future._cancel_requested():
@@ -1018,6 +1473,9 @@ class SemirtHost:
                         f"request for model {future.model_id!r} was cancelled"
                     )
                 )
+                continue
+            if isinstance(future, InferenceStream):
+                self._handle_stream(future, slot)
                 continue
             if self._batch_policy is not None and self._maybe_batch(future, slot):
                 continue
@@ -1252,6 +1710,224 @@ class SemirtHost:
             return
         self._hot_pair = (uid, model_id) if self._isolation.key_cache else None
 
+    # -- the continuous-batching stream plane ---------------------------------------
+
+    def _handle_stream(self, stream: InferenceStream, slot: int) -> None:
+        """Admit one stream to the continuous-batching plane.
+
+        The first stream's worker becomes the decode **leader** and
+        drives the group's step loop until the group is empty; a later
+        worker whose stream matches the running group's ``<uid,
+        model_id>`` pair hands it over as a *joiner* and returns to the
+        pool -- the member is absorbed between decode steps without
+        stopping anyone.  Without an armed batch policy every stream
+        leads a group of one: the per-request decoding baseline.
+        """
+        policy = self._batch_policy
+        cap = policy.max_batch if policy is not None else 1
+        with self._batch_cv:
+            group = self._stream_group
+            if (
+                group is not None
+                and not group.closed
+                and (group.uid, group.model_id) == (stream.uid, stream.model_id)
+                and len(group.members) + len(group.joiners) < cap
+            ):
+                group.joiners.append(stream)
+                self._batch_cv.notify_all()
+                return
+            group = _StreamGroup(stream)
+            if cap > 1:
+                self._stream_group = group
+        self._lead_stream_group(group, slot)
+
+    def _lead_stream_group(self, group: _StreamGroup, slot: int) -> None:
+        """Leader side of continuous batching: open joiners, step members.
+
+        Each iteration absorbs any waiting joiners first (prefill + first
+        frame immediately -- time-to-first-token never waits on a
+        window), drops cancelled members (``EC_STREAM_CLOSE`` releases
+        the enclave KV context before ``RequestCancelled`` surfaces),
+        then advances every live stream one token through a single
+        ``EC_STREAM_STEP`` paced to the policy's amortised batch cost.
+        A leader crash at the ``semirt:batch`` fault site fails every
+        member and joiner -- followers never hang on a dead leader.
+        """
+        try:
+            while True:
+                with self._batch_cv:
+                    joiners, group.joiners = group.joiners, []
+                for stream in joiners:
+                    self._open_stream_member(group, stream, slot)
+                self._drop_cancelled_streams(group, slot)
+                if not group.members:
+                    with self._batch_cv:
+                        if group.joiners:
+                            continue  # a joiner raced in: keep leading
+                        return
+                if self._injector is not None and self._injector.crash_enclave(
+                    "semirt:batch"
+                ):
+                    # the leader dies mid-decode: members must never hang
+                    self.destroy()
+                    self._fail_stream_group(
+                        group,
+                        FaultInjected("semirt enclave crashed mid-stream step"),
+                    )
+                    return
+                try:
+                    self._step_stream_group(group, slot)
+                except BaseException as exc:  # noqa: BLE001 - relayed to members
+                    self._fail_stream_group(group, exc)
+                    return
+        finally:
+            with self._batch_cv:
+                group.closed = True
+                if self._stream_group is group:
+                    self._stream_group = None
+                stranded, group.joiners = group.joiners, []
+            # a joiner that slipped in while we were closing must not
+            # hang: hand it back to the scheduler so another worker
+            # leads a fresh group for it
+            for stream in stranded:
+                if not self.enclave.alive:
+                    stream._fail(
+                        EnclaveError(f"{self.enclave.enclave_id} is destroyed")
+                    )
+                    continue
+                try:
+                    self._queue.put_nowait(stream)
+                except queue_module.Full:
+                    stream._fail(
+                        QueueFull(
+                            "admission queue full while re-queuing a stream joiner"
+                        )
+                    )
+
+    def _open_stream_member(
+        self, group: _StreamGroup, stream: InferenceStream, slot: int
+    ) -> None:
+        """Open one stream in-enclave (prefill) and push its first frame."""
+        stream.tcs_slot = slot
+        if stream._cancel_requested():
+            # never reached the enclave: no stream context to close
+            stream._fail(
+                RequestCancelled(
+                    f"stream for model {stream.model_id!r} was cancelled"
+                )
+            )
+            return
+        attach = (
+            self.tracer.attach(stream._parent)
+            if self.tracer is not None and stream._parent is not None
+            else nullcontext()
+        )
+        with attach:
+            started = time.monotonic()
+            started_cpu = time.thread_time()
+            try:
+                with maybe_span(
+                    self.tracer,
+                    "ecall:EC_MODEL_INF_STREAM",
+                    model_id=stream.model_id,
+                    tcs_slot=slot,
+                    ticket=stream.ticket,
+                    queue_wait=stream.queue_wait,
+                ):
+                    ticket, frame, done = self.enclave.ecall(
+                        "EC_MODEL_INF_STREAM",
+                        stream._enc_request,
+                        stream.uid,
+                        stream.model_id,
+                    )
+                    # prefill costs one full service-time floor (it runs
+                    # the whole prompt), whatever the group size
+                    self._pace(started, started_cpu)
+            except BaseException as exc:  # noqa: BLE001 - this stream only
+                stream._fail(exc)
+                return
+        stream._push(frame)
+        if done:
+            stream._finish()
+        else:
+            with self._batch_cv:
+                group.members.append((ticket, stream))
+        self._note_served(stream.uid, stream.model_id)
+
+    def _drop_cancelled_streams(self, group: _StreamGroup, slot: int) -> None:
+        """Release cancelled members' enclave contexts, then drop them."""
+        live: List[Tuple[int, InferenceStream]] = []
+        for ticket, stream in group.members:
+            if not stream._cancel_requested():
+                live.append((ticket, stream))
+                continue
+            try:
+                with maybe_span(
+                    self.tracer, "ecall:EC_STREAM_CLOSE", tcs_slot=slot
+                ):
+                    self.enclave.ecall("EC_STREAM_CLOSE", ticket)
+            except BaseException:  # noqa: BLE001 - enclave died; context gone with it
+                pass
+            stream._fail(
+                RequestCancelled(
+                    f"stream for model {stream.model_id!r} was cancelled"
+                )
+            )
+        with self._batch_cv:
+            group.members = live
+
+    def _step_stream_group(self, group: _StreamGroup, slot: int) -> None:
+        """Advance every live member one token via one ``EC_STREAM_STEP``."""
+        members = list(group.members)
+        tickets = [ticket for ticket, _ in members]
+        size = len(members)
+        floor = self.scheduler.paced_service_s
+        leader = members[0][1]
+        attach = (
+            self.tracer.attach(leader._parent)
+            if self.tracer is not None and leader._parent is not None
+            else nullcontext()
+        )
+        with attach:
+            started = time.monotonic()
+            started_cpu = time.thread_time()
+            with maybe_span(
+                self.tracer,
+                "ecall:EC_STREAM_STEP",
+                model_id=group.model_id,
+                tcs_slot=slot,
+                batch_size=size,
+                amortised_s=(
+                    self._batch_policy.amortised_s(floor, size)
+                    if floor is not None and self._batch_policy is not None
+                    else None
+                ),
+            ):
+                results = self.enclave.ecall("EC_STREAM_STEP", tickets)
+                self._pace(started, started_cpu, size=size)
+        live: List[Tuple[int, InferenceStream]] = []
+        for (ticket, stream), (frame, done) in zip(members, results):
+            stream._push(frame)
+            if done:
+                stream._finish()
+            else:
+                live.append((ticket, stream))
+        with self._batch_cv:
+            group.members = live
+        self._note_served(group.uid, group.model_id)
+
+    def _fail_stream_group(
+        self, group: _StreamGroup, error: BaseException
+    ) -> None:
+        """Fail every member and joiner of a group (leader died mid-decode)."""
+        with self._batch_cv:
+            members, group.members = group.members, []
+            joiners, group.joiners = group.joiners, []
+        for _, stream in members:
+            stream._fail(error)
+        for stream in joiners:
+            stream._fail(error)
+
     # -- the single-request ECALL cycle ---------------------------------------------
 
     def _serve(self, future: InferenceFuture, slot: int) -> bytes:
@@ -1363,6 +2039,38 @@ class SemirtHost:
                 "drain results or raise SchedulerConfig.queue_depth"
             ) from None
         return future
+
+    def open_stream(
+        self, enc_request: bytes, uid: str, model_id: str
+    ) -> InferenceStream:
+        """Admit one autoregressive stream; returns immediately.
+
+        The streaming sibling of :meth:`submit`: the sealed prompt (a
+        ``STREAM_AAD`` payload from
+        :meth:`~repro.core.client.UserClient.encrypt_stream_request`)
+        joins the continuous-batching plane and the returned
+        :class:`InferenceStream` yields sealed token frames as they
+        decode.  Backpressure (:class:`~repro.errors.QueueFull`) and the
+        ``semirt`` crash fault site behave exactly as for :meth:`submit`.
+        """
+        if self._injector is not None and self._injector.crash_enclave("semirt"):
+            self.destroy()
+            raise FaultInjected("semirt enclave crashed mid-ECALL")
+        if not self.enclave.alive:
+            raise EnclaveError(f"{self.enclave.enclave_id} is destroyed")
+        self._ensure_workers()
+        stream = InferenceStream(enc_request, uid, model_id)
+        stream.ticket = next(self._ticket_ids)
+        if self.tracer is not None:
+            stream._parent = self.tracer.current_span()
+        try:
+            self._queue.put_nowait(stream)
+        except queue_module.Full:
+            raise QueueFull(
+                f"admission queue full ({self.scheduler.queue_depth} waiting); "
+                "drain results or raise SchedulerConfig.queue_depth"
+            ) from None
+        return stream
 
     def result(
         self,

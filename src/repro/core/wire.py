@@ -27,10 +27,6 @@ chose.  :func:`dumps` defaults to JSON; hot-path callers opt into
 This module is deliberately stdlib-only (plus ``repro.errors``) so it
 stays importable from every layer; ``scripts/check_layering.py``
 enforces that.
-
-The legacy free functions :func:`encode`/:func:`decode` survive as
-deprecated shims for one release -- ``encode`` is ``JSON.dumps`` and
-``decode`` is the versioned :func:`loads`.
 """
 
 from __future__ import annotations
@@ -38,7 +34,6 @@ from __future__ import annotations
 import json
 import math
 import struct
-import warnings
 from typing import Any, List, Tuple
 
 try:  # pragma: no cover - typing fallback exercised only on old runtimes
@@ -321,30 +316,6 @@ def corrupt(raw: bytes, bit_index: int = 0) -> bytes:
     return bytes(mutated)
 
 
-# -- deprecated shims (one release) -------------------------------------------
-
-
-def encode(message: dict) -> bytes:
-    """Deprecated alias for ``dumps(message)`` (canonical JSON)."""
-    warnings.warn(
-        "wire.encode() is deprecated; use wire.dumps(message) "
-        "(or dumps(message, codec=wire.BINARY) on the hot path)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return JSON.dumps(message)
-
-
-def decode(raw: bytes) -> dict:
-    """Deprecated alias for the versioned :func:`loads`."""
-    warnings.warn(
-        "wire.decode() is deprecated; use wire.loads(raw)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return loads(raw)
-
-
 __all__ = [
     "BINARY",
     "BINARY_VERSION",
@@ -354,8 +325,6 @@ __all__ = [
     "WireCodec",
     "WireError",
     "corrupt",
-    "decode",
     "dumps",
-    "encode",
     "loads",
 ]

@@ -1,0 +1,142 @@
+"""Incremental (token-at-a-time) execution of decoder-only graphs.
+
+A :class:`DecoderSession` walks the same operator graph the batch
+runtimes execute, but one time position per call: position-wise ops run
+unchanged on an ``(1, 1, D)`` activation, :func:`~repro.mlrt.layers.embedding`
+is fed the running position offset, and every ``attention`` node keeps a
+per-node key/value cache that grows by one row per step.  Because the
+positional encodings are a pure function of absolute position and the
+causal mask is implicit in the cache, a chain of :meth:`step` calls
+reproduces full-context :meth:`~repro.mlrt.model.Model.run_reference`
+execution exactly -- the property the parity tests pin down.
+
+Inside SeMIRT this object *is* the per-stream execution context: the KV
+caches live in the enclave heap for the lifetime of the stream and are
+released by ``EC_STREAM_CLOSE`` (see ``docs/streaming.md`` for the
+EPC-pressure consequences).  Decoding is greedy (argmax) so the token
+sequence is a deterministic function of prompt and weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.mlrt import layers
+from repro.mlrt.layers import run_op
+from repro.mlrt.model import Model
+
+#: ops safe to evaluate one time position at a time.  Everything here is
+#: position-wise except the three that get special handling below.
+_STREAMABLE_OPS = frozenset(
+    {
+        "embedding",
+        "attention",
+        "take_last",
+        "layer_norm",
+        "linear",
+        "gelu",
+        "add",
+        "relu",
+        "relu6",
+        "softmax",
+        "batch_norm",
+    }
+)
+
+
+def streamable(model: Model) -> bool:
+    """Whether every op in ``model`` supports incremental decoding."""
+    return all(node.op in _STREAMABLE_OPS for node in model.nodes)
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Greedy sampling: the argmax token id of a logits row."""
+    return int(np.argmax(logits))
+
+
+class DecoderSession:
+    """One autoregressive decode in progress: position + KV caches.
+
+    :meth:`step` consumes one token id and returns the next-token logits;
+    :meth:`prefill` folds a whole prompt in (the time-to-first-token
+    cost).  State is the running position and one ``(k, v)`` cache pair
+    per attention node -- ``kv_bytes`` is what a stream pins in enclave
+    memory.
+    """
+
+    def __init__(self, model: Model) -> None:
+        unsupported = sorted(
+            {n.op for n in model.nodes if n.op not in _STREAMABLE_OPS}
+        )
+        if unsupported:
+            raise ModelError(
+                f"model {model.name!r} is not streamable: "
+                f"op(s) {unsupported} cannot run incrementally"
+            )
+        if not model.nodes:
+            raise ModelError("cannot stream an empty model")
+        self._model = model
+        self._position = 0
+        self._kv: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def position(self) -> int:
+        """Tokens consumed so far (prompt + generated)."""
+        return self._position
+
+    @property
+    def kv_bytes(self) -> int:
+        """Bytes pinned by the KV caches (the stream's EPC footprint)."""
+        return sum(k.nbytes + v.nbytes for k, v in self._kv.values())
+
+    def step(self, token: int) -> np.ndarray:
+        """Advance one position; returns the next-token logits row."""
+        model = self._model
+        values: Dict[str, np.ndarray] = {
+            "input": np.array([[float(token)]], dtype=np.float32)
+        }
+        for node in model.nodes:
+            inputs = [values[name] for name in node.inputs]
+            weights = model.node_weights(node)
+            if node.op == "embedding":
+                out = layers.embedding(
+                    inputs[0], weights["weight"], offset=self._position
+                )
+            elif node.op == "attention":
+                k_cache, v_cache = self._kv.get(node.name, (None, None))
+                out, k_cache, v_cache = layers.attention_step(
+                    inputs[0],
+                    weights["wq"], weights["wk"], weights["wv"], weights["wo"],
+                    k_cache, v_cache, heads=node.attrs["heads"],
+                )
+                self._kv[node.name] = (k_cache, v_cache)
+            else:
+                # position-wise at T=1 (take_last included: the last
+                # position of a single-position tensor is itself)
+                out = run_op(node.op, inputs, node.attrs, weights)
+            values[node.name] = out
+        self._position += 1
+        return values[model.output_node]
+
+    def prefill(self, tokens: Iterable[int]) -> np.ndarray:
+        """Consume a whole prompt; returns the last position's logits."""
+        logits: Optional[np.ndarray] = None
+        for token in tokens:
+            logits = self.step(int(token))
+        if logits is None:
+            raise ModelError("cannot prefill an empty prompt")
+        return logits
+
+    def generate(self, prompt: Iterable[int], max_new_tokens: int) -> List[int]:
+        """Greedy-decode ``max_new_tokens`` after ``prompt`` (reference/test)."""
+        if max_new_tokens < 1:
+            raise ModelError("max_new_tokens must be at least 1")
+        token = greedy(self.prefill(prompt))
+        produced = [token]
+        while len(produced) < max_new_tokens:
+            token = greedy(self.step(token))
+            produced.append(token)
+        return produced

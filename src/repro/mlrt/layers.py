@@ -10,7 +10,7 @@ Layout is NHWC, matching both TFLM and the paper's TVM builds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -126,6 +126,121 @@ def softmax(x: np.ndarray) -> np.ndarray:
     return (e / e.sum(axis=-1, keepdims=True)).astype(np.float32)
 
 
+def positional_encoding(length: int, dim: int, offset: int = 0) -> np.ndarray:
+    """Sinusoidal positional encodings for ``length`` positions.
+
+    Being a pure function of the absolute position (no learned table),
+    the same values fall out whether a sequence is embedded whole or one
+    token at a time with a running ``offset`` -- which is what lets the
+    incremental decoder reproduce full-context execution exactly.
+    """
+    positions = np.arange(offset, offset + length, dtype=np.float32)[:, None]
+    dims = np.arange(dim, dtype=np.float32)[None, :]
+    angles = positions / np.power(10000.0, (2 * (dims // 2)) / dim)
+    enc = np.where(dims % 2 == 0, np.sin(angles), np.cos(angles))
+    return enc.astype(np.float32)
+
+
+def embedding(x: np.ndarray, weight: np.ndarray, *, offset: int = 0) -> np.ndarray:
+    """Token embedding + sinusoidal positions; weight layout (VOCAB, DIM).
+
+    ``x`` is an (N, T) float tensor carrying token ids (the wire format
+    is float32 everywhere); ids are clipped into the vocabulary.
+    """
+    vocab, dim = weight.shape
+    ids = np.clip(x.astype(np.int64), 0, vocab - 1)
+    out = weight[ids] + positional_encoding(x.shape[1], dim, offset=offset)
+    return out.astype(np.float32)
+
+
+def layer_norm(x: np.ndarray, scale: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Layer normalisation over the last axis with learned scale/shift."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return ((x - mean) / np.sqrt(var + 1e-5) * scale + shift).astype(np.float32)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU activation (tanh approximation)."""
+    inner = np.sqrt(2.0 / np.pi) * (x + 0.044715 * x ** 3)
+    return (0.5 * x * (1.0 + np.tanh(inner))).astype(np.float32)
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Position-wise affine map over the last axis; weight layout (IN, OUT).
+
+    Unlike :func:`dense` this keeps the leading dimensions -- it is the
+    per-token projection transformer blocks are made of.
+    """
+    return (x @ weight + bias).astype(np.float32)
+
+
+def _split_heads(x: np.ndarray, heads: int) -> np.ndarray:
+    """(N, T, D) -> (N, heads, T, D/heads)."""
+    n, t, d = x.shape
+    return x.reshape(n, t, heads, d // heads).transpose(0, 2, 1, 3)
+
+
+def attention(
+    x: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    wo: np.ndarray,
+    *,
+    heads: int,
+) -> np.ndarray:
+    """Causal multi-head self-attention; each weight is (D, D)."""
+    n, t, d = x.shape
+    dh = d // heads
+    q = _split_heads(x @ wq, heads)
+    k = _split_heads(x @ wk, heads)
+    v = _split_heads(x @ wv, heads)
+    scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(np.float32(dh))
+    mask = np.triu(np.full((t, t), -np.inf, dtype=np.float32), k=1)
+    probs = softmax(scores + mask)
+    out = (probs @ v).transpose(0, 2, 1, 3).reshape(n, t, d)
+    return (out @ wo).astype(np.float32)
+
+
+def attention_step(
+    x: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    wo: np.ndarray,
+    k_cache: Optional[np.ndarray],
+    v_cache: Optional[np.ndarray],
+    *,
+    heads: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One incremental attention step over an (N, 1, D) token.
+
+    Appends the new key/value rows to the caches (layout
+    ``(N, heads, T, D/heads)``) and attends the fresh query over every
+    cached position -- the causal mask is implicit because the caches
+    only ever hold the past.  Returns ``(output, k_cache, v_cache)``;
+    the caches are what the enclave keeps in its heap between decode
+    steps.
+    """
+    n, t, d = x.shape
+    dh = d // heads
+    q = _split_heads(x @ wq, heads)
+    k_new = _split_heads(x @ wk, heads)
+    v_new = _split_heads(x @ wv, heads)
+    k = k_new if k_cache is None else np.concatenate([k_cache, k_new], axis=2)
+    v = v_new if v_cache is None else np.concatenate([v_cache, v_new], axis=2)
+    scores = (q @ k.transpose(0, 1, 3, 2)) / np.sqrt(np.float32(dh))
+    probs = softmax(scores)
+    out = (probs @ v).transpose(0, 2, 1, 3).reshape(n, t, d)
+    return (out @ wo).astype(np.float32), k, v
+
+
+def take_last(x: np.ndarray) -> np.ndarray:
+    """Slice the last time position, (N, T, D) -> (N, D)."""
+    return np.ascontiguousarray(x[:, -1, :])
+
+
 # ---------------------------------------------------------------------------
 # shape inference
 # ---------------------------------------------------------------------------
@@ -156,8 +271,27 @@ def infer_shape(
     if op == "dense":
         _, cout = weight_shapes["weight"]
         return (first[0], cout)
-    if op in ("batch_norm", "relu", "relu6", "softmax"):
+    if op in ("batch_norm", "relu", "relu6", "softmax", "layer_norm", "gelu"):
         return tuple(first)
+    if op == "embedding":
+        _, dim = weight_shapes["weight"]
+        return tuple(first) + (dim,)
+    if op == "linear":
+        _, cout = weight_shapes["weight"]
+        return tuple(first[:-1]) + (cout,)
+    if op == "attention":
+        if len(first) != 3:
+            raise ModelError("attention expects an (N, T, D) input")
+        if first[-1] % attrs["heads"]:
+            raise ModelError(
+                f"attention dim {first[-1]} is not divisible by "
+                f"{attrs['heads']} heads"
+            )
+        return tuple(first)
+    if op == "take_last":
+        if len(first) != 3:
+            raise ModelError("take_last expects an (N, T, D) input")
+        return (first[0], first[2])
     if op == "add":
         if tuple(input_shapes[0]) != tuple(input_shapes[1]):
             raise ModelError("add requires matching shapes")
@@ -209,6 +343,21 @@ def run_op(
         return global_avg_pool(inputs[0])
     if op == "softmax":
         return softmax(inputs[0])
+    if op == "embedding":
+        return embedding(inputs[0], weights["weight"])
+    if op == "layer_norm":
+        return layer_norm(inputs[0], weights["scale"], weights["shift"])
+    if op == "gelu":
+        return gelu(inputs[0])
+    if op == "linear":
+        return linear(inputs[0], weights["weight"], weights["bias"])
+    if op == "attention":
+        return attention(
+            inputs[0], weights["wq"], weights["wk"], weights["wv"],
+            weights["wo"], heads=attrs["heads"],
+        )
+    if op == "take_last":
+        return take_last(inputs[0])
     raise ModelError(f"unknown op {op!r}")
 
 
@@ -218,4 +367,8 @@ WEIGHTED_OPS: Dict[str, Tuple[str, ...]] = {
     "depthwise_conv2d": ("weight", "bias"),
     "dense": ("weight", "bias"),
     "batch_norm": ("scale", "shift"),
+    "embedding": ("weight",),
+    "layer_norm": ("scale", "shift"),
+    "linear": ("weight", "bias"),
+    "attention": ("wq", "wk", "wv", "wo"),
 }

@@ -288,6 +288,38 @@ class GraphBuilder:
         """Append a softmax over the last axis."""
         return self._append("softmax", (src,))
 
+    def embedding(self, src: str, vocab: int, dim: int) -> str:
+        """Append a token embedding (plus sinusoidal positions)."""
+        return self._append("embedding", (src,), {}, {"weight": (vocab, dim)})
+
+    def layer_norm(self, src: str) -> str:
+        """Append a layer norm over the last axis (scale/shift)."""
+        d = self._shapes[src][-1]
+        return self._append("layer_norm", (src,), {}, {"scale": (d,), "shift": (d,)})
+
+    def gelu(self, src: str) -> str:
+        """Append a GELU activation."""
+        return self._append("gelu", (src,))
+
+    def linear(self, src: str, cout: int) -> str:
+        """Append a position-wise affine map over the last axis."""
+        cin = self._shapes[src][-1]
+        return self._append(
+            "linear", (src,), {}, {"weight": (cin, cout), "bias": (cout,)}
+        )
+
+    def attention(self, src: str, heads: int = 2) -> str:
+        """Append causal multi-head self-attention."""
+        d = self._shapes[src][-1]
+        return self._append(
+            "attention", (src,), {"heads": heads},
+            {"wq": (d, d), "wk": (d, d), "wv": (d, d), "wo": (d, d)},
+        )
+
+    def take_last(self, src: str) -> str:
+        """Append a slice of the last time position."""
+        return self._append("take_last", (src,))
+
     def build(self) -> Model:
         """Finalise the graph into an immutable Model."""
         return Model(self.name, self.input_spec, self.nodes, self.weights)

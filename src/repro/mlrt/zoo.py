@@ -57,6 +57,35 @@ def build_resnet(num_classes: int = 10, width: int = 8, blocks: int = 3, seed: i
     return b.build()
 
 
+def build_tinylm(
+    vocab: int = 32,
+    dim: int = 16,
+    heads: int = 2,
+    blocks: int = 2,
+    ctx: int = 16,
+    seed: int = 7,
+) -> Model:
+    """A small decoder-only transformer (the streaming workload's model).
+
+    Pre-norm blocks -- attention and a GELU MLP, each behind a residual
+    -- over token + sinusoidal position embeddings, ending in a
+    last-position logits head.  The input is a ``(1, ctx)`` float tensor
+    of token ids; every op is position-wise or causal, so the model runs
+    both whole (``run_reference``, the runtimes) and one token at a time
+    through :class:`repro.mlrt.decoder.DecoderSession` with identical
+    results.
+    """
+    b = GraphBuilder("tinylm", TensorSpec((1, ctx)), seed=seed)
+    x = b.embedding("input", vocab, dim)
+    for _ in range(blocks):
+        x = b.add(x, b.attention(b.layer_norm(x), heads=heads))
+        h = b.gelu(b.linear(b.layer_norm(x), dim * 4))
+        x = b.add(x, b.linear(h, dim))
+    x = b.linear(b.layer_norm(x), vocab)
+    b.take_last(x)
+    return b.build()
+
+
 def build_densenet(num_classes: int = 10, growth: int = 4, layers: int = 4, seed: int = 7) -> Model:
     """A small DenseNet: each layer concatenates onto the running feature map."""
     b = GraphBuilder("dsnet", TensorSpec((1, 16, 16, 3)), seed=seed)

@@ -1,7 +1,7 @@
 """Execute a :class:`~repro.scenarios.spec.ScenarioSpec` against a twin.
 
 One entry point -- :func:`run_scenario` -- dispatches on
-``spec.executor`` to five executors, each of which reproduces one of the
+``spec.executor`` to six executors, each of which reproduces one of the
 bespoke benchmark harnesses number-for-number:
 
 - ``sim``       the Figure 13 shape: a multi-node testbed serving one
@@ -11,7 +11,9 @@ bespoke benchmark harnesses number-for-number:
 - ``chaos``     the functional twin under a seeded fault plan on a
                 logical clock, resilient vs baseline;
 - ``warmpool``  the warm-pool policy sweep in virtual time;
-- ``hotpath``   the live wall-clock legacy-vs-fast lane benchmark.
+- ``hotpath``   the live wall-clock legacy-vs-fast lane benchmark;
+- ``streaming`` the live wall-clock continuous-batching decode
+                benchmark (solo vs grouped streams).
 
 The executors consume heavyweight machinery (numpy, both twins), so
 every such import is deferred into the executor bodies: loading this
@@ -21,8 +23,9 @@ and the read-side siblings (:mod:`~repro.scenarios.spec`,
 pull them in at all.
 
 Determinism contract: every metric an executor returns is a pure
-function of the spec (the ``hotpath`` executor excepted -- it measures
-wall-clock time by design, so only its request *counts* are stable).
+function of the spec (the ``hotpath`` and ``streaming`` executors
+excepted -- they measure wall-clock time by design, so only their
+request/token *counts* are stable).
 The ``scenario-smoke`` CI job runs one sim spec twice and ``cmp``\\ s
 the manifests byte for byte.
 """
@@ -447,10 +450,44 @@ def _run_hotpath(spec: ScenarioSpec, traced: bool) -> ScenarioResult:
     return ScenarioResult(spec=spec, metrics=metrics, spans=None)
 
 
+def _run_streaming(spec: ScenarioSpec, traced: bool) -> ScenarioResult:
+    """Streaming-shaped run: continuous batching vs per-request decode.
+
+    Field mapping (no streaming-specific spec fields, to keep every
+    existing spec's canonical bytes -- and hence run ids -- unchanged):
+    ``workload.requests`` is the stream count, ``workload.horizon_s``
+    the per-stream token budget (0 picks the executor default of 24),
+    and ``policy.max_batch``/``batch_window_s``/``alpha`` drive the
+    continuous batcher of the grouped lane.
+    """
+    del traced  # wall-clock lanes; span capture would skew the timing
+    from repro.experiments.streaming import run
+
+    tokens = int(spec.workload.horizon_s) or 24
+    result = run(
+        streams=spec.workload.requests,
+        tokens=tokens,
+        max_batch=spec.policy.max_batch,
+        window_ms=spec.policy.batch_window_s * 1e3,
+        alpha=spec.policy.alpha,
+        tcs_count=spec.fleet.tcs_count,
+        model_seed=spec.seed,
+    )
+    metrics = dict(result)
+    metrics["summary"] = {
+        "speedup": result["speedup"],
+        "grouped.tokens_per_s": result["grouped"]["tokens_per_s"],
+        "grouped.ttft_max_s": result["ttft_max_s"],
+        "verified": result["verified"],
+    }
+    return ScenarioResult(spec=spec, metrics=metrics, spans=None)
+
+
 _EXECUTORS = {
     "sim": _run_sim,
     "fnpacker": _run_fnpacker,
     "chaos": _run_chaos,
     "warmpool": _run_warmpool,
     "hotpath": _run_hotpath,
+    "streaming": _run_streaming,
 }

@@ -43,6 +43,7 @@ EXECUTORS = (
     "chaos",     # functional twin + fault injection on a logical clock
     "warmpool",  # warm-pool FleetSim policy sweep in virtual time
     "hotpath",   # live wall-clock hot-path benchmark
+    "streaming", # live wall-clock continuous-batching decode benchmark
 )
 
 HARDWARE = ("sgx1", "sgx2")
@@ -291,6 +292,14 @@ class ScenarioSpec:
             _require(self.workload.shape == "requests",
                      "the hotpath executor drives a fixed request count "
                      "(workload shape 'requests')")
+        if self.executor == "streaming":
+            _require(self.workload.shape == "requests",
+                     "the streaming executor opens a fixed stream count "
+                     "(workload shape 'requests', one request per stream)")
+            _require(self.policy.max_batch >= 2,
+                     "the streaming executor compares continuous batching "
+                     "against per-request decoding; policy.max_batch must "
+                     "be >= 2")
 
     # -- serialisation -----------------------------------------------------------
 

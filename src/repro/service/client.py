@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import http.client
 import socket
+import struct
 import threading
 import time
-import warnings
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Union
 from urllib.parse import urlencode, urlsplit
@@ -38,6 +38,7 @@ from repro.core import wire
 from repro.core.client import UserClient
 from repro.errors import (
     DeadlineExceeded,
+    InvocationError,
     QueueFull,
     SeSeMIError,
     TransportError,
@@ -50,6 +51,10 @@ from repro.sgx.measurement import EnclaveMeasurement
 
 #: media type of the binary wire framing (must match the server)
 BINARY_CONTENT_TYPE = "application/x-sesemi-wire"
+
+#: high bit of a stream record's length prefix: terminal error record
+#: instead of a sealed frame (must match ``repro.service.server``)
+STREAM_ERROR_FLAG = 0x80000000
 
 
 class ServiceClient:
@@ -148,6 +153,49 @@ class ServiceClient:
         if status >= 400:
             raise from_wire(reply, status)
         return reply
+
+    def open_stream(
+        self,
+        path: str,
+        payload: dict,
+        headers: Optional[Dict[str, str]] = None,
+    ):
+        """POST and return the live response for incremental reads.
+
+        Streaming responses get a **dedicated** connection (not the
+        per-thread keep-alive one): the body is read as the server
+        decodes, so the connection cannot be reused until the stream
+        drains -- and an abandoned stream must close its socket to tell
+        the server to stop decoding.  Returns ``(connection, response,
+        response_headers)``; the caller owns closing the connection.
+        An HTTP error status raises the server's exception immediately.
+        """
+        body = wire.dumps(payload, codec=wire.BINARY)
+        send_headers = {
+            "Content-Type": BINARY_CONTENT_TYPE,
+            "Accept": BINARY_CONTENT_TYPE,
+        }
+        if headers:
+            send_headers.update(headers)
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request("POST", path, body=body, headers=send_headers)
+            response = conn.getresponse()
+        except (http.client.HTTPException, ConnectionError,
+                socket.timeout, OSError) as exc:
+            conn.close()
+            raise TransportError(f"POST {path} failed: {exc}") from exc
+        if response.status >= 400:
+            raw = response.read()
+            conn.close()
+            try:
+                reply = wire.loads(raw) if raw else {}
+            except wire.WireError:
+                reply = {"error": "", "message": raw.decode("latin-1", "replace")}
+            raise from_wire(reply, response.status)
+        return conn, response, dict(response.getheaders())
 
     def close(self) -> None:
         """Close this thread's keep-alive connection."""
@@ -324,24 +372,12 @@ class RemoteSession:
         self,
         x: np.ndarray,
         timeout_s: Optional[float] = None,
-        *,
-        deadline_s: Optional[float] = None,
     ) -> np.ndarray:
         """Encrypt ``x``, POST it, decrypt the reply (one client span).
 
         ``timeout_s`` is the repo-wide wait keyword (seconds; the
-        server clamps it to its configured maximum -- docs/service.md);
-        ``deadline_s`` is the deprecated spelling.
+        server clamps it to its configured maximum -- docs/service.md).
         """
-        if deadline_s is not None:
-            warnings.warn(
-                "RemoteSession.infer(deadline_s=...) is deprecated; "
-                "use timeout_s=",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if timeout_s is None:
-                timeout_s = deadline_s
         tracer = self._env.tracer
         with maybe_span(
             tracer,
@@ -399,6 +435,41 @@ class RemoteSession:
             if status >= 400:
                 raise from_wire(reply, status)
             return RemoteFuture(self, reply["req_id"])
+
+    def stream(
+        self, prompt: Sequence[int], max_new_tokens: int
+    ) -> "RemoteStream":
+        """Open an autoregressive stream; iterate decrypted token ids.
+
+        The remote twin of :meth:`UserSession.stream
+        <repro.core.deployment.UserSession.stream>`: the prompt is
+        sealed locally with the stream AAD, POSTed to ``/v1/stream``,
+        and token frames arrive as chunked records which the returned
+        :class:`RemoteStream` authenticates, index-checks, and decrypts
+        one by one -- the service tier relays ciphertext only.
+        """
+        tracer = self._env.tracer
+        with maybe_span(
+            tracer,
+            "stream",
+            model_id=self.model_id,
+            user_id=self.user.principal_id,
+            transport="http",
+        ) as root:
+            enc_request = self.user.encrypt_stream_request(
+                self.model_id, self.measurement, prompt, max_new_tokens
+            )
+            conn, response, headers = self._client.open_stream(
+                "/v1/stream",
+                {
+                    "model_id": self.model_id,
+                    "uid": self.user.principal_id,
+                    "enc_request": enc_request,
+                },
+                headers=self._span_headers(root),
+            )
+            self._join_trace(root, headers)
+            return RemoteStream(self, conn, response)
 
     def infer_many(
         self, xs: Sequence[np.ndarray], window: Optional[int] = None
@@ -534,11 +605,213 @@ class RemoteFuture:
             )
 
 
+class RemoteStream:
+    """A live autoregressive stream consumed over HTTP.
+
+    The remote twin of :class:`~repro.core.deployment.SessionStream`:
+    iterating yields decrypted token ids as the chunked records arrive;
+    each sealed frame is AEAD-authenticated and index-checked locally,
+    so a relay that drops, reorders, or replays frames surfaces as
+    :class:`~repro.errors.InvocationError`, never as a silently wrong
+    sequence.  Satisfies the :class:`~repro.core.futures.Future`
+    protocol -- ``result()`` drains the stream and returns the full
+    token list.
+
+    One transport caveat: the stream *is* the connection.  A
+    ``result(timeout_s=...)`` expiry or a :meth:`cancel` closes the
+    socket -- the server notices and stops decoding (releasing the
+    enclave stream context), but unlike the in-process handles the
+    stream cannot be resumed afterwards.
+    """
+
+    def __init__(self, session: RemoteSession, conn, response) -> None:
+        self._session = session
+        self._conn = conn
+        self._response = response
+        self._opened_at = time.monotonic()
+        self._tokens: List[int] = []
+        self._index = 0
+        self._finished = False
+        self._cancelled = False
+        self._error: Optional[BaseException] = None
+        self._first_at: Optional[float] = None
+        self._last_at: Optional[float] = None
+
+    # -- the Future protocol -------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once the stream has drained, failed, or been cancelled."""
+        return self._finished or self._error is not None
+
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` tore the stream down."""
+        return self._cancelled
+
+    def cancel(self) -> bool:
+        """Abandon the stream; ``False`` once it is already terminal.
+
+        Closing the socket is the cancellation signal: the server's
+        write fails at the next frame and it cancels the gateway
+        stream, releasing the enclave KV/stream context.
+        """
+        if self.done():
+            return False
+        self._cancelled = True
+        self._finished = True
+        self._close()
+        return True
+
+    def result(self, timeout_s: Optional[float] = None) -> List[int]:
+        """Drain the stream and return the full decrypted token list.
+
+        ``timeout_s`` follows the repo-wide wait rule -- but on this
+        transport an expiry closes the connection (see class docs), so
+        a timed-out remote stream is dead, not resumable.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        for _ in self._iter_from(len(self._tokens), deadline):
+            pass
+        if self._error is not None:
+            raise self._error
+        return list(self._tokens)
+
+    # -- streaming consumption -----------------------------------------------------
+
+    def __iter__(self):
+        """Yield decrypted token ids in decode order as frames arrive."""
+        return self._iter_from(0, None)
+
+    @property
+    def token_count(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def ttft_s(self) -> Optional[float]:
+        """Seconds from the POST to the first decrypted token."""
+        if self._first_at is None:
+            return None
+        return self._first_at - self._opened_at
+
+    @property
+    def tokens_per_s(self) -> Optional[float]:
+        """Decode throughput over the tokens received so far."""
+        if self._first_at is None or self._last_at is None:
+            return None
+        elapsed = self._last_at - self._opened_at
+        if elapsed <= 0:
+            return None
+        return len(self._tokens) / elapsed
+
+    # -- internals -----------------------------------------------------------------
+
+    def _iter_from(self, start: int, deadline: Optional[float]):
+        index = start
+        while True:
+            while index < len(self._tokens):
+                token = self._tokens[index]
+                index += 1
+                yield token
+            if self.done():
+                if index >= len(self._tokens) and self._error is not None:
+                    raise self._error
+                if index >= len(self._tokens):
+                    return
+                continue
+            self._read_record(deadline)
+
+    def _read_record(self, deadline: Optional[float]) -> None:
+        """Read one chunked record off the socket and absorb it."""
+        try:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        "remote stream not drained within the timeout"
+                    )
+                sock = getattr(self._conn, "sock", None)
+                if sock is not None:
+                    sock.settimeout(remaining)
+            prefix = self._read_exact(4, eof_ok=True)
+            if prefix is None:
+                self._finished = True
+                self._close()
+                return
+            (length,) = struct.unpack(">I", prefix)
+            if length & STREAM_ERROR_FLAG:
+                body = self._read_exact(length & ~STREAM_ERROR_FLAG)
+                payload = wire.loads(body)
+                raise from_wire(payload, payload.get("status"))
+            frame = self._read_exact(length)
+            session = self._session
+            payload = session.user.decrypt_frame(
+                session.model_id, session.measurement, frame
+            )
+            if payload["index"] != self._index:
+                raise InvocationError(
+                    f"stream frame out of order: expected index "
+                    f"{self._index}, got {payload['index']} (dropped, "
+                    f"reordered or replayed frame)"
+                )
+            now = time.monotonic()
+            if self._first_at is None:
+                self._first_at = now
+            self._last_at = now
+            self._tokens.append(payload["token"])
+            self._index += 1
+            if payload["done"]:
+                self._drain_terminator()
+                self._finished = True
+                self._close()
+        except (socket.timeout, TimeoutError) as exc:
+            self._error = DeadlineExceeded(
+                "remote stream not drained within the timeout"
+            )
+            self._close()
+            raise self._error from exc
+        except BaseException as exc:
+            # a deadline expiry is terminal too: the socket is closed
+            # below, so the stream can never resume (the class docstring's
+            # transport caveat) -- sealing the outcome keeps done() honest
+            if self._error is None:
+                self._error = exc
+            self._close()
+            raise
+
+    def _drain_terminator(self) -> None:
+        """Consume the end-of-body after the final frame (keeps HTTP honest)."""
+        try:
+            self._response.read()
+        except Exception:
+            pass
+
+    def _read_exact(self, n: int, eof_ok: bool = False) -> Optional[bytes]:
+        chunks: List[bytes] = []
+        needed = n
+        while needed:
+            chunk = self._response.read(needed)
+            if not chunk:
+                if eof_ok and needed == n:
+                    return None
+                raise TransportError("stream truncated mid-record")
+            chunks.append(chunk)
+            needed -= len(chunk)
+        return b"".join(chunks)
+
+    def _close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+
+
 __all__ = [
     "RemoteEnvironment",
     "RemoteFuture",
     "RemoteModelHandle",
     "RemoteSession",
+    "RemoteStream",
     "ServiceClient",
     "RemoteKeyService",
 ]

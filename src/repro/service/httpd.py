@@ -1,15 +1,19 @@
 """A minimal asyncio HTTP/1.1 server (stdlib only).
 
 Just enough HTTP for the service tier: request-line + headers parsing,
-``Content-Length`` bodies, keep-alive, and bounded line/body sizes.
-Deliberately **not** a general web server -- no chunked encoding, no
-TLS (the payloads are AEAD ciphertext end to end; see
-``docs/service.md``), no pipelining guarantees beyond serial handling
-per connection.
+``Content-Length`` bodies, keep-alive, chunked **responses** (for the
+streaming route), and bounded line/body sizes.  Deliberately **not** a
+general web server -- no chunked request bodies, no TLS (the payloads
+are AEAD ciphertext end to end; see ``docs/service.md``), no
+pipelining guarantees beyond serial handling per connection.
 
 The handler is one coroutine ``async def handler(request) ->
 HttpResponse``; anything it raises is mapped by the caller-supplied
-``error_mapper`` so exception policy stays out of the transport.
+``error_mapper`` so exception policy stays out of the transport.  A
+handler may instead return a :class:`StreamingHttpResponse` whose body
+is an async iterator of chunks -- the server writes each as one
+``Transfer-Encoding: chunked`` chunk as it is produced, which is what
+lets sealed token frames reach the client mid-decode.
 """
 
 from __future__ import annotations
@@ -65,6 +69,43 @@ class HttpResponse:
             lines.append(f"{name}: {value}")
         head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
         return head + self.body
+
+
+class StreamingHttpResponse:
+    """A chunked response: the body is produced *while* it is sent.
+
+    ``chunks`` is an async iterator of byte chunks; each becomes one
+    HTTP/1.1 chunk on the wire, flushed as soon as it is yielded.  If
+    the iterator raises after the head has been written there is no way
+    to change the status line, so the server terminates the chunked body
+    abnormally (connection close without the final ``0`` chunk) -- the
+    client's de-chunking read surfaces that as a truncated stream.
+    """
+
+    def __init__(
+        self,
+        chunks,
+        status: int = 200,
+        content_type: str = "application/octet-stream",
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.status = status
+        self.chunks = chunks
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+    def encode_head(self, keep_alive: bool) -> bytes:
+        """Serialise the status line and headers (chunked framing)."""
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            "Transfer-Encoding: chunked",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
 class HttpError(Exception):
@@ -155,8 +196,12 @@ class AsyncHttpServer:
                     if self._error_mapper is None:
                         raise
                     response = self._error_mapper(exc)
-                writer.write(response.encode(keep_alive))
-                await writer.drain()
+                if isinstance(response, StreamingHttpResponse):
+                    if not await self._write_chunked(writer, response, keep_alive):
+                        break  # body aborted mid-stream: the connection dies
+                else:
+                    writer.write(response.encode(keep_alive))
+                    await writer.drain()
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -167,6 +212,36 @@ class AsyncHttpServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _write_chunked(
+        self, writer, response: StreamingHttpResponse, keep_alive: bool
+    ) -> bool:
+        """Pump a chunked body; ``False`` means the connection must die."""
+        writer.write(response.encode_head(keep_alive))
+        await writer.drain()
+        try:
+            async for chunk in response.chunks:
+                if not chunk:
+                    continue  # an empty chunk would terminate the body early
+                writer.write(
+                    f"{len(chunk):x}\r\n".encode("latin-1") + chunk + b"\r\n"
+                )
+                await writer.drain()
+        except Exception:
+            # the status line is gone; truncating the chunked body is the
+            # only honest failure signal left (client sees a short read).
+            # Close the producer NOW so its cleanup (e.g. cancelling the
+            # upstream stream) runs promptly instead of at GC time.
+            aclose = getattr(response.chunks, "aclose", None)
+            if aclose is not None:
+                try:
+                    await aclose()
+                except Exception:
+                    pass
+            return False
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return True
 
     async def _read_request(self, reader) -> Optional[HttpRequest]:
         line = await reader.readline()
@@ -212,4 +287,5 @@ __all__ = [
     "HttpError",
     "HttpRequest",
     "HttpResponse",
+    "StreamingHttpResponse",
 ]

@@ -12,6 +12,8 @@ gateway fleet:
                            batch ``feed_window``
 ``POST /v1/infer``         sync inference: wait for the sealed output
 ``POST /v1/submit``        async inference: 202 + ``req_id``
+``POST /v1/stream``        autoregressive stream: chunked body of
+                           length-prefixed sealed token frames
 ``GET  /v1/results/{id}``  poll/long-poll a submitted request
 ``DELETE /v1/results/{id}`` cancel (releases the enclave context)
 ``GET  /v1/healthz``       liveness + inflight
@@ -44,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import itertools
+import struct
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -63,12 +66,22 @@ from repro.errors import (
 )
 from repro.service.admission import AdmissionController
 from repro.service.config import ServiceConfig
-from repro.service.httpd import AsyncHttpServer, HttpRequest, HttpResponse
+from repro.service.httpd import (
+    AsyncHttpServer,
+    HttpRequest,
+    HttpResponse,
+    StreamingHttpResponse,
+)
 
 _RESULTS_PREFIX = "/v1/results/"
 
 #: media type of the binary wire framing (version byte 0x01)
 BINARY_CONTENT_TYPE = "application/x-sesemi-wire"
+
+#: high bit of a stream record's ``u32`` length prefix: the record is a
+#: terminal wire-encoded error payload, not a sealed token frame (the
+#: status line was already sent when the stream began)
+STREAM_ERROR_FLAG = 0x80000000
 
 #: per-request response codec, set by content negotiation in ``_handle``:
 #: binary when the client POSTed a binary frame or sent an ``Accept``
@@ -222,6 +235,8 @@ class InferenceService:
             return await self._infer(request)
         if path == "/v1/submit" and method == "POST":
             return await self._submit(request)
+        if path == "/v1/stream" and method == "POST":
+            return await self._stream(request)
         if path.startswith(_RESULTS_PREFIX):
             req_id = path[len(_RESULTS_PREFIX):]
             if method == "GET":
@@ -353,9 +368,8 @@ class InferenceService:
         msg = self._decode(request, "model_id", "uid", "enc_request")
         model_id, uid = msg["model_id"], msg["uid"]
         self._handle_for(model_id)
-        # ``timeout_s`` is the wire field (docs/service.md); the legacy
-        # ``deadline_s`` spelling is honoured for one release
-        wait = msg.get("timeout_s", msg.get("deadline_s"))
+        # ``timeout_s`` is the wire field (docs/service.md)
+        wait = msg.get("timeout_s")
         deadline = min(
             float(wait or self.config.default_deadline_s),
             self.config.default_deadline_s,
@@ -436,6 +450,95 @@ class InferenceService:
         # the worker's ECALL spans too -- under the HTTP root span
         with self.tracer.attach(span) if span is not None else _noop():
             return self.gateway.submit(enc_request, uid, model_id)
+
+    async def _stream(self, request: HttpRequest):
+        """Open an autoregressive stream; the reply body is chunked.
+
+        Admission failures surface as an ordinary error response; once
+        the gateway stream is open the reply commits to ``200`` with a
+        chunked body of records, each ``u32 length || sealed frame``.
+        A failure *mid-decode* cannot change the status line any more,
+        so it is sent as one final record with :data:`STREAM_ERROR_FLAG`
+        set in the length prefix and the wire-encoded error payload as
+        the record body -- the client SDK rebuilds the typed exception.
+        The blocking gateway iterator runs on the executor and feeds the
+        event loop through an ``asyncio.Queue``, so one slow stream
+        never stalls the loop.
+        """
+        self._count("stream")
+        msg = self._decode(request, "model_id", "uid", "enc_request")
+        model_id, uid = msg["model_id"], msg["uid"]
+        self._handle_for(model_id)
+        release = self.admission.admit(uid)
+        span = self._start_span(
+            "http:stream", request, model_id=model_id, tenant=uid
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            handle = await loop.run_in_executor(
+                self._executor,
+                self._open_stream_blocking,
+                span,
+                msg["enc_request"],
+                uid,
+                model_id,
+            )
+        except ReproError as exc:
+            release()
+            return self._fail(span, exc)
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def pump() -> None:
+            error: Optional[BaseException] = None
+            try:
+                for frame in handle:
+                    loop.call_soon_threadsafe(queue.put_nowait, frame)
+            except BaseException as exc:
+                error = exc
+            finally:
+                release()
+                self._end_span(
+                    span,
+                    error=error,
+                    endpoint=handle.endpoint,
+                    frames=handle.token_count,
+                )
+                # None = clean end of stream; an exception = error record
+                loop.call_soon_threadsafe(queue.put_nowait, error)
+
+        self._executor.submit(pump)
+
+        async def records():
+            try:
+                while True:
+                    item = await queue.get()
+                    if item is None:
+                        return
+                    if isinstance(item, BaseException):
+                        status, payload = to_wire(item)
+                        body = wire.dumps(dict(payload, status=status))
+                        yield struct.pack(
+                            ">I", STREAM_ERROR_FLAG | len(body)
+                        ) + body
+                        return
+                    yield struct.pack(">I", len(item)) + item
+            finally:
+                # a torn connection abandons the generator: stop decoding
+                # so the enclave stream context is released promptly
+                handle.cancel()
+
+        headers = {"x-endpoint": handle.endpoint}
+        if handle.ticket is not None:
+            headers["x-ticket"] = str(handle.ticket)
+        if span is not None:
+            headers["x-trace-id"] = span.trace_id
+        return StreamingHttpResponse(
+            records(), content_type=BINARY_CONTENT_TYPE, headers=headers
+        )
+
+    def _open_stream_blocking(self, span, enc_request, uid, model_id):
+        with self.tracer.attach(span) if span is not None else _noop():
+            return self.gateway.open_stream(enc_request, uid, model_id)
 
     # -- results ------------------------------------------------------------------
 

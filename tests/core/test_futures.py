@@ -1,0 +1,142 @@
+"""The Future protocol: one contract, every asynchronous handle.
+
+Runs the structural check (``isinstance(x, Future)``) and the behaviour
+contract -- ``result()`` repeatability, ``done()`` as a terminal check,
+``cancel()`` returning ``False`` once terminal, ``DeadlineExceeded`` on
+expiry -- against live handles from every tier that produces one: the
+TCS scheduler (:class:`InferenceFuture`, :class:`InferenceStream`), the
+gateway (:class:`GatewaySubmission`, :class:`GatewayStream`), and the
+session tier (:class:`SessionFuture`, :class:`SessionStream`).  The
+service tier's :class:`RemoteFuture`/:class:`RemoteStream` are checked
+structurally here (their live behaviour needs an HTTP world; see
+``tests/service``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Future
+from repro.core.deployment import SeSeMIEnvironment, SessionFuture, SessionStream
+from repro.core.gateway import GatewayStream, GatewaySubmission
+from repro.core.semirt import (
+    InferenceFuture,
+    InferenceStream,
+    SchedulerConfig,
+    default_semirt_config,
+)
+from repro.errors import DeadlineExceeded, RequestCancelled
+from repro.mlrt.decoder import DecoderSession
+from repro.mlrt.zoo import build_tinylm
+
+MODEL_ID = "m"
+
+
+@pytest.fixture()
+def world():
+    """One 2-TCS tinylm host plus an open session over it."""
+    env = SeSeMIEnvironment()
+    model = build_tinylm(seed=7)
+    config = default_semirt_config(tcs_count=2)
+    env.deploy(model, MODEL_ID, owner="owner", config=config).grant("user")
+    host = env.launch_semirt(
+        "tvm", config=config, scheduler=SchedulerConfig(queue_depth=16)
+    )
+    session = env.session("user", MODEL_ID, config=config, semirt=host)
+    with session:
+        yield env, model, host, session
+    host.destroy()
+
+
+def _x(model):
+    return np.zeros(model.input_spec.shape, dtype=np.float32)
+
+
+def _handles(env, model, host, session):
+    """One live handle of every local tier, freshly submitted."""
+    enc = env.user("user").encrypt_request(
+        MODEL_ID, host.measurement, _x(model)
+    )
+    enc_stream = env.user("user").encrypt_stream_request(
+        MODEL_ID, host.measurement, [1, 2, 3], 4
+    )
+    uid = env.user("user").principal_id
+    return {
+        InferenceFuture: host.submit(enc, uid, MODEL_ID),
+        InferenceStream: host.open_stream(enc_stream, uid, MODEL_ID),
+        GatewaySubmission: session.gateway.submit(enc, uid, MODEL_ID),
+        GatewayStream: session.gateway.open_stream(enc_stream, uid, MODEL_ID),
+        SessionFuture: session.submit(_x(model)),
+        SessionStream: session.stream([1, 2, 3], 4),
+    }
+
+
+def test_every_handle_satisfies_the_protocol(world):
+    handles = _handles(*world)
+    for cls, handle in handles.items():
+        assert isinstance(handle, cls)
+        assert isinstance(handle, Future), cls.__name__
+        handle.result(timeout_s=30)
+
+
+def test_remote_handles_satisfy_the_protocol_structurally():
+    from repro.service.client import RemoteFuture, RemoteStream
+
+    for cls in (RemoteFuture, RemoteStream):
+        for method in ("result", "done", "cancel", "cancelled"):
+            assert callable(getattr(cls, method)), f"{cls.__name__}.{method}"
+
+
+def test_result_is_repeatable_and_done_is_terminal(world):
+    env, model, host, session = world
+    for handle in _handles(env, model, host, session).values():
+        first = handle.result(timeout_s=30)
+        assert handle.done()
+        second = handle.result(timeout_s=30)  # the outcome is sealed
+        if isinstance(first, np.ndarray):
+            assert np.array_equal(first, second)
+        else:
+            assert first == second
+        assert handle.cancel() is False  # too late: already terminal
+
+
+def test_stream_results_agree_with_the_reference(world):
+    env, model, host, session = world
+    want = DecoderSession(model).generate([1, 2, 3], 4)
+    assert session.stream([1, 2, 3], 4).result(timeout_s=30) == want
+    frames = session.gateway.open_stream(
+        env.user("user").encrypt_stream_request(
+            MODEL_ID, host.measurement, [1, 2, 3], 4
+        ),
+        env.user("user").principal_id,
+        MODEL_ID,
+    ).result(timeout_s=30)
+    assert len(frames) == 4  # sealed frames; decryption is the session's job
+
+
+def test_timeout_raises_without_sealing_the_outcome(world):
+    env, model, host, session = world
+    # a paced solo host makes the deadline deterministic: nothing can
+    # finish in 1ms, and the handle must still resolve afterwards
+    config = default_semirt_config(tcs_count=1)
+    env.deploy(model, "m-slow", owner="owner", config=config).grant("user")
+    slow = env.launch_semirt(
+        "tvm",
+        config=config,
+        scheduler=SchedulerConfig(queue_depth=4, paced_service_s=0.2),
+    )
+    enc = env.user("user").encrypt_request("m-slow", slow.measurement, _x(model))
+    future = slow.submit(enc, env.user("user").principal_id, "m-slow")
+    with pytest.raises(DeadlineExceeded):
+        future.result(timeout_s=0.001)
+    assert not future.done()  # expiry is the caller's problem, not the handle's
+    future.result(timeout_s=30)
+    slow.destroy()
+
+
+def test_cancelled_handles_raise_request_cancelled(world):
+    env, model, host, session = world
+    stream = session.stream([1, 2, 3], 256)
+    assert stream.cancel() is True
+    with pytest.raises(RequestCancelled):
+        stream.result(timeout_s=30)
+    assert stream.done() and stream.cancelled()

@@ -71,13 +71,18 @@ def test_model_switch_takes_warm_path(setup):
 
 
 def test_ecall_surface_is_figure5(setup):
-    # The Figure 5 surface plus the two extensions: EC_MODEL_INF_BATCH
-    # (micro-batching) and EC_INVALIDATE_KEYS (revocation/re-grant push
-    # for the key memo).  Anything else appearing here is a surface leak.
+    # The Figure 5 surface plus the extensions: EC_MODEL_INF_BATCH
+    # (micro-batching), EC_INVALIDATE_KEYS (revocation/re-grant push for
+    # the key memo), and the streaming trio (docs/streaming.md) --
+    # EC_MODEL_INF_STREAM / EC_STREAM_STEP / EC_STREAM_CLOSE.  Anything
+    # else appearing here is a surface leak.
     _, _, _, semirt = setup
     assert semirt.enclave.exported_ecalls == {
         "EC_MODEL_INF",
         "EC_MODEL_INF_BATCH",
+        "EC_MODEL_INF_STREAM",
+        "EC_STREAM_STEP",
+        "EC_STREAM_CLOSE",
         "EC_GET_OUTPUT",
         "EC_CLEAR_EXEC_CTX",
         "EC_INVALIDATE_KEYS",

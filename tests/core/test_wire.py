@@ -169,20 +169,6 @@ def test_binary_empty_bytes_and_duplicate_blobs():
     assert wire.loads(BINARY.dumps(message)) == message
 
 
-# -- deprecated shims ---------------------------------------------------------
-
-
-def test_encode_decode_shims_warn_but_work():
-    message = {"op": "ping", "blob": b"\x00"}
-    with pytest.deprecated_call():
-        frame = wire.encode(message)
-    with pytest.deprecated_call():
-        assert wire.decode(frame) == message
-    # decode() is the versioned loads: it takes binary frames too
-    with pytest.deprecated_call():
-        assert wire.decode(BINARY.dumps(message)) == message
-
-
 # -- property tests: codec equivalence ---------------------------------------
 
 simple_values = st.recursive(

@@ -1,0 +1,79 @@
+"""DecoderSession: incremental decoding == full-context execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.mlrt.decoder import DecoderSession, greedy, streamable
+from repro.mlrt.zoo import build_mobilenet, build_tinylm
+
+
+def test_tinylm_is_streamable_cnns_are_not():
+    assert streamable(build_tinylm())
+    assert not streamable(build_mobilenet())
+
+
+def test_non_streamable_model_refused():
+    with pytest.raises(ModelError, match="not streamable"):
+        DecoderSession(build_mobilenet())
+
+
+def test_prefill_matches_full_context_reference():
+    # Feed exactly ctx tokens: the reference runs the whole window at
+    # once, the session one position at a time.  Same logits row.
+    ctx = 8
+    model = build_tinylm(ctx=ctx, seed=3)
+    tokens = [(i * 5) % 32 for i in range(ctx)]
+    full = model.run_reference(
+        np.array([tokens], dtype=np.float32)
+    )
+    session = DecoderSession(model)
+    incremental = session.prefill(tokens)
+    assert session.position == ctx
+    np.testing.assert_allclose(incremental, full, rtol=1e-5, atol=1e-6)
+
+
+def test_step_logits_match_reference_at_every_prefix():
+    # Positional encodings are a function of absolute position and the
+    # causal mask is implicit in the KV cache, so *every* prefix of the
+    # incremental decode must agree with a fresh full-context run.
+    model = build_tinylm(ctx=8, seed=11)
+    tokens = [1, 7, 2, 9, 4, 1, 3, 6]
+    session = DecoderSession(model)
+    for length in range(1, len(tokens) + 1):
+        got = session.step(tokens[length - 1])
+        want = model.run_reference(
+            np.array([tokens[:length]], dtype=np.float32)
+        )
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+
+def test_generate_is_deterministic_and_greedy():
+    model = build_tinylm(seed=5)
+    prompt = [3, 1, 4]
+    a = DecoderSession(model).generate(prompt, 16)
+    b = DecoderSession(model).generate(prompt, 16)
+    assert a == b
+    assert len(a) == 16
+    assert all(0 <= t < 32 for t in a)
+    # the first generated token is the argmax over the prefilled prompt
+    assert a[0] == greedy(DecoderSession(model).prefill(prompt))
+
+
+def test_kv_cache_grows_one_row_per_step():
+    model = build_tinylm(blocks=2, seed=7)
+    session = DecoderSession(model)
+    session.step(1)
+    per_row = session.kv_bytes
+    assert per_row > 0
+    session.step(2)
+    session.step(3)
+    assert session.kv_bytes == 3 * per_row
+
+
+def test_empty_prompt_and_bad_budget_refused():
+    model = build_tinylm()
+    with pytest.raises(ModelError, match="empty prompt"):
+        DecoderSession(model).prefill([])
+    with pytest.raises(ModelError, match="at least 1"):
+        DecoderSession(model).generate([1], 0)

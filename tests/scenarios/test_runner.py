@@ -182,7 +182,10 @@ def test_warmpool_executor_matches_bespoke_run_policy():
 
 
 def test_deterministic_executor_list_is_accurate():
-    assert set(DETERMINISTIC_EXECUTORS) == set(EXECUTORS) - {"hotpath"}
+    # hotpath and streaming measure wall-clock time: live, not twins
+    assert set(DETERMINISTIC_EXECUTORS) == set(EXECUTORS) - {
+        "hotpath", "streaming",
+    }
 
 
 # -- registry ----------------------------------------------------------------------
@@ -195,6 +198,7 @@ def test_registry_names_build_matching_specs():
     assert "chaos-quick" in names
     assert "warmpool-poisson" in names
     assert "hotpath-2user" in names
+    assert "stream-chat" in names
     assert "scenario-smoke" in names
     for name, spec in named_scenarios().items():
         assert spec.name == name

@@ -46,6 +46,19 @@ def test_executor_prerequisites():
         _spec(executor="warmpool")  # no warm policies
     with pytest.raises(ConfigError):
         _spec(executor="hotpath")  # needs the requests shape
+    with pytest.raises(ConfigError):
+        _spec(executor="streaming")  # needs the requests shape
+    with pytest.raises(ConfigError):
+        _spec(  # needs a continuous batch to compare against solo
+            executor="streaming",
+            workload=WorkloadSpec(shape="requests", requests=2),
+        )
+    ok_stream = _spec(
+        executor="streaming",
+        workload=WorkloadSpec(shape="requests", requests=2),
+        policy=PolicySpec(max_batch=2),
+    )
+    assert ok_stream.executor == "streaming"
     ok = _spec(
         executor="chaos",
         faults=FaultSpec(),

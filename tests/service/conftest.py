@@ -35,11 +35,13 @@ class World:
         service: InferenceService,
         remote: RemoteEnvironment,
         x: np.ndarray,
+        model=None,
     ) -> None:
         self.env = env
         self.service = service
         self.remote = remote
         self.x = x
+        self.model = model
         self.session = remote.session(USER, MODEL_ID)
 
     @property
@@ -65,10 +67,15 @@ def launch_world(
     result_ttl_s: float = 120.0,
     share_tracer: bool = False,
     warm_pool: Optional[WarmPoolConfig] = None,
+    model_builder=None,
 ) -> World:
-    """Boot a one-endpoint service world and connect a remote user."""
+    """Boot a one-endpoint service world and connect a remote user.
+
+    ``model_builder`` swaps the served model (default: the MobileNet
+    one-shot workload; the streaming tests pass ``build_tinylm``).
+    """
     env = SeSeMIEnvironment()
-    model = build_mobilenet(seed=11)
+    model = (model_builder or (lambda: build_mobilenet(seed=11)))()
     config = default_semirt_config(tcs_count=tcs_count)
     handle = env.deploy(model, MODEL_ID, owner="owner", config=config)
     pool = FnPool(
@@ -106,4 +113,4 @@ def launch_world(
     remote.model(MODEL_ID).grant(user)
     rng = np.random.default_rng(3)
     x = rng.standard_normal(model.input_spec.shape).astype(np.float32)
-    return World(env, service, remote, x)
+    return World(env, service, remote, x, model=model)
